@@ -1,0 +1,73 @@
+"""E1 — headline speedup of the batched engine vs batch size.
+
+Regenerates the paper family's central claim: the batched GPU-style
+engine amortizes its overhead over the batch, so its advantage over the
+per-simulation CPU loop (SciPy LSODA) grows with the number of parallel
+simulations. The report table lists, per batch size, the batched
+wall-clock, the (budgeted, extrapolated) LSODA wall-clock, and the
+speedup.
+
+Expected shape: speedup < 1 (or ~1) for a single simulation, growing
+monotonically with the batch size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.core.comparison import time_engine
+from repro.solvers import SolverOptions
+from repro.synth import generate_symmetric
+
+from common import timed, write_report
+
+BATCH_SIZES = [1, 4, 16, 64, 256]
+MODEL = generate_symmetric(32, seed=11)
+T_SPAN = (0.0, 2.0)
+T_EVAL = np.linspace(0.0, 2.0, 11)
+OPTIONS = SolverOptions(max_steps=50_000)
+
+batched_seconds: dict[int, float] = {}
+lsoda_seconds: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batched_engine(benchmark, batch_size):
+    def run():
+        seconds, _ = time_engine(MODEL, "batched-hybrid", batch_size,
+                                 T_SPAN, T_EVAL, OPTIONS, seed=0)
+        batched_seconds[batch_size] = seconds
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_lsoda_loop(benchmark, batch_size):
+    def run():
+        seconds, _ = time_engine(MODEL, "lsoda", batch_size, T_SPAN,
+                                 T_EVAL, OPTIONS, seed=0,
+                                 time_budget_seconds=5.0)
+        lsoda_seconds[batch_size] = seconds
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_report(benchmark):
+    def render():
+        rows = []
+        for batch_size in BATCH_SIZES:
+            batched = batched_seconds.get(batch_size, float("nan"))
+            lsoda = lsoda_seconds.get(batch_size, float("nan"))
+            rows.append((batch_size, f"{batched * 1e3:.1f} ms",
+                         f"{lsoda * 1e3:.1f} ms",
+                         f"{lsoda / batched:.1f}x"))
+        return format_table(
+            ["batch", "batched-hybrid", "lsoda loop", "speedup"], rows)
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_report("e1_speedup_vs_batch", table)
+    # Shape assertion: the speedup at the largest batch exceeds the
+    # single-simulation speedup.
+    largest = lsoda_seconds[BATCH_SIZES[-1]] / batched_seconds[BATCH_SIZES[-1]]
+    smallest = lsoda_seconds[1] / batched_seconds[1]
+    assert largest > smallest

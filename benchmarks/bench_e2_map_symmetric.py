@@ -1,0 +1,57 @@
+"""E2 — comparison map over symmetric RBMs (N = M).
+
+Regenerates the paper family's symmetric comparison map: for a grid of
+model sizes x batch sizes, every engine (CPU LSODA/VODE loops, and the
+batched engine under its three granularity policies) is timed on the
+same perturbed workload, and the fastest engine wins the cell.
+
+Expected shape: the sequential CPU loop wins only the single-simulation
+small-model corner; the batched engine wins everywhere else, with the
+break-even frontier moving toward smaller models as the batch grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import run_comparison_map
+from repro.solvers import SolverOptions
+from repro.synth import generate_symmetric
+
+from common import write_report
+
+SIZES = [8, 16, 32, 64]
+BATCHES = [1, 16, 128]
+ENGINES = ("lsoda", "vode", "batched-hybrid", "batched-coarse",
+           "batched-fine")
+OPTIONS = SolverOptions(max_steps=50_000)
+T_EVAL = np.linspace(0.0, 1.0, 6)
+
+MODELS = [(f"{size}x{size}", generate_symmetric(size, seed=21))
+          for size in SIZES]
+
+
+def test_symmetric_map(benchmark):
+    holder = {}
+
+    def run():
+        holder["map"] = run_comparison_map(
+            MODELS, BATCHES, (0.0, 1.0), T_EVAL, engines=ENGINES,
+            options=OPTIONS, seed=0, time_budget_seconds=4.0)
+        return holder["map"]
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [comparison.render(), "", "cell timings (seconds):"]
+    for label, _ in MODELS:
+        for batch in BATCHES:
+            cell = comparison.cells[(label, batch)]
+            timings = "  ".join(f"{engine}={seconds:.3f}"
+                                for engine, seconds in
+                                sorted(cell.seconds.items()))
+            lines.append(f"  {label:>8s} x{batch:<4d} {timings}")
+    write_report("e2_map_symmetric", "\n".join(lines))
+
+    # Shape assertions: CPU wins the small single-sim corner, the
+    # batched engine wins the large-batch column everywhere.
+    assert comparison.best("8x8", 1) in ("lsoda", "vode")
+    for label, _ in MODELS:
+        assert comparison.best(label, 128).startswith("batched")

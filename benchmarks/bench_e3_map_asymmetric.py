@@ -1,0 +1,62 @@
+"""E3 — comparison maps over asymmetric RBMs (N > M and M > N).
+
+Regenerates the paper family's two asymmetric maps. The number of
+species N sets the width of the fine-grained axis (one ODE per
+species), while the number of reactions M sets the per-simulation
+arithmetic depth; the maps probe both imbalances.
+
+Expected shape: as in E2, the CPU loop holds only the single-simulation
+corner; reaction-heavy models (M > N) penalize the coarse policy (its
+sequential reaction sweep grows with M) more than the hybrid one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import run_comparison_map
+from repro.solvers import SolverOptions
+from repro.synth import generate_asymmetric
+
+from common import write_report
+
+BATCHES = [1, 16, 128]
+ENGINES = ("lsoda", "vode", "batched-hybrid", "batched-coarse",
+           "batched-fine")
+OPTIONS = SolverOptions(max_steps=50_000)
+T_EVAL = np.linspace(0.0, 1.0, 6)
+
+SPECIES_HEAVY = [("32x8", generate_asymmetric(32, 8, seed=31)),
+                 ("64x16", generate_asymmetric(64, 16, seed=31)),
+                 ("96x24", generate_asymmetric(96, 24, seed=31))]
+REACTION_HEAVY = [("8x32", generate_asymmetric(8, 32, seed=32)),
+                  ("16x64", generate_asymmetric(16, 64, seed=32)),
+                  ("24x96", generate_asymmetric(24, 96, seed=32))]
+
+
+def run_map(models):
+    return run_comparison_map(models, BATCHES, (0.0, 1.0), T_EVAL,
+                              engines=ENGINES, options=OPTIONS, seed=0,
+                              time_budget_seconds=4.0)
+
+
+def test_species_heavy_map(benchmark):
+    comparison = benchmark.pedantic(lambda: run_map(SPECIES_HEAVY),
+                                    rounds=1, iterations=1)
+    write_report("e3_map_species_heavy", comparison.render())
+    for label, _ in SPECIES_HEAVY:
+        assert comparison.best(label, 128).startswith("batched")
+
+
+def test_reaction_heavy_map(benchmark):
+    comparison = benchmark.pedantic(lambda: run_map(REACTION_HEAVY),
+                                    rounds=1, iterations=1)
+    lines = [comparison.render(), ""]
+    # The coarse-policy penalty claim: at large batches on the most
+    # reaction-heavy model, hybrid beats coarse.
+    cell = comparison.cells[("24x96", 128)]
+    ratio = cell.seconds["batched-coarse"] / cell.seconds["batched-hybrid"]
+    lines.append(f"coarse/hybrid time ratio on 24x96 @128: {ratio:.2f}x")
+    write_report("e3_map_reaction_heavy", "\n".join(lines))
+    assert ratio > 1.0
+    for label, _ in REACTION_HEAVY:
+        assert comparison.best(label, 128).startswith("batched")

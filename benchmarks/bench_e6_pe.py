@@ -1,0 +1,97 @@
+"""E6 — parameter estimation with (FST-)PSO on batched fitness.
+
+Regenerates the paper family's PE experiment: recover kinetic constants
+of the kinase cascade from synthetic observations, with every swarm
+iteration evaluated as one batched simulation launch. Compares the
+batched fitness engine against a sequential-LSODA fitness engine on a
+fixed number of swarm evaluations.
+
+Expected shape: both optimizers reach comparable fitness, but the
+batched evaluation engine completes the same number of simulations
+several times faster; FST-PSO matches or beats plain PSO.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import FreeParameter, ParameterEstimation, synthetic_target
+from repro.models import OBSERVED_SPECIES, TRUE_CONSTANTS, cascade
+from repro.solvers import SolverOptions
+
+from common import write_report
+
+SWARM = 128
+ITERATIONS = 6
+OPTIONS = SolverOptions()
+
+state = {}
+
+
+@pytest.fixture(scope="module")
+def target():
+    truth = cascade(TRUE_CONSTANTS)
+    return synthetic_target(truth, OBSERVED_SPECIES, (0.0, 8.0), 21)
+
+
+def make_estimation(target, engine):
+    times, dynamics = target
+    wrong = cascade(tuple(0.25 * k for k in TRUE_CONSTANTS))
+    free = [FreeParameter(i, 1e-2, 1e2) for i in range(2)]
+    return ParameterEstimation(wrong, free, OBSERVED_SPECIES, times,
+                               dynamics, engine=engine, options=OPTIONS)
+
+
+@pytest.mark.parametrize("optimizer", ["pso", "fstpso"])
+def test_pe_batched(benchmark, target, optimizer):
+    estimation = make_estimation(target, "batched")
+
+    def run():
+        started = time.perf_counter()
+        result = estimation.estimate(optimizer, swarm_size=SWARM,
+                                     n_iterations=ITERATIONS, seed=7)
+        state[f"batched-{optimizer}"] = (result,
+                                         time.perf_counter() - started)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_pe_sequential_lsoda(benchmark, target):
+    estimation = make_estimation(target, "lsoda")
+
+    def run():
+        started = time.perf_counter()
+        result = estimation.estimate("fstpso", swarm_size=SWARM,
+                                     n_iterations=ITERATIONS, seed=7)
+        state["lsoda-fstpso"] = (result, time.perf_counter() - started)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_report(benchmark):
+    def render():
+        lines = [f"swarm={SWARM}, iterations={ITERATIONS}, "
+                 f"simulations per run={SWARM * (ITERATIONS + 1)}", ""]
+        for key in ("batched-pso", "batched-fstpso", "lsoda-fstpso"):
+            result, seconds = state[key]
+            lines.append(
+                f"{key:16s} fitness={result.fitness:.4f} "
+                f"time={seconds:6.2f} s "
+                f"({result.n_simulations / seconds:7.1f} sims/s)")
+        batched = state["batched-fstpso"][1]
+        sequential = state["lsoda-fstpso"][1]
+        lines.append("")
+        lines.append(f"batched/sequential PE speedup: "
+                     f"{sequential / batched:.1f}x")
+        return "\n".join(lines), sequential / batched
+
+    text, speedup = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_report("e6_pe", text)
+    # Shape assertions: batched PE is faster and converges.
+    assert speedup > 1.0
+    assert state["batched-fstpso"][0].fitness < 0.5
+    # Both engines optimize the same objective to similar quality.
+    batched_fit = state["batched-fstpso"][0].fitness
+    lsoda_fit = state["lsoda-fstpso"][0].fitness
+    assert abs(batched_fit - lsoda_fit) < 0.2

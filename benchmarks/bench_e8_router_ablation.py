@@ -1,0 +1,127 @@
+"""E8 — ablation of the stiffness router (method selection).
+
+Regenerates the design-choice study DESIGN.md calls out: on a batch
+mixing non-stiff and stiff simulations, the auto-router is compared
+against forcing DOPRI5 or Radau IIA for everything. A secondary series
+ablates the Radau Jacobian-reuse policy.
+
+Expected shape: the router tracks the better pure method on each
+problem class — it avoids both the explicit method's collapse on stiff
+simulations and the implicit method's overhead on non-stiff ones.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.gpu import BatchRadau5, BatchSimulator, BatchedODEProblem
+from repro.model import ODESystem, ParameterizationBatch, perturbed_batch
+from repro.models import decay_chain, robertson
+from repro.solvers import SolverOptions
+
+from common import write_report
+
+OPTIONS = SolverOptions(max_steps=100_000)
+GRID = np.array([0.0, 1.0, 10.0, 100.0])
+
+state = {}
+
+
+def mixed_workloads():
+    """A non-stiff batch and a stiff batch of equal size."""
+    nonstiff_model = decay_chain(3)
+    stiff_model = robertson()
+    rng = np.random.default_rng(0)
+    nonstiff = perturbed_batch(nonstiff_model.nominal_parameterization(),
+                               16, rng)
+    stiff = perturbed_batch(stiff_model.nominal_parameterization(), 16,
+                            rng)
+    return (nonstiff_model, nonstiff), (stiff_model, stiff)
+
+
+@pytest.mark.parametrize("method", ["auto", "dopri5", "radau5"])
+def test_router_methods(benchmark, method):
+    (nonstiff_model, nonstiff), (stiff_model, stiff) = mixed_workloads()
+    # Forcing DOPRI5 onto Robertson would burn the full step budget; a
+    # smaller cap keeps the ablation honest and bounded.
+    options = OPTIONS if method != "dopri5" else \
+        OPTIONS.replace(max_steps=20_000)
+
+    def run():
+        started = time.perf_counter()
+        first = BatchSimulator(nonstiff_model, options,
+                               method=method).simulate(
+            (0.0, 100.0), GRID, nonstiff)
+        second = BatchSimulator(stiff_model, options,
+                                method=method).simulate(
+            (0.0, 100.0), GRID, stiff)
+        state[method] = {
+            "seconds": time.perf_counter() - started,
+            "nonstiff_steps": int(first.n_steps.sum()),
+            "stiff_steps": int(second.n_steps.sum()),
+            "nonstiff_ok": bool(first.all_success),
+            "stiff_ok": bool(second.all_success),
+        }
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("reuse", [True, False],
+                         ids=["reuse-jac", "fresh-jac"])
+def test_jacobian_reuse_ablation(benchmark, reuse):
+    model = robertson()
+    batch = perturbed_batch(model.nominal_parameterization(), 8,
+                            np.random.default_rng(1))
+    problem = BatchedODEProblem(ODESystem.from_model(model), batch)
+
+    def run():
+        started = time.perf_counter()
+        BatchRadau5(OPTIONS, reuse_jacobian=reuse).solve(
+            problem, (0.0, 100.0), GRID)
+        state[f"jac-reuse-{reuse}"] = {
+            "seconds": time.perf_counter() - started,
+            "jacobian_evals":
+                problem.counters.jacobian_simulation_evaluations,
+        }
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_report(benchmark):
+    def render():
+        lines = ["router ablation on a mixed 16+16 workload "
+                 "(non-stiff decay chain + stiff Robertson):", ""]
+        for method in ("auto", "dopri5", "radau5"):
+            data = state[method]
+            lines.append(
+                f"  {method:8s} time={data['seconds']:6.2f} s  "
+                f"nonstiff steps={data['nonstiff_steps']:6d} "
+                f"(ok={data['nonstiff_ok']})  "
+                f"stiff steps={data['stiff_steps']:6d} "
+                f"(ok={data['stiff_ok']})")
+        lines.append("")
+        lines.append("Radau Jacobian-reuse ablation (8 stiff sims):")
+        for reuse in (True, False):
+            data = state[f"jac-reuse-{reuse}"]
+            label = "reuse" if reuse else "fresh"
+            lines.append(
+                f"  {label:6s} time={data['seconds']:6.2f} s  "
+                f"jacobian sim-evals={data['jacobian_evals']}")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_report("e8_router_ablation", text)
+
+    # Shape assertions.
+    auto = state["auto"]
+    assert auto["nonstiff_ok"] and auto["stiff_ok"]
+    # Pure DOPRI5 fails (or at best crawls through) the stiff half.
+    assert not state["dopri5"]["stiff_ok"] or \
+        state["dopri5"]["stiff_steps"] > 5 * auto["stiff_steps"]
+    # The router spends far fewer non-stiff steps than pure Radau spends
+    # stiff-solving machinery on the easy half... compare step counts:
+    assert auto["nonstiff_steps"] <= state["radau5"]["nonstiff_steps"] * 2
+    # Jacobian reuse saves work.
+    assert state["jac-reuse-True"]["jacobian_evals"] < \
+        state["jac-reuse-False"]["jacobian_evals"]

@@ -1,0 +1,106 @@
+"""X1 (extension) — stochastic substrate: SSA vs tau-leaping.
+
+The simulator family's ecosystem pairs the deterministic engine with
+coarse-grained stochastic engines (SSA and cuTauLeaping). This
+extension bench regenerates their two standard claims on our batched
+substrate:
+
+* the tau-leaping accelerator compresses the exact event stream by
+  orders of magnitude at large molecule populations while preserving
+  the ensemble mean;
+* batched ensembles scale sub-linearly in the number of replicas
+  (the coarse-grained axis amortizes kernel work).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.core import simulate
+from repro.models import dimerization
+from repro.stochastic import StochasticSimulator
+
+from common import timed, write_report
+
+GRID = np.linspace(0.0, 3.0, 7)
+MODEL = dimerization(bind=2.0, unbind=1.0, initial=1.0)
+
+state = {}
+
+
+@pytest.mark.parametrize("method", ["ssa", "tau-leaping"])
+def test_method_at_large_volume(benchmark, method):
+    simulator = StochasticSimulator(MODEL, volume=10_000.0, method=method,
+                                    seed=0)
+
+    def run():
+        result = simulator.simulate((0.0, 3.0), GRID, n_replicates=8)
+        state[method] = result
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.all_success
+
+
+@pytest.mark.parametrize("replicas", [8, 32, 128])
+def test_ensemble_scaling(benchmark, replicas):
+    simulator = StochasticSimulator(MODEL, volume=300.0, method="ssa",
+                                    seed=1)
+    results = state.setdefault("scaling", {})
+
+    def run():
+        result = simulator.simulate((0.0, 3.0), GRID,
+                                    n_replicates=replicas)
+        results[replicas] = result.elapsed_seconds
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_report(benchmark):
+    deterministic = simulate(MODEL, (0.0, 3.0), GRID)
+
+    def render():
+        lines = ["tau-leaping vs exact SSA at volume 10000 "
+                 "(8 replicas each):", ""]
+        rows = []
+        for method in ("ssa", "tau-leaping"):
+            result = state[method]
+            work = float((result.n_events + result.n_leaps).mean())
+            error = np.max(np.abs(result.ensemble_mean()
+                                  - deterministic.y[0])
+                           / (np.abs(deterministic.y[0]) + 1e-3))
+            rows.append((method, f"{result.elapsed_seconds:.3f} s",
+                         f"{work:.0f}", f"{error:.4f}"))
+        lines.append(format_table(
+            ["method", "wall clock", "steps/replica", "mean err vs ODE"],
+            rows))
+        lines.append("")
+        lines.append("batched ensemble scaling (SSA, volume 300):")
+        scaling = state["scaling"]
+        base = scaling[8] / 8
+        for replicas in (8, 32, 128):
+            per_replica = scaling[replicas] / replicas
+            lines.append(f"  {replicas:4d} replicas: "
+                         f"{scaling[replicas]:.3f} s total, "
+                         f"{per_replica * 1e3:.2f} ms/replica "
+                         f"({per_replica / base:.2f}x of the 8-replica "
+                         "cost)")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_report("x1_stochastic", text)
+
+    # Shape assertions.
+    ssa_work = float((state["ssa"].n_events + state["ssa"].n_leaps).mean())
+    tau_work = float((state["tau-leaping"].n_events
+                      + state["tau-leaping"].n_leaps).mean())
+    assert tau_work < ssa_work / 10.0
+    for method in ("ssa", "tau-leaping"):
+        error = np.max(np.abs(state[method].ensemble_mean()
+                              - deterministic.y[0])
+                       / (np.abs(deterministic.y[0]) + 1e-3))
+        assert error < 0.05
+    # Amortization: per-replica cost does not grow with the ensemble.
+    scaling = state["scaling"]
+    assert scaling[128] / 128 <= scaling[8] / 8 * 1.5

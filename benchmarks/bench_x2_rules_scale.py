@@ -1,0 +1,112 @@
+"""X2 (extension) — rule-derived large-scale models on the engine.
+
+Regenerates the paper family's large-scale workflow end to end: a
+compact rule-based description expands into an RBM two orders of
+magnitude larger, and the derived network is simulated as a perturbed
+batch on the batched engine vs the sequential LSODA loop. This is the
+autophagy/translation-switch pipeline shape (29 rules -> 6581
+reactions -> PSA) on the Brusselator-style substitute workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.core import SequentialSimulator, simulate
+from repro.model import perturbed_batch
+from repro.rules import multisite_cascade
+from repro.solvers import SolverOptions
+
+from common import write_report
+
+OPTIONS = SolverOptions(max_steps=100_000)
+GRID = np.linspace(0.0, 3.0, 7)
+
+state = {}
+
+
+@pytest.mark.parametrize("n_sites", [4, 6, 8])
+def test_expansion_scale(benchmark, n_sites):
+    rule_model = multisite_cascade(n_sites)
+
+    def run():
+        flat = rule_model.expand()
+        state[f"expand-{n_sites}"] = (len(rule_model.rules),
+                                      flat.n_species, flat.n_reactions)
+        return flat
+
+    flat = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert flat.n_species == 2 ** n_sites + 2
+
+
+def test_batched_simulation_of_derived_network(benchmark):
+    model = multisite_cascade(7).expand()
+    batch = perturbed_batch(model.nominal_parameterization(), 64,
+                            np.random.default_rng(0))
+
+    def run():
+        result = simulate(model, (0.0, 3.0), GRID, batch,
+                          options=OPTIONS)
+        state["batched"] = result
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.all_success
+
+
+def test_lsoda_loop_on_derived_network(benchmark):
+    model = multisite_cascade(7).expand()
+    batch = perturbed_batch(model.nominal_parameterization(), 64,
+                            np.random.default_rng(0))
+    simulator = SequentialSimulator(model, OPTIONS, "lsoda")
+
+    def run():
+        budget = max(state["batched"].elapsed_seconds * 5, 2.0)
+        result = simulator.simulate((0.0, 3.0), GRID, batch,
+                                    time_budget_seconds=budget)
+        state["lsoda"] = result
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_report(benchmark):
+    def render():
+        lines = ["rule expansion growth:"]
+        rows = []
+        for n_sites in (4, 6, 8):
+            rules, species, reactions = state[f"expand-{n_sites}"]
+            rows.append((n_sites, rules, species, reactions))
+        lines.append(format_table(
+            ["sites", "rules", "species", "reactions"], rows))
+        batched = state["batched"]
+        lsoda = state["lsoda"]
+        completed = sum(s == "success" for s in lsoda.statuses())
+        batch_size = batched.batch_size
+        lines.append("")
+        lines.append(
+            f"derived 7-site network ({2 ** 7 + 2} species, "
+            f"{2 * 7 * 2 ** 6} reactions), "
+            f"{batch_size}-parameterization batch:")
+        lines.append(f"  batched engine : {batched.elapsed_seconds:.2f} s "
+                     f"(all {batch_size} succeeded, "
+                     f"{batched.raw.n_steps.mean():.0f} steps/sim)")
+        lines.append(f"  lsoda loop     : {lsoda.elapsed_seconds:.2f} s, "
+                     f"completed {completed}/{batch_size}")
+        lines.append("")
+        lines.append(
+            "note: this derived network is smooth and non-stiff, the "
+            "regime where LSODA's high-order Adams steps are most "
+            "efficient; the engines are at parity here, and the batched "
+            "advantage grows with batch size and stiffness (see E1/E2).")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_report("x2_rules_scale", text)
+    # The derived network is exponentially larger than its rule set.
+    rules, species, reactions = state["expand-8"]
+    assert reactions / rules >= 100
+    # Parity shape: the batched engine stays within a small factor of
+    # the LSODA loop even in LSODA's best regime.
+    assert state["batched"].elapsed_seconds <= \
+        3.0 * max(state["lsoda"].elapsed_seconds, 0.05)

@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benchmarks (E1-E8).
+
+Every bench regenerates one experiment of DESIGN.md's index: it times
+the engines with pytest-benchmark and renders the experiment's
+table/series into ``benchmarks/out/<experiment>.txt`` so the numbers
+recorded in EXPERIMENTS.md can be reproduced from a plain
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def timed(function, results: dict, key):
+    """Wrap ``function`` so each call records its wall-clock seconds."""
+
+    def wrapper():
+        started = time.perf_counter()
+        value = function()
+        results[key] = time.perf_counter() - started
+        return value
+
+    return wrapper
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a rendered experiment table and echo it to stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")
+    return path

@@ -1,0 +1,60 @@
+"""Model exchange: SBML subset <-> BioSimWare-style folder.
+
+Demonstrates the interoperability layer: the stiff Robertson benchmark
+is serialized to an SBML-subset document, converted into the
+simulator's native folder format (together with a ready-to-run sweep
+batch), read back, and shown to produce bit-identical dynamics.
+
+Run:  python examples/model_exchange.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import SolverOptions, perturbed_batch, simulate
+from repro.io import (read_batch, read_model, read_t_vector,
+                      sbml_to_biosimware, write_model, write_sbml)
+from repro.models import robertson
+
+
+def main() -> None:
+    model = robertson()
+    options = SolverOptions(max_steps=100_000)
+    grid = np.array([0.0, 1e-2, 1.0, 1e2, 1e4])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+
+        # SBML round trip.
+        sbml_path = write_sbml(model, tmp / "robertson.xml")
+        print(f"wrote SBML document      : {sbml_path.name} "
+              f"({sbml_path.stat().st_size} bytes)")
+        folder = sbml_to_biosimware(sbml_path, tmp / "robertson")
+        print(f"converted to folder      : "
+              f"{sorted(p.name for p in folder.iterdir())}")
+
+        # Ship a sweep batch with the model, BioSimWare-style.
+        batch = perturbed_batch(model.nominal_parameterization(), 16,
+                                np.random.default_rng(0))
+        write_model(model, folder, batch=batch, t_vector=grid)
+        loaded_model = read_model(folder)
+        loaded_batch = read_batch(folder)
+        loaded_grid = read_t_vector(folder)
+        print(f"reloaded model           : N={loaded_model.n_species}, "
+              f"M={loaded_model.n_reactions}, "
+              f"batch={loaded_batch.size} parameterizations")
+
+        # Dynamics through the round trip are identical.
+        original = simulate(model, (0, 1e4), grid, batch, options=options)
+        reloaded = simulate(loaded_model, (0, 1e4), loaded_grid,
+                            loaded_batch, options=options)
+        deviation = np.max(np.abs(original.y - reloaded.y))
+        print(f"max trajectory deviation : {deviation:.2e}")
+        assert deviation < 1e-12
+        print("round trip preserved the dynamics exactly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Rule-based modeling: combinatorial network expansion.
+
+The large reaction networks this simulator targets are usually derived
+from compact rule-based descriptions (the paper family's
+autophagy/translation switch: 7 molecule types, 29 rules -> 173
+species, 6581 reactions). This example builds a multisite
+phosphorylation rule model, expands it to closure at several site
+counts to show the exponential blow-up, and then simulates the derived
+large-scale RBM on the batched engine — the exact workload the
+fine-grained parallelization exists for.
+
+Run:  python examples/rule_expansion.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SolverOptions, perturbed_batch, simulate
+from repro.bench import format_table
+from repro.rules import multisite_cascade
+
+
+def main() -> None:
+    print("expansion growth (16 rules at n=8, distributive kinase):")
+    rows = []
+    for n_sites in (2, 4, 6, 8):
+        rule_model = multisite_cascade(n_sites)
+        started = time.perf_counter()
+        flat = rule_model.expand()
+        elapsed = time.perf_counter() - started
+        rows.append((n_sites, len(rule_model.rules), flat.n_species,
+                     flat.n_reactions, f"{elapsed * 1e3:.1f} ms"))
+    print(format_table(
+        ["sites", "rules", "species", "reactions", "expansion"], rows))
+
+    print("\nordered (processive) kinase for comparison — reachability "
+          "collapses the network:")
+    ordered = multisite_cascade(8, ordered=True).expand()
+    print(f"  8 sites, ordered: {ordered.n_species} species, "
+          f"{ordered.n_reactions} reactions (staircase states only)\n")
+
+    # Simulate the largest derived network as a parameter sweep batch.
+    model = multisite_cascade(8).expand()
+    batch = perturbed_batch(model.nominal_parameterization(), 32,
+                            np.random.default_rng(0))
+    grid = np.linspace(0.0, 5.0, 11)
+    started = time.perf_counter()
+    result = simulate(model, (0.0, 5.0), grid, batch,
+                      options=SolverOptions(max_steps=100_000))
+    elapsed = time.perf_counter() - started
+    print(f"simulated the derived {model.n_species}-species / "
+          f"{model.n_reactions}-reaction RBM, 32-parameterization batch, "
+          f"in {elapsed:.2f} s ({set(result.statuses())})")
+
+    top = "S_" + "_".join(f"s{i}p" for i in range(8))
+    occupancy = result.species(top)[:, -1]
+    print(f"fully-phosphorylated fraction at t=5: "
+          f"mean {occupancy.mean():.4f}, spread "
+          f"[{occupancy.min():.4f}, {occupancy.max():.4f}] "
+          "across the perturbed batch")
+
+
+if __name__ == "__main__":
+    main()

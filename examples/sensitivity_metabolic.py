@@ -1,0 +1,55 @@
+"""Sobol sensitivity analysis of a metabolic network with isoforms.
+
+Reproduces the paper family's SA workflow: the initial concentrations
+of the dominant hexokinase isoform (HK2) and its enzyme-substrate
+complexes are Saltelli-sampled, every design point is simulated in one
+batch, and first-/total-order Sobol indices quantify how much each
+species drives the ribose-5-phosphate (R5P) read-out.
+
+Run:  python examples/sensitivity_metabolic.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import ParameterRange, SolverOptions, run_sobol_sa
+from repro.models import (SA_OUTPUT_SPECIES, SA_TARGET_SPECIES,
+                          metabolic_network)
+
+BASE_SAMPLES = 128          # Saltelli design: 128 * (3 + 2) = 640 sims
+
+
+def main() -> None:
+    model = metabolic_network()
+    print(f"model: {model.name}  N={model.n_species} species, "
+          f"M={model.n_reactions} reactions")
+    print(f"targets: initial concentrations of {SA_TARGET_SPECIES}")
+    print(f"read-out: final {SA_OUTPUT_SPECIES} after 5 time units\n")
+
+    started = time.perf_counter()
+    result = run_sobol_sa(
+        model,
+        species=SA_TARGET_SPECIES,
+        ranges=[ParameterRange(1e-6, 2e-4, log=True)] * 3,
+        output_species=SA_OUTPUT_SPECIES,
+        base_samples=BASE_SAMPLES,
+        t_span=(0.0, 5.0),
+        t_eval=np.linspace(0.0, 5.0, 11),
+        options=SolverOptions(max_steps=100_000),
+        bootstrap=100,
+        seed=0,
+    )
+    elapsed = time.perf_counter() - started
+
+    print(f"{result.n_simulations} simulations in {elapsed:.2f} s "
+          f"({result.n_simulations / elapsed:.0f} sims/s)\n")
+    print("Sobol indices (95% confidence half-widths):")
+    print(result.table())
+    print("\nmost influential targets (by total-order index):")
+    for label, total in result.ranking():
+        print(f"  {label:20s} ST = {total:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Accelerated analysis of biological parameter space.
+
+A from-scratch reproduction of the GPU-powered deterministic-simulation
+workflow for reaction-based models (RBMs): batches of independent ODE
+simulations — one per point of a parameter space — are executed on a
+vectorized (GPU-style) substrate with per-simulation DOPRI5 / Radau IIA
+method routing, and feed the classic Systems Biology analyses:
+Parameter Sweep Analysis, Sobol Sensitivity Analysis and Parameter
+Estimation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ReactionBasedModel, simulate
+
+    model = ReactionBasedModel("toy")
+    model.add_species("A", 1.0)
+    model.add("A -> B @ 0.5")
+    result = simulate(model, (0.0, 10.0), np.linspace(0, 10, 51))
+    print(result.species("B")[0])
+
+See DESIGN.md for the system inventory and the hardware-substitution
+rationale (the GPU is modeled by a batched NumPy execution substrate).
+"""
+
+from .core import (FreeParameter, ParameterEstimation, ParameterRange,
+                   SequentialSimulator, SimulationResult, SweepTarget,
+                   amplitude_metric, analyze_model, endpoint_metric,
+                   find_steady_state, run_bifurcation_scan,
+                   run_comparison_map, run_morris_screening, run_psa_1d,
+                   run_psa_2d, run_sobol_sa, simulate, synthetic_target)
+from .gpu import BatchSimulator, TITAN_X, VirtualDevice
+from .stochastic import StochasticSimulator
+from .model import (Hill, MassAction, MichaelisMenten, ODESystem,
+                    Parameterization, ParameterizationBatch,
+                    ReactionBasedModel, Reaction, Species, parse_reaction,
+                    perturbed_batch)
+from .solvers import SolverOptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FreeParameter", "ParameterEstimation", "ParameterRange",
+    "SequentialSimulator", "SimulationResult", "SweepTarget",
+    "amplitude_metric", "analyze_model", "endpoint_metric",
+    "find_steady_state", "run_bifurcation_scan", "run_comparison_map",
+    "run_morris_screening", "run_psa_1d", "run_psa_2d", "run_sobol_sa",
+    "simulate", "synthetic_target",
+    "BatchSimulator", "TITAN_X", "VirtualDevice", "StochasticSimulator",
+    "Hill", "MassAction", "MichaelisMenten", "ODESystem",
+    "Parameterization", "ParameterizationBatch", "ReactionBasedModel",
+    "Reaction", "Species", "parse_reaction", "perturbed_batch",
+    "SolverOptions",
+    "__version__",
+]

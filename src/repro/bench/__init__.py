@@ -1,0 +1,6 @@
+"""Benchmark harness helpers: timing and table rendering."""
+
+from .tables import format_table
+from .timing import Timer, measure, speedup
+
+__all__ = ["format_table", "Timer", "measure", "speedup"]

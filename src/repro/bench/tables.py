@@ -1,0 +1,41 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table with a header rule."""
+    cells = [[_render(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    header_line = "  ".join(header.ljust(widths[i])
+                            for i, header in enumerate(headers))
+    rule = "-" * len(header_line)
+    body = ["  ".join(value.rjust(widths[i]) if _numericish(value)
+                      else value.ljust(widths[i])
+                      for i, value in enumerate(row))
+            for row in cells]
+    return "\n".join([header_line, rule, *body])
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _numericish(text: str) -> bool:
+    try:
+        float(text.replace("x", "").replace("inf", "inf"))
+        return True
+    except ValueError:
+        return text.endswith("x")

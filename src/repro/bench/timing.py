@@ -1,0 +1,38 @@
+"""Timing helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class Timer:
+    """Context manager measuring wall-clock seconds."""
+
+    elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def measure(function: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds of a callable."""
+    best = float("inf")
+    for _ in range(max(repeat, 1)):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """How many times faster the candidate is than the baseline."""
+    if candidate_seconds <= 0.0:
+        return float("inf")
+    return baseline_seconds / candidate_seconds

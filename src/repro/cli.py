@@ -1,0 +1,206 @@
+"""Command-line interface: the "black-box simulator" entry point.
+
+The original tool is driven from the command line on BioSimWare-style
+model folders; this module reproduces that UX::
+
+    python -m repro info      MODEL
+    python -m repro simulate  MODEL --t-end 10 --points 51 --out dyn.csv
+    python -m repro convert   SRC DST
+    python -m repro generate  DST --species 32 --reactions 32 --seed 0
+
+``MODEL`` is a model folder or an SBML-subset ``.xml`` document. When a
+folder ships ``cs_vector`` / ``MX_0`` (a sweep batch), ``simulate``
+runs the whole batch in one launch; otherwise it runs the nominal
+parameterization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import simulate as run_simulation
+from .errors import ReproError
+from .io import (read_batch, read_model, read_sbml, read_t_vector,
+                 sbml_to_biosimware, write_model, write_sbml)
+from .model import ReactionBasedModel, perturbed_batch
+from .solvers import SolverOptions
+from .synth import SyntheticModelSpec, generate_model
+
+
+def _load_model(path: Path) -> ReactionBasedModel:
+    if path.is_dir():
+        return read_model(path)
+    if path.suffix.lower() in (".xml", ".sbml"):
+        return read_sbml(path)
+    raise ReproError(f"{path} is neither a model folder nor an SBML file")
+
+
+def _command_info(args) -> int:
+    model = _load_model(Path(args.model))
+    print(model.summary())
+    laws = model.conservation_law_basis()
+    print(f"\nconservation laws : {laws.shape[0]}")
+    print(f"max reaction order: {model.max_order()}")
+    return 0
+
+
+def _command_simulate(args) -> int:
+    path = Path(args.model)
+    model = _load_model(path)
+    parameters = None
+    if path.is_dir():
+        try:
+            parameters = read_batch(path)
+        except ReproError:
+            parameters = None
+    if parameters is None and args.perturb > 0:
+        parameters = perturbed_batch(model.nominal_parameterization(),
+                                     args.perturb,
+                                     np.random.default_rng(args.seed))
+
+    if args.t_grid and path.is_dir():
+        t_eval = read_t_vector(path)
+        t_span = (float(t_eval[0]) if t_eval[0] <= 0 else 0.0,
+                  float(t_eval[-1]))
+    else:
+        t_eval = np.linspace(0.0, args.t_end, args.points)
+        t_span = (0.0, args.t_end)
+
+    options = SolverOptions(rtol=args.rtol, atol=args.atol,
+                            max_steps=args.max_steps)
+    result = run_simulation(model, t_span, t_eval, parameters,
+                            engine=args.engine, options=options)
+    statuses = result.statuses()
+    print(f"simulated {result.batch_size} parameterization(s) on engine "
+          f"{args.engine!r} in {result.elapsed_seconds:.3f} s")
+    print(f"statuses: { {s: statuses.count(s) for s in set(statuses)} }")
+
+    if args.out:
+        _write_csv(Path(args.out), result)
+        print(f"wrote dynamics to {args.out}")
+    return 0 if result.all_success else 1
+
+
+def _write_csv(path: Path, result) -> None:
+    header = ["simulation", "time", *result.species_names]
+    with path.open("w") as handle:
+        handle.write(",".join(header) + "\n")
+        for index in range(result.batch_size):
+            for row, t in enumerate(result.t):
+                values = result.y[index, row, :]
+                rendered = ",".join(f"{v:.10g}" for v in values)
+                handle.write(f"{index},{t:.10g},{rendered}\n")
+
+
+def _command_analyze(args) -> int:
+    from .core import analyze_model
+    model = _load_model(Path(args.model))
+    report = analyze_model(model, probe_horizon=args.horizon,
+                           options=SolverOptions(max_steps=args.max_steps))
+    print(report.render())
+    return 0
+
+
+def _command_convert(args) -> int:
+    source = Path(args.source)
+    destination = Path(args.destination)
+    if source.is_dir():
+        write_sbml(read_model(source), destination)
+        print(f"converted folder {source} -> SBML {destination}")
+    elif destination.suffix.lower() in (".xml", ".sbml"):
+        write_sbml(_load_model(source), destination)
+        print(f"converted {source} -> SBML {destination}")
+    else:
+        sbml_to_biosimware(source, destination)
+        print(f"converted SBML {source} -> folder {destination}")
+    return 0
+
+
+def _command_generate(args) -> int:
+    spec = SyntheticModelSpec(args.species, args.reactions, args.seed)
+    model = generate_model(spec)
+    batch = None
+    if args.batch > 0:
+        batch = perturbed_batch(model.nominal_parameterization(),
+                                args.batch, np.random.default_rng(args.seed))
+    destination = Path(args.destination)
+    write_model(model, destination, batch=batch)
+    print(f"generated {model.name} (N={model.n_species}, "
+          f"M={model.n_reactions}) into {destination}"
+          + (f" with a {args.batch}-row sweep batch" if batch else ""))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Accelerated parameter-space analysis of "
+                    "reaction-based models")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="describe a model")
+    info.add_argument("model")
+    info.set_defaults(handler=_command_info)
+
+    sim = commands.add_parser("simulate", help="simulate a model (batch)")
+    sim.add_argument("model")
+    sim.add_argument("--t-end", type=float, default=10.0)
+    sim.add_argument("--points", type=int, default=51)
+    sim.add_argument("--t-grid", action="store_true",
+                     help="use the folder's t_vector as the save grid")
+    sim.add_argument("--engine", default="batched",
+                     choices=("batched", "lsoda", "vode", "dopri5",
+                              "radau5", "autoswitch", "bdf"))
+    sim.add_argument("--perturb", type=int, default=0, metavar="B",
+                     help="simulate B log-uniformly perturbed "
+                          "parameterizations instead of the nominal one")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--rtol", type=float, default=1e-6)
+    sim.add_argument("--atol", type=float, default=1e-12)
+    sim.add_argument("--max-steps", type=int, default=10_000)
+    sim.add_argument("--out", help="CSV output path")
+    sim.set_defaults(handler=_command_simulate)
+
+    analyze = commands.add_parser(
+        "analyze", help="structural + dynamical diagnostics of a model")
+    analyze.add_argument("model")
+    analyze.add_argument("--horizon", type=float, default=50.0)
+    analyze.add_argument("--max-steps", type=int, default=100_000)
+    analyze.set_defaults(handler=_command_analyze)
+
+    convert = commands.add_parser("convert",
+                                  help="convert between SBML and folder")
+    convert.add_argument("source")
+    convert.add_argument("destination")
+    convert.set_defaults(handler=_command_convert)
+
+    generate = commands.add_parser("generate",
+                                   help="generate a synthetic RBM folder")
+    generate.add_argument("destination")
+    generate.add_argument("--species", type=int, default=32)
+    generate.add_argument("--reactions", type=int, default=32)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--batch", type=int, default=0)
+    generate.set_defaults(handler=_command_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

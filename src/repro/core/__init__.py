@@ -1,0 +1,53 @@
+"""Parameter-space analysis core: simulate, PSA, SA, PE, comparisons."""
+
+from .analysis import (OscillationMetrics, batch_oscillation_amplitudes,
+                       batch_relative_distances, final_value,
+                       oscillation_metrics, relative_distance,
+                       steady_state_time)
+from .comparison import (MAP_ENGINES, CellTiming, ComparisonMap,
+                         run_comparison_map, time_engine)
+from .bifurcation import BifurcationScan, run_bifurcation_scan
+from .ensemble import (EnsembleSummary, autocorrelation, is_bimodal,
+                       stationary_histogram, summarize_ensemble)
+from .events import (EventRecord, batch_crossing_counts, crossing_times,
+                     find_events, oscillation_period_from_events,
+                     threshold_event)
+from .morris import MorrisResult, morris_design, run_morris_screening
+from .pe import (OPTIMIZERS, FreeParameter, ParameterEstimation, PEResult,
+                 estimate_multi_start, synthetic_target)
+from .report import ModelReport, analyze_model
+from .psa import (PSA1DResult, PSA2DResult, SweepTarget, amplitude_metric,
+                  build_sweep_batch, endpoint_metric, run_psa_1d, run_psa_2d)
+from .sa import SobolResult, deviation_from_reference, run_sobol_sa
+from .sampling import (ParameterRange, saltelli_block_count, saltelli_sample,
+                       sample_grid, sample_latin_hypercube, sample_sobol,
+                       sample_uniform)
+from .simulate import (ENGINES, SEQUENTIAL_ENGINES, SequentialSimulator,
+                       SimulationResult, simulate)
+from .steadystate import SteadyStateResult, find_steady_state
+
+__all__ = [
+    "OscillationMetrics", "batch_oscillation_amplitudes",
+    "batch_relative_distances", "final_value", "oscillation_metrics",
+    "relative_distance", "steady_state_time",
+    "MAP_ENGINES", "CellTiming", "ComparisonMap", "run_comparison_map",
+    "time_engine",
+    "OPTIMIZERS", "FreeParameter", "ParameterEstimation", "PEResult",
+    "estimate_multi_start", "synthetic_target",
+    "BifurcationScan", "run_bifurcation_scan",
+    "EnsembleSummary", "autocorrelation", "is_bimodal",
+    "stationary_histogram", "summarize_ensemble",
+    "EventRecord", "batch_crossing_counts", "crossing_times",
+    "find_events", "oscillation_period_from_events", "threshold_event",
+    "MorrisResult", "morris_design", "run_morris_screening",
+    "ModelReport", "analyze_model",
+    "PSA1DResult", "PSA2DResult", "SweepTarget", "amplitude_metric",
+    "build_sweep_batch", "endpoint_metric", "run_psa_1d", "run_psa_2d",
+    "SobolResult", "deviation_from_reference", "run_sobol_sa",
+    "ParameterRange", "saltelli_block_count", "saltelli_sample",
+    "sample_grid", "sample_latin_hypercube", "sample_sobol",
+    "sample_uniform",
+    "ENGINES", "SEQUENTIAL_ENGINES", "SequentialSimulator",
+    "SimulationResult", "simulate",
+    "SteadyStateResult", "find_steady_state",
+]

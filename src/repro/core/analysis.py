@@ -1,0 +1,172 @@
+"""Trajectory post-processing: oscillations, steady states, distances.
+
+These are the metrics the parameter-space analyses derive from raw
+trajectories: the PSA-2D maps plot oscillation amplitudes, the
+sensitivity analysis reads out end-point concentrations, and parameter
+estimation scores candidate dynamics with the relative-distance fitness
+of the paper family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class OscillationMetrics:
+    """Summary of an (possibly) oscillatory scalar signal.
+
+    Attributes
+    ----------
+    amplitude:
+        Mean peak-to-trough half-range over the analysis window; 0 for
+        non-oscillating signals (the paper family's map convention).
+    period:
+        Mean peak-to-peak distance in time units (NaN when fewer than
+        two peaks are found).
+    n_peaks:
+        Number of interior maxima detected.
+    """
+
+    amplitude: float
+    period: float
+    n_peaks: int
+
+    @property
+    def oscillating(self) -> bool:
+        return self.amplitude > 0.0
+
+
+def _interior_extrema(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Indices of strict interior maxima and minima."""
+    left = signal[1:-1] - signal[:-2]
+    right = signal[1:-1] - signal[2:]
+    maxima = np.flatnonzero((left > 0) & (right > 0)) + 1
+    minima = np.flatnonzero((left < 0) & (right < 0)) + 1
+    return maxima, minima
+
+
+def oscillation_metrics(times: np.ndarray, signal: np.ndarray,
+                        settle_fraction: float = 0.25,
+                        relative_threshold: float = 0.01
+                        ) -> OscillationMetrics:
+    """Detect sustained oscillations in a scalar trajectory.
+
+    The first ``settle_fraction`` of the window is discarded as a
+    transient. Oscillation requires at least two interior maxima whose
+    mean peak-to-trough half-range exceeds ``relative_threshold`` times
+    the signal scale — damped ringdowns and numerically flat signals
+    report amplitude 0.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    signal = np.asarray(signal, dtype=np.float64)
+    if times.shape != signal.shape:
+        raise AnalysisError("times and signal must have equal shapes")
+    start = int(len(times) * settle_fraction)
+    window_t = times[start:]
+    window_y = signal[start:]
+    if window_y.size < 5:
+        return OscillationMetrics(0.0, np.nan, 0)
+
+    maxima, minima = _interior_extrema(window_y)
+    if maxima.size < 2 or minima.size < 1:
+        return OscillationMetrics(0.0, np.nan, int(maxima.size))
+
+    scale = max(np.max(np.abs(window_y)), 1e-300)
+    peak_mean = float(np.mean(window_y[maxima]))
+    trough_mean = float(np.mean(window_y[minima]))
+    amplitude = 0.5 * (peak_mean - trough_mean)
+    if amplitude < relative_threshold * scale:
+        return OscillationMetrics(0.0, np.nan, int(maxima.size))
+
+    # Sustained (not decaying) check: the last peak must retain most of
+    # the first peak's height above the trough level.
+    first_height = window_y[maxima[0]] - trough_mean
+    last_height = window_y[maxima[-1]] - trough_mean
+    if first_height > 0 and last_height < 0.2 * first_height:
+        return OscillationMetrics(0.0, np.nan, int(maxima.size))
+
+    period = float(np.mean(np.diff(window_t[maxima])))
+    return OscillationMetrics(float(amplitude), period, int(maxima.size))
+
+
+def steady_state_time(times: np.ndarray, signal: np.ndarray,
+                      relative_tolerance: float = 1e-3) -> float:
+    """First time after which the signal stays within a band around its
+    final value; NaN when it never settles."""
+    times = np.asarray(times, dtype=np.float64)
+    signal = np.asarray(signal, dtype=np.float64)
+    final = signal[-1]
+    band = relative_tolerance * max(abs(final), 1e-300)
+    outside = np.abs(signal - final) > band
+    if not np.any(outside):
+        return float(times[0])
+    last_outside = int(np.flatnonzero(outside)[-1])
+    # Re-entering the band only at the very end (the final sample is in
+    # the band by construction) does not count as settling.
+    if last_outside >= times.size - 2:
+        return float("nan")
+    return float(times[last_outside + 1])
+
+
+def relative_distance(target: np.ndarray, candidate: np.ndarray,
+                      epsilon: float = 1e-12) -> float:
+    """Paper-family PE fitness: mean pointwise relative deviation.
+
+    Both arrays have shape (T, S) (time x observed species). Lower is
+    better; identical dynamics score 0.
+    """
+    target = np.asarray(target, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if target.shape != candidate.shape:
+        raise AnalysisError(
+            f"shape mismatch: target {target.shape} vs candidate "
+            f"{candidate.shape}")
+    if not np.all(np.isfinite(candidate)):
+        return float("inf")
+    return float(np.mean(np.abs(candidate - target)
+                         / (np.abs(target) + epsilon)))
+
+
+def batch_relative_distances(target: np.ndarray,
+                             candidates: np.ndarray,
+                             epsilon: float = 1e-12) -> np.ndarray:
+    """Vectorized relative distance for a batch of candidate dynamics.
+
+    ``candidates`` has shape (B, T, S); returns shape (B,) with inf for
+    non-finite candidates (failed simulations).
+    """
+    target = np.asarray(target, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    deviations = np.abs(candidates - target[None]) / \
+        (np.abs(target)[None] + epsilon)
+    scores = np.mean(deviations, axis=(1, 2))
+    finite = np.all(np.isfinite(candidates), axis=(1, 2))
+    return np.where(finite, scores, np.inf)
+
+
+def final_value(trajectories: np.ndarray, species_index: int) -> np.ndarray:
+    """End-point concentration of one species for a batch, shape (B,)."""
+    return trajectories[:, -1, species_index]
+
+
+def batch_oscillation_amplitudes(times: np.ndarray, trajectories: np.ndarray,
+                                 species_index: int,
+                                 **kwargs) -> np.ndarray:
+    """Oscillation amplitude of one species across a batch, shape (B,).
+
+    Failed simulations (NaN rows) report amplitude 0, matching the
+    paper family's black-cell convention in PSA maps.
+    """
+    batch = trajectories.shape[0]
+    amplitudes = np.zeros(batch)
+    for b in range(batch):
+        signal = trajectories[b, :, species_index]
+        if not np.all(np.isfinite(signal)):
+            continue
+        amplitudes[b] = oscillation_metrics(times, signal, **kwargs).amplitude
+    return amplitudes

@@ -1,0 +1,99 @@
+"""One-parameter bifurcation scans.
+
+Combines the steady-state solver with the sweep machinery: for every
+value of a swept parameter, the steady state on the initial
+conservation manifold is located and classified as stable or unstable,
+and the long-run oscillation amplitude is measured from a batched
+simulation — enough to localize Hopf bifurcations (stable fixed point
+-> unstable fixed point + limit cycle), as in the Brusselator at
+b = 1 + a^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model import Parameterization, ReactionBasedModel
+from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
+from .analysis import batch_oscillation_amplitudes
+from .psa import SweepTarget, build_sweep_batch
+from .simulate import simulate
+from .steadystate import find_steady_state
+
+
+@dataclass
+class BifurcationScan:
+    """Result of a one-parameter bifurcation scan.
+
+    Attributes
+    ----------
+    values:
+        Swept parameter values, shape (B,).
+    steady_states:
+        Steady state per value, shape (B, N); NaN rows mark failed
+        searches.
+    stable:
+        Stability flag per value (False also for failed searches).
+    amplitudes:
+        Long-run oscillation amplitude of the observed species.
+    """
+
+    target: SweepTarget
+    species: str
+    values: np.ndarray
+    steady_states: np.ndarray
+    stable: np.ndarray
+    amplitudes: np.ndarray
+
+    def hopf_intervals(self) -> list[tuple[float, float]]:
+        """Parameter intervals bracketing a stability change."""
+        intervals = []
+        for i in range(len(self.values) - 1):
+            if self.stable[i] != self.stable[i + 1]:
+                intervals.append((float(self.values[i]),
+                                  float(self.values[i + 1])))
+        return intervals
+
+    def table(self) -> str:
+        lines = [f"{self.target.label:>12s} {'steady(' + self.species + ')':>16s} "
+                 f"{'stable':>7s} {'amplitude':>10s}"]
+        for i, value in enumerate(self.values):
+            lines.append(f"{value:12.4g} {self.steady_states[i, 0]:16.5g} "
+                         f"{str(bool(self.stable[i])):>7s} "
+                         f"{self.amplitudes[i]:10.5g}")
+        return "\n".join(lines)
+
+
+def run_bifurcation_scan(model: ReactionBasedModel, target: SweepTarget,
+                         species: str, n_points: int,
+                         t_span: tuple[float, float],
+                         settle_fraction: float = 0.5,
+                         n_save_points: int = 400,
+                         options: SolverOptions = DEFAULT_OPTIONS,
+                         engine: str = "batched",
+                         **engine_kwargs) -> BifurcationScan:
+    """Scan one parameter: steady states, stability, amplitudes."""
+    values = target.range.grid(n_points)
+    species_index = model.species.index_of(species)
+
+    steady_states = np.full((n_points, model.n_species), np.nan)
+    stable = np.zeros(n_points, dtype=bool)
+    batch = build_sweep_batch(model, [target], values[:, None])
+    for i in range(n_points):
+        parameterization = Parameterization(batch.rate_constants[i],
+                                            batch.initial_states[i])
+        result = find_steady_state(model, parameterization)
+        if result.converged:
+            steady_states[i] = result.state
+            stable[i] = bool(result.stable)
+
+    t_eval = np.linspace(t_span[0], t_span[1], n_save_points)
+    simulation = simulate(model, t_span, t_eval, batch, engine, options,
+                          **engine_kwargs)
+    amplitudes = batch_oscillation_amplitudes(
+        simulation.t, simulation.y, species_index,
+        settle_fraction=settle_fraction)
+    return BifurcationScan(target, species, values, steady_states, stable,
+                           amplitudes)

@@ -1,0 +1,119 @@
+"""Ensemble statistics for stochastic batches.
+
+Quantifies intrinsic noise across replicate trajectories: time-resolved
+mean/variance envelopes, the Fano factor (variance over mean, the
+standard dispersion diagnostic — 1 for Poissonian fluctuations),
+stationary histograms (which expose bimodality invisible to the ODE
+limit) and the normalized autocorrelation of a species' fluctuations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class EnsembleSummary:
+    """Time-resolved first and second moments of an ensemble.
+
+    Arrays are (T, N): one row per save time, one column per species.
+    """
+
+    t: np.ndarray
+    mean: np.ndarray
+    variance: np.ndarray
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.variance)
+
+    def fano_factor(self) -> np.ndarray:
+        """Variance / mean per time and species (NaN where mean = 0)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(self.mean > 0, self.variance / self.mean,
+                            np.nan)
+
+
+def summarize_ensemble(times: np.ndarray,
+                       trajectories: np.ndarray) -> EnsembleSummary:
+    """Moments of an ensemble of trajectories, shape (B, T, N)."""
+    trajectories = np.asarray(trajectories, dtype=np.float64)
+    if trajectories.ndim != 3:
+        raise AnalysisError(
+            f"expected (B, T, N) trajectories, got {trajectories.shape}")
+    if trajectories.shape[0] < 2:
+        raise AnalysisError("ensemble statistics need >= 2 replicas")
+    return EnsembleSummary(np.asarray(times, dtype=np.float64),
+                           trajectories.mean(axis=0),
+                           trajectories.var(axis=0, ddof=1))
+
+
+def stationary_histogram(trajectories: np.ndarray, species_index: int,
+                         n_bins: int = 20,
+                         settle_fraction: float = 0.5
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of one species' values over the stationary window.
+
+    Pools the last (1 - settle_fraction) of every replica. Returns
+    (bin_edges, probabilities); probabilities sum to 1.
+    """
+    trajectories = np.asarray(trajectories, dtype=np.float64)
+    start = int(trajectories.shape[1] * settle_fraction)
+    samples = trajectories[:, start:, species_index].ravel()
+    samples = samples[np.isfinite(samples)]
+    if samples.size == 0:
+        raise AnalysisError("no finite samples in the stationary window")
+    counts, edges = np.histogram(samples, bins=n_bins)
+    return edges, counts / counts.sum()
+
+
+def is_bimodal(edges: np.ndarray, probabilities: np.ndarray,
+               prominence: float = 0.05) -> bool:
+    """Crude bimodality check: two separated histogram modes, each
+    holding at least ``prominence`` of the mass, with a valley between
+    them below half the smaller mode."""
+    del edges
+    peaks = []
+    last = probabilities.size - 1
+    for i in range(probabilities.size):
+        left_ok = i == 0 or probabilities[i] >= probabilities[i - 1]
+        right_ok = i == last or probabilities[i] >= probabilities[i + 1]
+        if left_ok and right_ok and probabilities[i] >= prominence:
+            peaks.append(i)
+    if len(peaks) < 2:
+        return False
+    first, last = peaks[0], peaks[-1]
+    if last - first < 2:
+        return False
+    valley = probabilities[first + 1:last].min()
+    return valley < 0.5 * min(probabilities[first], probabilities[last])
+
+
+def autocorrelation(times: np.ndarray, trajectories: np.ndarray,
+                    species_index: int, max_lag: int | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Ensemble-averaged normalized autocorrelation of fluctuations.
+
+    Returns (lags_in_time_units, correlation) with correlation[0] = 1.
+    """
+    trajectories = np.asarray(trajectories, dtype=np.float64)
+    signal = trajectories[:, :, species_index]
+    fluctuations = signal - signal.mean(axis=1, keepdims=True)
+    n_points = fluctuations.shape[1]
+    if max_lag is None:
+        max_lag = n_points // 2
+    max_lag = min(max_lag, n_points - 1)
+    variance = np.mean(fluctuations ** 2)
+    if variance <= 0.0:
+        raise AnalysisError("signal has zero variance")
+    correlation = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        products = fluctuations[:, :n_points - lag] * \
+            fluctuations[:, lag:]
+        correlation[lag] = np.mean(products) / variance
+    dt = float(times[1] - times[0]) if len(times) > 1 else 1.0
+    return np.arange(max_lag + 1) * dt, correlation

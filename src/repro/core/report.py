@@ -1,0 +1,102 @@
+"""One-call structural and dynamical model report.
+
+Bundles the quick diagnostics a modeler runs on a new RBM before any
+heavy analysis: structure (size, orders, kinetics), conservation laws,
+stiffness classification at the initial state, steady state on the
+initial manifold with stability, and a short dynamics probe with
+oscillation detection. Rendered as plain text by the CLI's ``analyze``
+command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model import ODESystem, ReactionBasedModel
+from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
+from ..solvers.stiffness import spectral_radius
+from .analysis import oscillation_metrics
+from .simulate import simulate
+from .steadystate import SteadyStateResult, find_steady_state
+
+
+@dataclass
+class ModelReport:
+    """Collected diagnostics of one model."""
+
+    model: ReactionBasedModel
+    n_conservation_laws: int
+    initial_spectral_radius: float
+    classified_stiff: bool
+    steady_state: SteadyStateResult | None
+    probe_horizon: float
+    probe_status: str
+    oscillating_species: list[str]
+
+    def render(self) -> str:
+        model = self.model
+        kind = ("mass-action" if model.is_mass_action()
+                else "mixed-kinetics")
+        lines = [
+            f"model {model.name!r}: N={model.n_species} species, "
+            f"M={model.n_reactions} reactions ({kind}, max order "
+            f"{model.max_order()})",
+            f"conservation laws       : {self.n_conservation_laws}",
+            f"Jacobian spectral radius: "
+            f"{self.initial_spectral_radius:.4g} at t=0 "
+            f"({'stiff' if self.classified_stiff else 'non-stiff'} "
+            "classification)",
+        ]
+        if self.steady_state is not None and self.steady_state.converged:
+            stability = ("stable" if self.steady_state.stable
+                         else "unstable")
+            lines.append(
+                f"steady state            : found ({stability}), "
+                f"residual {self.steady_state.residual_norm:.2e}, "
+                f"{self.steady_state.n_iterations} Newton iterations")
+        else:
+            lines.append("steady state            : not found from the "
+                         "initial manifold")
+        lines.append(f"dynamics probe to t={self.probe_horizon:g}: "
+                     f"{self.probe_status}")
+        if self.oscillating_species:
+            lines.append("sustained oscillations  : "
+                         + ", ".join(self.oscillating_species))
+        else:
+            lines.append("sustained oscillations  : none detected")
+        return "\n".join(lines)
+
+
+def analyze_model(model: ReactionBasedModel,
+                  probe_horizon: float = 50.0,
+                  options: SolverOptions = DEFAULT_OPTIONS,
+                  engine: str = "batched") -> ModelReport:
+    """Run the standard diagnostics on a model."""
+    system = ODESystem.from_model(model)
+    nominal = model.nominal_parameterization()
+    jacobian = system.jacobian_single(nominal.initial_state,
+                                      nominal.rate_constants)
+    radius = spectral_radius(jacobian)
+    stiff = radius > options.stiffness_threshold
+
+    steady: SteadyStateResult | None
+    try:
+        steady = find_steady_state(model, nominal)
+    except Exception:  # pragma: no cover - diagnostics must not crash
+        steady = None
+
+    grid = np.linspace(0.0, probe_horizon, 501)
+    probe = simulate(model, (0.0, probe_horizon), grid, None, engine,
+                     options)
+    oscillating = []
+    if probe.all_success:
+        trajectory = probe.trajectory(0)
+        for index, name in enumerate(model.species.names):
+            metrics = oscillation_metrics(grid, trajectory[:, index])
+            if metrics.oscillating:
+                oscillating.append(name)
+    return ModelReport(model, model.conservation_law_basis().shape[0],
+                       radius, stiff, steady, probe_horizon,
+                       probe.statuses()[0], oscillating)

@@ -1,0 +1,231 @@
+"""Variance-based (Sobol) sensitivity analysis with Saltelli sampling.
+
+Reproduces the SA workflow of the paper family: the initial
+concentrations of selected species are sampled with the Saltelli
+cross-sampling scheme, every design point is simulated in one batch on
+the accelerated engine, a scalar output is derived per simulation
+(by default: deviation of a read-out species' final concentration from
+the nominal reference), and first- and total-order Sobol indices are
+estimated with bootstrap confidence intervals.
+
+Estimators: Saltelli (2010) for the first order,
+Jansen for the total order — the combination with the lowest error
+rates recommended in the variance-based SA literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..model import ReactionBasedModel
+from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
+from .psa import SweepTarget, build_sweep_batch
+from .sampling import ParameterRange, saltelli_sample
+from .simulate import SimulationResult, simulate
+
+OutputFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class SobolResult:
+    """Sobol sensitivity indices with confidence intervals.
+
+    All arrays are indexed like the input target list. Confidence
+    half-widths correspond to the requested confidence level.
+    """
+
+    labels: list[str]
+    first_order: np.ndarray
+    first_order_ci: np.ndarray
+    total_order: np.ndarray
+    total_order_ci: np.ndarray
+    n_base_samples: int
+    n_simulations: int
+    simulation: SimulationResult
+    confidence_level: float
+    #: Pairwise interaction indices S2[i, j] (NaN diagonal); only
+    #: filled when the analysis ran with second_order=True.
+    second_order: np.ndarray | None = None
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Targets ranked by total-order index, most influential first."""
+        order = np.argsort(self.total_order)[::-1]
+        return [(self.labels[i], float(self.total_order[i])) for i in order]
+
+    def table(self) -> str:
+        """Plain-text table mirroring the paper family's SA output."""
+        lines = [f"{'target':24s} {'S1':>8s} {'S1_conf':>8s} "
+                 f"{'ST':>8s} {'ST_conf':>8s}"]
+        for i, label in enumerate(self.labels):
+            lines.append(
+                f"{label:24s} {self.first_order[i]:8.3f} "
+                f"{self.first_order_ci[i]:8.3f} {self.total_order[i]:8.3f} "
+                f"{self.total_order_ci[i]:8.3f}")
+        return "\n".join(lines)
+
+
+def deviation_from_reference(model: ReactionBasedModel, species_name: str,
+                             reference_value: float) -> OutputFunction:
+    """Output: |final concentration - reference| of one species."""
+    index = model.species.index_of(species_name)
+
+    def output(times: np.ndarray, trajectories: np.ndarray) -> np.ndarray:
+        del times
+        return np.abs(trajectories[:, -1, index] - reference_value)
+
+    return output
+
+
+def run_sobol_sa(model: ReactionBasedModel,
+                 targets: Sequence[SweepTarget] | None = None,
+                 species: Sequence[str] | None = None,
+                 ranges: Sequence[ParameterRange] | None = None,
+                 output: OutputFunction | None = None,
+                 output_species: str | None = None,
+                 base_samples: int = 256,
+                 t_span: tuple[float, float] = (0.0, 10.0),
+                 t_eval: np.ndarray | None = None,
+                 engine: str = "batched",
+                 options: SolverOptions = DEFAULT_OPTIONS,
+                 seed: int = 0,
+                 bootstrap: int = 200,
+                 confidence_level: float = 0.95,
+                 second_order: bool = False,
+                 **engine_kwargs) -> SobolResult:
+    """Run the full Saltelli-sample / simulate / estimate pipeline.
+
+    Either pass explicit ``targets`` (any sweepable quantity) or the
+    shorthand ``species`` + ``ranges`` (initial concentrations).
+    The scalar ``output`` defaults to the deviation of
+    ``output_species``' final concentration from its nominal-reference
+    final value.
+    """
+    targets = _resolve_targets(model, targets, species, ranges)
+    dimension = len(targets)
+    if dimension < 1:
+        raise AnalysisError("sensitivity analysis needs >= 1 target")
+    if output is None:
+        if output_species is None:
+            raise AnalysisError("pass either output= or output_species=")
+        reference = simulate(model, t_span, t_eval, None, engine, options,
+                             **engine_kwargs)
+        ref_value = float(
+            reference.y[0, -1, model.species.index_of(output_species)])
+        output = deviation_from_reference(model, output_species, ref_value)
+
+    design = saltelli_sample([t.range for t in targets], base_samples,
+                             seed, second_order=second_order)
+    batch = build_sweep_batch(model, targets, design)
+    result = simulate(model, t_span, t_eval, batch, engine, options,
+                      **engine_kwargs)
+    outputs = np.asarray(output(result.t, result.y), dtype=np.float64)
+    if outputs.shape[0] != design.shape[0]:
+        raise AnalysisError(
+            f"output function returned {outputs.shape[0]} values for "
+            f"{design.shape[0]} design points")
+
+    a_block, ab_blocks, ba_blocks, b_block = _split_blocks(
+        outputs, base_samples, dimension, second_order)
+    first, total = _estimate_indices(a_block, ab_blocks, b_block)
+    first_ci, total_ci = _bootstrap_intervals(
+        a_block, ab_blocks, b_block, bootstrap, confidence_level, seed)
+    interactions = None
+    if second_order:
+        interactions = _estimate_second_order(a_block, ab_blocks,
+                                              ba_blocks, b_block, first)
+
+    return SobolResult([t.label for t in targets], first, first_ci, total,
+                       total_ci, base_samples, design.shape[0], result,
+                       confidence_level, interactions)
+
+
+# ----------------------------------------------------------------------
+
+
+def _resolve_targets(model, targets, species, ranges):
+    if targets is not None:
+        return list(targets)
+    if species is None or ranges is None:
+        raise AnalysisError("pass either targets= or species= and ranges=")
+    if len(species) != len(ranges):
+        raise AnalysisError(
+            f"{len(species)} species but {len(ranges)} ranges")
+    return [SweepTarget.initial_concentration(model, name, rng)
+            for name, rng in zip(species, ranges)]
+
+
+def _split_blocks(outputs: np.ndarray, base: int, dimension: int,
+                  second_order: bool = False):
+    block_count = (2 * dimension + 2) if second_order else (dimension + 2)
+    expected = base * block_count
+    if outputs.shape[0] != expected:
+        raise AnalysisError(
+            f"Saltelli design expects {expected} outputs, got "
+            f"{outputs.shape[0]}")
+    a_block = outputs[:base]
+    ab_blocks = [outputs[(1 + d) * base:(2 + d) * base]
+                 for d in range(dimension)]
+    ba_blocks = []
+    if second_order:
+        offset = 1 + dimension
+        ba_blocks = [outputs[(offset + d) * base:(offset + d + 1) * base]
+                     for d in range(dimension)]
+    b_block = outputs[-base:]
+    return a_block, ab_blocks, ba_blocks, b_block
+
+
+def _estimate_second_order(a_block, ab_blocks, ba_blocks, b_block,
+                           first) -> np.ndarray:
+    """Saltelli (2002) pairwise interaction estimator."""
+    dimension = len(ab_blocks)
+    variance = np.var(np.concatenate([a_block, b_block]))
+    interactions = np.full((dimension, dimension), np.nan)
+    if variance <= 0.0:
+        interactions[~np.eye(dimension, dtype=bool)] = 0.0
+        return interactions
+    baseline = np.mean(a_block * b_block)
+    for i in range(dimension):
+        for j in range(dimension):
+            if i == j:
+                continue
+            closed = (np.mean(ba_blocks[i] * ab_blocks[j]) - baseline) \
+                / variance
+            interactions[i, j] = closed - first[i] - first[j]
+    return interactions
+
+
+def _estimate_indices(a_block: np.ndarray, ab_blocks: list[np.ndarray],
+                      b_block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    variance = np.var(np.concatenate([a_block, b_block]))
+    if variance <= 0.0:
+        dimension = len(ab_blocks)
+        return np.zeros(dimension), np.zeros(dimension)
+    first = np.array([np.mean(b_block * (ab - a_block)) / variance
+                      for ab in ab_blocks])
+    total = np.array([0.5 * np.mean((a_block - ab) ** 2) / variance
+                      for ab in ab_blocks])
+    return first, total
+
+
+def _bootstrap_intervals(a_block, ab_blocks, b_block, bootstrap,
+                         confidence_level, seed):
+    dimension = len(ab_blocks)
+    if bootstrap < 2:
+        return np.zeros(dimension), np.zeros(dimension)
+    rng = np.random.default_rng(seed + 1)
+    base = a_block.shape[0]
+    first_samples = np.empty((bootstrap, dimension))
+    total_samples = np.empty((bootstrap, dimension))
+    for b in range(bootstrap):
+        rows = rng.integers(base, size=base)
+        first_samples[b], total_samples[b] = _estimate_indices(
+            a_block[rows], [ab[rows] for ab in ab_blocks], b_block[rows])
+    # Normal-approximation half-width at the requested confidence.
+    from scipy.stats import norm
+    z_value = norm.ppf(0.5 + confidence_level / 2.0)
+    return (z_value * np.std(first_samples, axis=0),
+            z_value * np.std(total_samples, axis=0))

@@ -1,0 +1,139 @@
+"""Parameter-space sampling schemes.
+
+Provides the samplers the analyses are built on: uniform / log-uniform
+Monte Carlo, regular grids, Latin Hypercube, Sobol' low-discrepancy
+sequences, and the Saltelli cross-sampling scheme used by the
+variance-based sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import qmc
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ParameterRange:
+    """A one-dimensional sweep interval.
+
+    ``log`` selects log-uniform spacing/sampling — the natural scale
+    for kinetic constants and concentrations, which span orders of
+    magnitude.
+    """
+
+    low: float
+    high: float
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        if not (self.high > self.low):
+            raise AnalysisError(
+                f"empty parameter range [{self.low}, {self.high}]")
+        if self.log and self.low <= 0.0:
+            raise AnalysisError(
+                f"log-scale range requires low > 0, got {self.low}")
+
+    def grid(self, count: int) -> np.ndarray:
+        """``count`` evenly spaced values (in the selected scale)."""
+        if count < 2:
+            raise AnalysisError(f"grid needs >= 2 points, got {count}")
+        if self.log:
+            return np.geomspace(self.low, self.high, count)
+        return np.linspace(self.low, self.high, count)
+
+    def from_unit(self, unit: np.ndarray) -> np.ndarray:
+        """Map samples in [0, 1] into the range."""
+        unit = np.asarray(unit, dtype=np.float64)
+        if self.log:
+            return np.exp(np.log(self.low)
+                          + unit * (np.log(self.high) - np.log(self.low)))
+        return self.low + unit * (self.high - self.low)
+
+
+def sample_uniform(ranges: list[ParameterRange], count: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Independent (log-)uniform Monte Carlo samples, shape (count, D)."""
+    unit = rng.random((count, len(ranges)))
+    return _map_unit(unit, ranges)
+
+
+def sample_grid(ranges: list[ParameterRange],
+                points_per_axis: int) -> np.ndarray:
+    """Full-factorial grid, shape (points_per_axis^D, D)."""
+    axes = [r.grid(points_per_axis) for r in ranges]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=1)
+
+
+def sample_latin_hypercube(ranges: list[ParameterRange], count: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Latin Hypercube samples (own implementation), shape (count, D)."""
+    dimension = len(ranges)
+    unit = np.empty((count, dimension))
+    for d in range(dimension):
+        permutation = rng.permutation(count)
+        unit[:, d] = (permutation + rng.random(count)) / count
+    return _map_unit(unit, ranges)
+
+
+def sample_sobol(ranges: list[ParameterRange], count: int,
+                 seed: int = 0) -> np.ndarray:
+    """Sobol' low-discrepancy samples, shape (count, D).
+
+    ``count`` need not be a power of two, but powers of two give the
+    best discrepancy (a warning from SciPy is silenced by sampling the
+    next power of two and truncating).
+    """
+    dimension = len(ranges)
+    sampler = qmc.Sobol(d=dimension, scramble=True, seed=seed)
+    budget = 1 << int(np.ceil(np.log2(max(count, 1))))
+    unit = sampler.random(budget)[:count]
+    return _map_unit(unit, ranges)
+
+
+def saltelli_sample(ranges: list[ParameterRange], base_count: int,
+                    seed: int = 0,
+                    second_order: bool = False) -> np.ndarray:
+    """Saltelli's cross-sampling scheme for Sobol index estimation.
+
+    Returns the stacked design matrix of shape
+    ``(base_count * (D + 2), D)`` — or ``(base_count * (2D + 2), D)``
+    with ``second_order`` — laid out as [A; AB_1; ...; AB_D; (BA_i...);
+    B], the layout :mod:`repro.core.sa` expects.
+    """
+    dimension = len(ranges)
+    sampler = qmc.Sobol(d=2 * dimension, scramble=True, seed=seed)
+    budget = 1 << int(np.ceil(np.log2(max(base_count, 1))))
+    unit = sampler.random(budget)[:base_count]
+    a_matrix = unit[:, :dimension]
+    b_matrix = unit[:, dimension:]
+    blocks = [a_matrix]
+    for d in range(dimension):
+        ab = a_matrix.copy()
+        ab[:, d] = b_matrix[:, d]
+        blocks.append(ab)
+    if second_order:
+        for d in range(dimension):
+            ba = b_matrix.copy()
+            ba[:, d] = a_matrix[:, d]
+            blocks.append(ba)
+    blocks.append(b_matrix)
+    return _map_unit(np.vstack(blocks), ranges)
+
+
+def saltelli_block_count(dimension: int, second_order: bool = False) -> int:
+    """Number of base-sample blocks the Saltelli design contains."""
+    return 2 * dimension + 2 if second_order else dimension + 2
+
+
+def _map_unit(unit: np.ndarray, ranges: list[ParameterRange]) -> np.ndarray:
+    if unit.shape[1] != len(ranges):
+        raise AnalysisError(
+            f"sample dimension {unit.shape[1]} does not match "
+            f"{len(ranges)} ranges")
+    columns = [r.from_unit(unit[:, d]) for d, r in enumerate(ranges)]
+    return np.stack(columns, axis=1)

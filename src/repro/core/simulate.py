@@ -1,0 +1,260 @@
+"""Unified simulation front-end.
+
+``simulate()`` is the one-call API of the library: it accepts a model,
+a time window and (optionally) a batch of parameterizations, runs them
+on the selected engine and returns a :class:`SimulationResult` with
+species-name-aware accessors.
+
+Engines
+-------
+``"batched"``
+    The GPU-style :class:`~repro.gpu.engine.BatchSimulator`
+    (fine + coarse grained, auto method routing) — the paper family's
+    contribution.
+``"lsoda"``, ``"vode"``
+    Sequential CPU baselines: one SciPy/ODEPACK integration per
+    simulation, exactly how the paper family benchmarks CPUs.
+``"dopri5"``, ``"radau5"``, ``"autoswitch"``
+    Sequential runs of this package's own scalar solvers (the
+    fine-grained-only reference points).
+``"ssa"``, ``"tau-leaping"``
+    Batched stochastic engines (exact Gillespie / tau-leaping) at a
+    volume given by the ``volume`` engine kwarg; trajectories are
+    returned in concentration units so all downstream analyses apply
+    unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..gpu.batch_result import (BROKEN, EXHAUSTED, METHOD_AUTOSWITCH,
+                                METHOD_BDF, METHOD_DOPRI5, METHOD_LSODA,
+                                METHOD_RADAU5, METHOD_VODE, OK,
+                                BatchSolveResult, allocate_result)
+from ..gpu.engine import BatchSimulator
+from ..model import (ODESystem, Parameterization, ParameterizationBatch,
+                     ReactionBasedModel)
+from ..solvers import (AutoSwitchSolver, BDF, ExplicitRungeKutta, Radau5,
+                       ScipyLSODA, ScipyVODE)
+from ..solvers.base import DEFAULT_OPTIONS, SUCCESS, MAX_STEPS, SolverOptions
+from ..solvers.tableaus import DOPRI5
+
+SEQUENTIAL_ENGINES = ("lsoda", "vode", "dopri5", "radau5", "autoswitch",
+                      "bdf")
+STOCHASTIC_ENGINES = ("ssa", "tau-leaping")
+ENGINES = ("batched",) + SEQUENTIAL_ENGINES + STOCHASTIC_ENGINES
+
+_SEQUENTIAL_METHOD_CODES = {
+    "lsoda": METHOD_LSODA, "vode": METHOD_VODE, "dopri5": METHOD_DOPRI5,
+    "radau5": METHOD_RADAU5, "autoswitch": METHOD_AUTOSWITCH,
+    "bdf": METHOD_BDF,
+}
+
+
+@dataclass
+class SimulationResult:
+    """Batch trajectories with model-aware accessors."""
+
+    model: ReactionBasedModel
+    raw: BatchSolveResult
+    engine: str
+    elapsed_seconds: float
+    species_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.species_names:
+            self.species_names = self.model.species.names
+
+    @property
+    def t(self) -> np.ndarray:
+        return self.raw.t
+
+    @property
+    def y(self) -> np.ndarray:
+        """Trajectories, shape (B, T, N)."""
+        return self.raw.y
+
+    @property
+    def batch_size(self) -> int:
+        return self.raw.batch_size
+
+    @property
+    def all_success(self) -> bool:
+        return self.raw.all_success
+
+    def species_index(self, name: str) -> int:
+        try:
+            return self.species_names.index(name)
+        except ValueError:
+            raise AnalysisError(f"unknown species {name!r}") from None
+
+    def species(self, name: str) -> np.ndarray:
+        """One species' trajectories across the batch, shape (B, T)."""
+        return self.raw.y[:, :, self.species_index(name)]
+
+    def trajectory(self, index: int = 0) -> np.ndarray:
+        """One simulation's full trajectory, shape (T, N)."""
+        return self.raw.y[index]
+
+    def final_states(self) -> np.ndarray:
+        return self.raw.final_states()
+
+    def statuses(self) -> list[str]:
+        return self.raw.statuses()
+
+
+class SequentialSimulator:
+    """CPU baseline: integrate the batch one simulation at a time.
+
+    This is the execution model of the sequential comparisons in the
+    paper family — LSODA/VODE loops for the CPU columns of the maps,
+    and this package's own scalar solvers for the fine-grained-only
+    reference.
+    """
+
+    def __init__(self, model: ReactionBasedModel,
+                 options: SolverOptions = DEFAULT_OPTIONS,
+                 engine: str = "lsoda") -> None:
+        if engine not in SEQUENTIAL_ENGINES:
+            raise AnalysisError(f"unknown sequential engine {engine!r}; "
+                                f"expected one of {SEQUENTIAL_ENGINES}")
+        self.model = model
+        self.system = ODESystem.from_model(model)
+        self.options = options
+        self.engine = engine
+
+    def _make_solver(self):
+        if self.engine == "lsoda":
+            return ScipyLSODA(self.options)
+        if self.engine == "vode":
+            return ScipyVODE(self.options)
+        if self.engine == "dopri5":
+            return ExplicitRungeKutta(DOPRI5, self.options)
+        if self.engine == "radau5":
+            return Radau5(self.options)
+        if self.engine == "bdf":
+            return BDF(self.options)
+        return AutoSwitchSolver(self.options)
+
+    def simulate(self, t_span: tuple[float, float],
+                 t_eval: np.ndarray | None = None,
+                 parameters: ParameterizationBatch | Parameterization |
+                 None = None,
+                 time_budget_seconds: float | None = None
+                 ) -> BatchSolveResult:
+        """Integrate the batch sequentially.
+
+        ``time_budget_seconds`` stops the loop once exceeded, leaving
+        remaining simulations BROKEN — this reproduces the paper
+        family's "how many simulations fit in a time budget" runs.
+        """
+        batch = _normalize(self.model, parameters)
+        if t_eval is None:
+            t_eval = np.array([float(t_span[0]), float(t_span[1])])
+        t_eval = np.asarray(t_eval, dtype=np.float64)
+        result = allocate_result(t_eval, batch.size, self.model.n_species,
+                                 _SEQUENTIAL_METHOD_CODES[self.engine])
+        solver = self._make_solver()
+        supports_jacobian = self.engine in ("vode", "radau5", "autoswitch",
+                                            "lsoda", "bdf")
+        started = time.perf_counter()
+        completed = 0
+        for index in range(batch.size):
+            if time_budget_seconds is not None and \
+                    time.perf_counter() - started > time_budget_seconds:
+                break
+            constants = batch.rate_constants[index]
+            fun = self.system.as_scipy_rhs(constants)
+            kwargs = {}
+            if supports_jacobian:
+                kwargs["jac"] = self.system.as_scipy_jacobian(constants)
+            single = solver.solve(fun, t_span, batch.initial_states[index],
+                                  t_eval, **kwargs)
+            filled = single.y.shape[0]
+            result.y[index, :filled, :] = single.y
+            result.n_steps[index] = single.stats.n_steps
+            result.n_accepted[index] = single.stats.n_accepted
+            result.n_rejected[index] = single.stats.n_rejected
+            if single.status == SUCCESS:
+                result.status_codes[index] = OK
+            elif single.status == MAX_STEPS:
+                result.status_codes[index] = EXHAUSTED
+            else:
+                result.status_codes[index] = BROKEN
+            result.counters.rhs_simulation_evaluations += \
+                single.stats.n_rhs_evaluations
+            completed += 1
+        result.status_codes[completed:] = BROKEN
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+
+def simulate(model: ReactionBasedModel, t_span: tuple[float, float],
+             t_eval: np.ndarray | None = None,
+             parameters: ParameterizationBatch | Parameterization |
+             None = None,
+             engine: str = "batched",
+             options: SolverOptions = DEFAULT_OPTIONS,
+             **engine_kwargs) -> SimulationResult:
+    """Simulate a model batch on the selected engine (see module docs)."""
+    if engine == "batched":
+        simulator = BatchSimulator(model, options, **engine_kwargs)
+        raw = simulator.simulate(t_span, t_eval, parameters)
+    elif engine in SEQUENTIAL_ENGINES:
+        simulator = SequentialSimulator(model, options, engine)
+        raw = simulator.simulate(t_span, t_eval, parameters, **engine_kwargs)
+    elif engine in STOCHASTIC_ENGINES:
+        raw = _simulate_stochastic(model, t_span, t_eval, parameters,
+                                   engine, **engine_kwargs)
+    else:
+        raise AnalysisError(f"unknown engine {engine!r}; expected one "
+                            f"of {ENGINES}")
+    return SimulationResult(model, raw, engine, raw.elapsed_seconds)
+
+
+def _simulate_stochastic(model, t_span, t_eval, parameters, engine,
+                         volume: float = 1000.0, seed: int = 0,
+                         n_replicates: int = 1,
+                         max_events: int = 1_000_000) -> BatchSolveResult:
+    """Run a stochastic engine and adapt its result to the facade
+    schema (concentration units)."""
+    from ..gpu.batch_result import METHOD_SSA, METHOD_TAU_LEAPING
+    from ..stochastic import StochasticSimulator
+    from ..stochastic.results import OK as STOCH_OK
+
+    simulator = StochasticSimulator(model, volume=volume, method=engine,
+                                    seed=seed, max_events=max_events)
+    stochastic = simulator.simulate(t_span, t_eval, parameters,
+                                    n_replicates=n_replicates)
+    method_code = METHOD_SSA if engine == "ssa" else METHOD_TAU_LEAPING
+    adapted = BatchSolveResult(
+        t=stochastic.t,
+        y=stochastic.concentrations(),
+        status_codes=np.where(stochastic.status_codes == STOCH_OK, OK,
+                              EXHAUSTED),
+        method_codes=np.full(stochastic.batch_size, method_code,
+                             dtype=np.int64),
+        n_steps=stochastic.n_events + stochastic.n_leaps,
+        n_accepted=stochastic.n_events + stochastic.n_leaps,
+        n_rejected=np.zeros(stochastic.batch_size, dtype=np.int64),
+    )
+    adapted.elapsed_seconds = stochastic.elapsed_seconds
+    return adapted
+
+
+def _normalize(model: ReactionBasedModel, parameters) -> ParameterizationBatch:
+    if parameters is None:
+        parameters = model.nominal_parameterization()
+    if isinstance(parameters, Parameterization):
+        model.check_parameterization(parameters)
+        parameters = ParameterizationBatch.from_parameterizations([parameters])
+    if not isinstance(parameters, ParameterizationBatch):
+        raise AnalysisError(
+            "parameters must be a Parameterization, ParameterizationBatch "
+            f"or None, got {type(parameters)!r}")
+    return parameters

@@ -1,0 +1,143 @@
+"""Steady-state analysis of reaction-based models.
+
+Finds states with dX/dt = 0 by a damped Newton iteration on the
+compiled RHS with its analytic Jacobian. Mass-action networks typically
+carry conservation laws, which make the Jacobian structurally singular;
+the solver therefore replaces one Newton row per conservation law with
+the constraint w . (x - x0) = 0, pinning the steady state to the
+invariant manifold of the starting point — the standard treatment in
+metabolic steady-state analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..model import ODESystem, Parameterization, ReactionBasedModel
+
+
+@dataclass
+class SteadyStateResult:
+    """Outcome of a steady-state search.
+
+    Attributes
+    ----------
+    state:
+        The steady state found, shape (N,).
+    residual_norm:
+        Max-norm of dX/dt at the returned state.
+    n_iterations:
+        Newton iterations used.
+    converged:
+        Whether the residual tolerance was met.
+    stable:
+        Whether all Jacobian eigenvalues (restricted to the dynamics)
+        have non-positive real part at the state; None when the check
+        was skipped.
+    """
+
+    state: np.ndarray
+    residual_norm: float
+    n_iterations: int
+    converged: bool
+    stable: bool | None = None
+
+
+def find_steady_state(model: ReactionBasedModel,
+                      parameterization: Parameterization | None = None,
+                      initial_guess: np.ndarray | None = None,
+                      tol: float = 1e-10, max_iterations: int = 100,
+                      check_stability: bool = True) -> SteadyStateResult:
+    """Damped-Newton steady-state search on the invariant manifold.
+
+    The search starts from ``initial_guess`` (default: the
+    parameterization's initial state) and stays on that state's
+    conservation manifold. Raises :class:`ConvergenceError` only for a
+    structurally broken setup; non-convergence is reported in the
+    result so callers can retry from other guesses.
+    """
+    if parameterization is None:
+        parameterization = model.nominal_parameterization()
+    model.check_parameterization(parameterization)
+    system = ODESystem.from_model(model)
+    constants = parameterization.rate_constants
+    x0 = (parameterization.initial_state if initial_guess is None
+          else np.asarray(initial_guess, dtype=np.float64))
+    n = x0.shape[0]
+
+    laws = model.conservation_law_basis()
+    pinned_rows = _pivot_rows(laws)
+
+    state = x0.copy()
+    residual = system.rhs_single(state, constants)
+    residual_norm = float(np.max(np.abs(residual)))
+    iterations = 0
+    converged = residual_norm <= tol
+
+    while not converged and iterations < max_iterations:
+        iterations += 1
+        jacobian = system.jacobian_single(state, constants)
+        rhs_vector = -residual.copy()
+        for law_index, row in enumerate(pinned_rows):
+            jacobian[row, :] = laws[law_index]
+            rhs_vector[row] = -laws[law_index].dot(state - x0)
+        try:
+            step = np.linalg.solve(jacobian, rhs_vector)
+        except np.linalg.LinAlgError:
+            # Singular beyond the conservation structure: perturb.
+            jacobian += 1e-12 * np.eye(n)
+            step = np.linalg.lstsq(jacobian, rhs_vector, rcond=None)[0]
+
+        # Damped line search with positivity projection.
+        damping = 1.0
+        best_state = None
+        for _ in range(30):
+            candidate = np.maximum(state + damping * step, 0.0)
+            candidate_residual = system.rhs_single(candidate, constants)
+            candidate_norm = float(np.max(np.abs(candidate_residual)))
+            if candidate_norm < residual_norm or damping < 1e-6:
+                best_state = candidate
+                residual = candidate_residual
+                residual_norm = candidate_norm
+                break
+            damping *= 0.5
+        if best_state is None:  # pragma: no cover - loop always sets it
+            raise ConvergenceError("line search failed to produce a step")
+        state = best_state
+        converged = residual_norm <= tol
+
+    stable = None
+    if check_stability and converged:
+        stable = _is_stable(system, state, constants, laws)
+    return SteadyStateResult(state, residual_norm, iterations, converged,
+                             stable)
+
+
+def _pivot_rows(laws: np.ndarray) -> list[int]:
+    """One distinct pinning row per conservation law (greedy pivoting)."""
+    rows: list[int] = []
+    for law in laws:
+        order = np.argsort(-np.abs(law))
+        for candidate in order:
+            if int(candidate) not in rows:
+                rows.append(int(candidate))
+                break
+    return rows
+
+
+def _is_stable(system: ODESystem, state: np.ndarray,
+               constants: np.ndarray, laws: np.ndarray,
+               tolerance: float = 1e-8) -> bool:
+    """Linear stability restricted to the dynamics' subspace.
+
+    Eigendirections along conservation laws have eigenvalue zero by
+    construction and do not count against stability.
+    """
+    jacobian = system.jacobian_single(state, constants)
+    eigenvalues = np.linalg.eigvals(jacobian)
+    significant = eigenvalues[np.abs(eigenvalues) > tolerance]
+    del laws
+    return bool(np.all(significant.real <= tolerance))

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ModelError(ReproError):
+    """A reaction-based model is structurally invalid."""
+
+
+class KineticsError(ModelError):
+    """A kinetic law is malformed or incompatible with its reaction."""
+
+
+class ParseError(ReproError):
+    """A textual model description could not be parsed."""
+
+
+class SolverError(ReproError):
+    """Numerical integration failed or was configured inconsistently."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative method (Newton, power iteration) did not converge."""
+
+
+class AnalysisError(ReproError):
+    """A parameter-space analysis was configured inconsistently."""
+
+
+class FormatError(ReproError):
+    """A model file (BioSimWare folder, SBML document) is malformed."""

@@ -1,0 +1,89 @@
+"""Virtual GPU device descriptions.
+
+No physical GPU is available in this reproduction (see DESIGN.md), so
+the device is modeled analytically: a :class:`VirtualDevice` captures
+the architectural parameters that drive the performance of the paper
+family's simulators — core count, clock, memory latencies and the
+kernel-launch overheads (including the extra cost of dynamic-parallelism
+child launches). The performance model in
+:mod:`repro.gpu.perfmodel` uses these figures to convert the substrate's
+kernel counters into *estimated device times*, which the comparison
+benches can report next to honest wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SolverError
+
+
+@dataclass(frozen=True)
+class VirtualDevice:
+    """Architectural description of a modeled accelerator.
+
+    Attributes
+    ----------
+    name:
+        Marketing name of the modeled device.
+    cores:
+        Number of scalar cores (CUDA cores).
+    clock_ghz:
+        Core clock in GHz.
+    memory_gb:
+        Device memory size, used for capacity checks.
+    global_latency_cycles:
+        Latency of an uncached global-memory access.
+    kernel_launch_overhead_us:
+        Host-side launch overhead of one kernel.
+    child_launch_overhead_us:
+        Device-side launch overhead of one dynamic-parallelism child
+        grid.
+    child_launch_saturation:
+        Number of concurrently pending child grids beyond which launch
+        time degrades sharply (the saturation knee reported for DP).
+    flops_per_core_per_cycle:
+        Fused multiply-add throughput per core per cycle.
+    """
+
+    name: str
+    cores: int
+    clock_ghz: float
+    memory_gb: float
+    global_latency_cycles: int = 400
+    kernel_launch_overhead_us: float = 5.0
+    child_launch_overhead_us: float = 1.5
+    child_launch_saturation: int = 2048
+    flops_per_core_per_cycle: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.clock_ghz <= 0.0 or self.memory_gb <= 0.0:
+            raise SolverError(f"invalid device description {self!r}")
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-issue throughput in GFLOP/s."""
+        return self.cores * self.clock_ghz * self.flops_per_core_per_cycle
+
+    def memory_fits(self, n_doubles: int) -> bool:
+        """Whether a working set of float64 values fits in device memory."""
+        return n_doubles * 8 <= self.memory_gb * 1024 ** 3
+
+
+#: The device used throughout the paper family's evaluations.
+TITAN_X = VirtualDevice(
+    name="GeForce GTX Titan X",
+    cores=3072,
+    clock_ghz=1.075,
+    memory_gb=12.0,
+)
+
+#: A mid-range laptop part, for cheaper what-if modeling.
+GTX_1650 = VirtualDevice(
+    name="GeForce GTX 1650",
+    cores=896,
+    clock_ghz=1.485,
+    memory_gb=4.0,
+)
+
+DEVICES = {device.name: device for device in (TITAN_X, GTX_1650)}

@@ -1,0 +1,178 @@
+"""The batched GPU-style simulation engine.
+
+:class:`BatchSimulator` is the top-level deterministic simulator of
+this reproduction: it compiles a reaction-based model once, splits a
+parameterization batch into device-sized launches, routes every
+simulation to DOPRI5 or Radau IIA (method ``"auto"``), executes the
+batched integrators over the vectorized substrate and merges the
+trajectories. It is the component the parameter-space analyses
+(PSA / SA / PE in :mod:`repro.core`) run on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SolverError
+from ..model import (ODESystem, Parameterization, ParameterizationBatch,
+                     ReactionBasedModel)
+from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
+from .batch_dopri5 import BatchDopri5
+from .batch_radau5 import BatchRadau5
+from .batch_result import BatchSolveResult
+from .batched_ode import BatchedODEProblem, KernelCounters
+from .device import TITAN_X, VirtualDevice
+from .perfmodel import DeviceTimeEstimate, estimate_device_time
+from .router import RoutingDecision, StiffnessRouter
+
+METHODS = ("auto", "dopri5", "radau5", "bdf")
+
+
+@dataclass
+class EngineReport:
+    """Execution metadata of one :meth:`BatchSimulator.simulate` call."""
+
+    elapsed_seconds: float
+    n_launches: int
+    routing: list[RoutingDecision] = field(default_factory=list)
+    counters: KernelCounters = field(default_factory=KernelCounters)
+    modeled_device_time: DeviceTimeEstimate | None = None
+
+
+class BatchSimulator:
+    """Fine- and coarse-grained batched deterministic simulator.
+
+    Parameters
+    ----------
+    model:
+        The reaction-based model to simulate.
+    options:
+        Shared numerical options (tolerances, step caps, stiffness
+        threshold).
+    policy:
+        Substrate evaluation policy: ``"hybrid"`` (vectorize over batch
+        and reactions), ``"coarse"`` or ``"fine"`` — see
+        :mod:`repro.model.odesystem`.
+    method:
+        ``"auto"`` routes per simulation between DOPRI5 and Radau IIA;
+        ``"dopri5"`` / ``"radau5"`` force one method.
+    max_batch_per_launch:
+        Upper bound on simulations per launch; larger batches are split,
+        mirroring the paper family's observation that launches beyond
+        ~2048 concurrent child grids saturate the device.
+    device:
+        Virtual device used for the modeled-time estimate in the report.
+    """
+
+    def __init__(self, model: ReactionBasedModel,
+                 options: SolverOptions = DEFAULT_OPTIONS,
+                 policy: str = "hybrid", method: str = "auto",
+                 max_batch_per_launch: int = 512,
+                 device: VirtualDevice = TITAN_X) -> None:
+        if method not in METHODS:
+            raise SolverError(f"unknown method {method!r}; "
+                              f"expected one of {METHODS}")
+        if max_batch_per_launch < 1:
+            raise SolverError("max_batch_per_launch must be >= 1")
+        self.model = model
+        self.system = ODESystem.from_model(model)
+        self.options = options
+        self.policy = policy
+        self.method = method
+        self.max_batch_per_launch = max_batch_per_launch
+        self.device = device
+        self.last_report: EngineReport | None = None
+
+    # ------------------------------------------------------------------
+
+    def simulate(self, t_span: tuple[float, float],
+                 t_eval: np.ndarray | None = None,
+                 parameters: ParameterizationBatch | Parameterization |
+                 None = None) -> BatchSolveResult:
+        """Run the batch and return merged trajectories.
+
+        ``parameters`` defaults to a single simulation of the model's
+        nominal parameterization. Execution metadata (wall-clock,
+        routing decisions, kernel counters, modeled device time) is
+        stored in :attr:`last_report`.
+        """
+        batch = self._normalize_parameters(parameters)
+        if t_eval is None:
+            t_eval = np.array([float(t_span[0]), float(t_span[1])])
+        t_eval = np.asarray(t_eval, dtype=np.float64)
+
+        counters = KernelCounters()
+        report = EngineReport(elapsed_seconds=0.0, n_launches=0,
+                              counters=counters)
+        chunks: list[BatchSolveResult] = []
+        started = time.perf_counter()
+        for start in range(0, batch.size, self.max_batch_per_launch):
+            stop = min(start + self.max_batch_per_launch, batch.size)
+            sub_batch = batch.subset(np.arange(start, stop))
+            problem = BatchedODEProblem(self.system, sub_batch, self.policy,
+                                        counters)
+            chunks.append(self._run_launch(problem, t_span, t_eval, report))
+            report.n_launches += 1
+        report.elapsed_seconds = time.perf_counter() - started
+        report.modeled_device_time = estimate_device_time(
+            counters, batch.size, self.system.n_species,
+            self.system.n_reactions, self.device)
+
+        result = self._merge(chunks, t_eval)
+        result.elapsed_seconds = report.elapsed_seconds
+        self.last_report = report
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _normalize_parameters(self, parameters) -> ParameterizationBatch:
+        if parameters is None:
+            parameters = self.model.nominal_parameterization()
+        if isinstance(parameters, Parameterization):
+            self.model.check_parameterization(parameters)
+            parameters = ParameterizationBatch.from_parameterizations(
+                [parameters])
+        if not isinstance(parameters, ParameterizationBatch):
+            raise SolverError(
+                "parameters must be a Parameterization, a "
+                f"ParameterizationBatch or None, got {type(parameters)!r}")
+        return parameters
+
+    def _run_launch(self, problem: BatchedODEProblem,
+                    t_span: tuple[float, float], t_eval: np.ndarray,
+                    report: EngineReport) -> BatchSolveResult:
+        if self.method == "auto":
+            result, decision = StiffnessRouter(self.options).solve(
+                problem, t_span, t_eval)
+            report.routing.append(decision)
+            return result
+        if self.method == "dopri5":
+            return BatchDopri5(self.options).solve(problem, t_span, t_eval)
+        if self.method == "bdf":
+            from .batch_bdf import BatchBDF
+            return BatchBDF(self.options).solve(problem, t_span, t_eval)
+        return BatchRadau5(self.options).solve(problem, t_span, t_eval)
+
+    @staticmethod
+    def _merge(chunks: list[BatchSolveResult],
+               t_eval: np.ndarray) -> BatchSolveResult:
+        if len(chunks) == 1:
+            return chunks[0]
+        merged = BatchSolveResult(
+            t=t_eval.copy(),
+            y=np.concatenate([chunk.y for chunk in chunks]),
+            status_codes=np.concatenate(
+                [chunk.status_codes for chunk in chunks]),
+            method_codes=np.concatenate(
+                [chunk.method_codes for chunk in chunks]),
+            n_steps=np.concatenate([chunk.n_steps for chunk in chunks]),
+            n_accepted=np.concatenate(
+                [chunk.n_accepted for chunk in chunks]),
+            n_rejected=np.concatenate(
+                [chunk.n_rejected for chunk in chunks]),
+            counters=chunks[0].counters,
+        )
+        return merged

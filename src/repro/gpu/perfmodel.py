@@ -1,0 +1,125 @@
+"""Analytic performance model of the batched simulator on a GPU.
+
+Converts the substrate's workload counters (kernel launches, per
+simulation evaluations, factorizations, Newton iterations) into an
+*estimated* execution time on a :class:`~repro.gpu.device.VirtualDevice`.
+
+The model captures the three effects the paper family discusses:
+
+1. every kernel launch pays a fixed overhead (dynamic-parallelism child
+   launches pay a smaller one, but degrade once too many are in
+   flight);
+2. per-simulation arithmetic is throughput-limited: the cost of one RHS
+   evaluation scales with the number of reactions M (each monomial is a
+   couple of fused multiply-adds plus the stoichiometric scatter), and
+   one Radau factorization scales with N^3;
+3. a batch only uses the device fully when batch x species work covers
+   the core count — small batches of small models leave cores idle,
+   which is why per-simulation CPU solvers win that corner of the maps.
+
+The estimates are *not* wall-clock truth — they are the modeled device
+times reported alongside the honest NumPy-substrate measurements, used
+to discuss map shapes. See DESIGN.md ("Hardware substitution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .batched_ode import KernelCounters
+from .device import TITAN_X, VirtualDevice
+
+#: FLOPs charged per reaction per RHS evaluation (monomial product,
+#: constant multiply, stoichiometric scatter).
+FLOPS_PER_REACTION = 8.0
+#: FLOPs charged per species per RHS evaluation (accumulation).
+FLOPS_PER_SPECIES = 2.0
+#: FLOPs charged per Jacobian evaluation per nonzero partial.
+FLOPS_PER_PARTIAL = 6.0
+
+
+@dataclass(frozen=True)
+class DeviceTimeEstimate:
+    """Decomposed estimated device time, all in seconds."""
+
+    launch_seconds: float
+    arithmetic_seconds: float
+    linear_algebra_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.launch_seconds + self.arithmetic_seconds
+                + self.linear_algebra_seconds)
+
+
+def memory_footprint_doubles(batch_size: int, n_species: int,
+                             n_reactions: int, n_save_points: int,
+                             method: str = "auto") -> int:
+    """Device-resident float64 count of a batched integration.
+
+    Counts the big allocations: trajectories (B T N), integrator state
+    (states/derivatives/stages ~ 10 B N), parameter matrix (B M), and —
+    for Radau-routed work — Jacobians plus the real and complex
+    factorizations (B N^2 * 4, the complex pair counting double). This
+    is the accounting behind the paper family's observation that
+    coarse-grained simulators with per-simulation matrices cannot fit
+    large RBMs in device memory.
+    """
+    trajectories = batch_size * n_save_points * n_species
+    integrator_state = 10 * batch_size * n_species
+    parameters = batch_size * n_reactions
+    total = trajectories + integrator_state + parameters
+    if method in ("auto", "radau5"):
+        total += 4 * batch_size * n_species * n_species
+    return int(total)
+
+
+def fits_device(batch_size: int, n_species: int, n_reactions: int,
+                n_save_points: int, device: VirtualDevice = TITAN_X,
+                method: str = "auto") -> bool:
+    """Whether the batched working set fits in device memory."""
+    return device.memory_fits(memory_footprint_doubles(
+        batch_size, n_species, n_reactions, n_save_points, method))
+
+
+def occupancy(batch_size: int, n_species: int,
+              device: VirtualDevice) -> float:
+    """Fraction of device cores kept busy by a batch.
+
+    One simulation's fine-grained work spreads over ~N lanes; the
+    coarse-grained axis multiplies by the batch size. Anything beyond
+    the core count saturates at 1.
+    """
+    lanes = batch_size * max(n_species, 1)
+    return min(1.0, lanes / device.cores)
+
+
+def estimate_device_time(counters: KernelCounters, batch_size: int,
+                         n_species: int, n_reactions: int,
+                         device: VirtualDevice = TITAN_X) -> DeviceTimeEstimate:
+    """Estimated device time for a recorded workload."""
+    launch_overhead = device.kernel_launch_overhead_us * 1e-6
+    child_overhead = device.child_launch_overhead_us * 1e-6
+    if batch_size > device.child_launch_saturation:
+        child_overhead *= batch_size / device.child_launch_saturation
+    total_launches = (counters.rhs_kernel_launches
+                      + counters.jacobian_kernel_launches)
+    launch_seconds = total_launches * (launch_overhead
+                                       + batch_size * child_overhead /
+                                       max(batch_size, 1))
+
+    used_fraction = occupancy(batch_size, n_species, device)
+    effective_gflops = max(device.peak_gflops * used_fraction, 1e-6)
+    rhs_flops = counters.rhs_simulation_evaluations * (
+        FLOPS_PER_REACTION * n_reactions + FLOPS_PER_SPECIES * n_species)
+    jac_flops = counters.jacobian_simulation_evaluations * (
+        FLOPS_PER_PARTIAL * 2.0 * n_reactions * n_species ** 0.5)
+    arithmetic_seconds = (rhs_flops + jac_flops) / (effective_gflops * 1e9)
+
+    lu_flops = counters.factorizations * (2.0 / 3.0) * n_species ** 3
+    newton_flops = counters.newton_iterations * 2.0 * n_species ** 2
+    linear_algebra_seconds = (lu_flops + newton_flops) / \
+        (effective_gflops * 1e9)
+
+    return DeviceTimeEstimate(launch_seconds, arithmetic_seconds,
+                              linear_algebra_seconds)

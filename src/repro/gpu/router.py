@@ -1,0 +1,138 @@
+"""Per-simulation stiffness routing (the phase-P2 analog).
+
+Before integrating, every simulation's Jacobian at its initial state is
+probed by batched power iteration; simulations whose spectral radius
+exceeds the configured threshold are routed to the batched Radau IIA
+solver, the rest to batched DOPRI5. Simulations that DOPRI5 fails to
+finish (step-budget exhaustion or breakdown — the usual symptom of
+undetected stiffness) are *re-executed* with Radau IIA, mirroring the
+paper family's fallback re-run of failed explicit simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
+from ..solvers.stiffness import power_iteration_matvec
+from .batch_dopri5 import BatchDopri5
+from .batch_radau5 import BatchRadau5
+from .batch_result import (METHOD_DOPRI5, OK, BatchSolveResult,
+                           allocate_result)
+from .batched_ode import BatchedODEProblem
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Outcome of the stiffness classification of a batch.
+
+    Attributes
+    ----------
+    stiff_mask:
+        Boolean per-simulation stiff/non-stiff classification.
+    spectral_radii:
+        Dominant-eigenvalue magnitude estimates, shape (B,).
+    threshold:
+        The cutoff the mask was computed against.
+    """
+
+    stiff_mask: np.ndarray
+    spectral_radii: np.ndarray
+    threshold: float
+
+    @property
+    def n_stiff(self) -> int:
+        return int(np.sum(self.stiff_mask))
+
+
+def classify_batch(problem: BatchedODEProblem, t0: float,
+                   threshold: float,
+                   initial_states: np.ndarray | None = None
+                   ) -> RoutingDecision:
+    """Stiffness classification of every simulation in a batch.
+
+    Uses a matrix-free power iteration on the Jacobian action
+    (finite-difference directional derivatives of the batched RHS), so
+    the probe costs a handful of RHS kernel launches instead of a full
+    (B, N, N) Jacobian assembly.
+    """
+    states = (problem.initial_states() if initial_states is None
+              else np.asarray(initial_states, dtype=np.float64))
+    rows = np.arange(problem.batch_size)
+    times = np.full(rows.size, t0)
+    base = problem.fun(times, states, rows)
+    scale = 1e-7 * (np.linalg.norm(states, axis=1, keepdims=True) + 1.0)
+
+    def jacobian_action(directions: np.ndarray) -> np.ndarray:
+        probes = states + scale * directions
+        return (problem.fun(times, probes, rows) - base) / scale
+
+    estimate = power_iteration_matvec(jacobian_action, states)
+    return RoutingDecision(estimate.spectral_radius > threshold,
+                           estimate.spectral_radius, threshold)
+
+
+class StiffnessRouter:
+    """Route each simulation to DOPRI5 or Radau IIA and merge results."""
+
+    name = "router"
+
+    def __init__(self, options: SolverOptions = DEFAULT_OPTIONS,
+                 retry_failed_with_radau: bool = True) -> None:
+        self.options = options
+        self.retry_failed_with_radau = retry_failed_with_radau
+
+    def solve(self, problem: BatchedODEProblem, t_span: tuple[float, float],
+              t_eval: np.ndarray | None = None,
+              initial_states: np.ndarray | None = None
+              ) -> tuple[BatchSolveResult, RoutingDecision]:
+        """Integrate a batch with per-simulation method selection."""
+        decision = classify_batch(problem, float(t_span[0]),
+                                  self.options.stiffness_threshold,
+                                  initial_states)
+        states = (problem.initial_states() if initial_states is None
+                  else np.asarray(initial_states, dtype=np.float64))
+
+        batch = problem.batch_size
+        if t_eval is None:
+            t_eval = np.array([float(t_span[0]), float(t_span[1])])
+        t_eval = np.asarray(t_eval, dtype=np.float64)
+        merged = allocate_result(t_eval, batch, problem.n_species,
+                                 METHOD_DOPRI5)
+        merged.counters = problem.counters
+
+        nonstiff_rows = np.flatnonzero(~decision.stiff_mask)
+        stiff_rows = np.flatnonzero(decision.stiff_mask)
+
+        if nonstiff_rows.size:
+            explicit = BatchDopri5(
+                self.options,
+                abort_on_stiffness=self.retry_failed_with_radau).solve(
+                    problem.subset(nonstiff_rows), t_span, t_eval,
+                    states[nonstiff_rows])
+            self._splice(merged, explicit, nonstiff_rows)
+            if self.retry_failed_with_radau:
+                failed_rows = nonstiff_rows[explicit.status_codes != OK]
+                if failed_rows.size:
+                    retried = BatchRadau5(self.options).solve(
+                        problem.subset(failed_rows), t_span, t_eval,
+                        states[failed_rows])
+                    self._splice(merged, retried, failed_rows)
+        if stiff_rows.size:
+            implicit = BatchRadau5(self.options).solve(
+                problem.subset(stiff_rows), t_span, t_eval,
+                states[stiff_rows])
+            self._splice(merged, implicit, stiff_rows)
+        return merged, decision
+
+    @staticmethod
+    def _splice(merged: BatchSolveResult, part: BatchSolveResult,
+                rows: np.ndarray) -> None:
+        merged.y[rows] = part.y
+        merged.status_codes[rows] = part.status_codes
+        merged.method_codes[rows] = part.method_codes
+        merged.n_steps[rows] += part.n_steps
+        merged.n_accepted[rows] += part.n_accepted
+        merged.n_rejected[rows] += part.n_rejected

@@ -1,0 +1,154 @@
+"""BioSimWare-style folder model format.
+
+The simulator family's native input format is a folder of plain-text
+matrices. This module reads and writes that layout:
+
+``alphabet``
+    Tab-separated species names (one line).
+``left_side`` / ``right_side``
+    The reactant matrix A and product matrix B, one reaction per line,
+    tab-separated integer coefficients (N columns).
+``c_vector``
+    One kinetic constant per line (M lines).
+``M_0``
+    Tab-separated initial concentrations (one line, N columns).
+``cs_vector`` (optional)
+    One *parameterization* per line: M tab-separated constants. Used to
+    ship a whole sweep batch with the model.
+``MX_0`` (optional)
+    One initial state per line: N tab-separated concentrations.
+``t_vector`` (optional)
+    One save time per line.
+
+Only mass-action models can be represented (matching the original
+format's expressiveness).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FormatError
+from ..model import (ParameterizationBatch, Reaction, ReactionBasedModel)
+
+REQUIRED_FILES = ("alphabet", "left_side", "right_side", "c_vector", "M_0")
+
+
+def write_model(model: ReactionBasedModel, folder: str | Path,
+                batch: ParameterizationBatch | None = None,
+                t_vector: np.ndarray | None = None) -> Path:
+    """Write a model (and optionally a sweep batch) to a folder."""
+    if not model.is_mass_action():
+        raise FormatError(
+            "the BioSimWare folder format only represents mass-action "
+            f"models; {model.name!r} uses other kinetic laws")
+    folder = Path(folder)
+    folder.mkdir(parents=True, exist_ok=True)
+    matrices = model.matrices
+
+    (folder / "alphabet").write_text(
+        "\t".join(model.species.names) + "\n")
+    _write_matrix(folder / "left_side", matrices.reactants)
+    _write_matrix(folder / "right_side", matrices.products)
+    (folder / "c_vector").write_text(
+        "".join(f"{k:.17g}\n" for k in model.rate_constants()))
+    (folder / "M_0").write_text(
+        "\t".join(f"{x:.17g}" for x in model.initial_state()) + "\n")
+    if batch is not None:
+        _write_matrix(folder / "cs_vector", batch.rate_constants,
+                      fmt="%.17g")
+        _write_matrix(folder / "MX_0", batch.initial_states, fmt="%.17g")
+    if t_vector is not None:
+        (folder / "t_vector").write_text(
+            "".join(f"{t:.17g}\n" for t in np.asarray(t_vector)))
+    return folder
+
+
+def read_model(folder: str | Path) -> ReactionBasedModel:
+    """Read a model from a BioSimWare-style folder."""
+    folder = Path(folder)
+    for name in REQUIRED_FILES:
+        if not (folder / name).is_file():
+            raise FormatError(f"missing required file {name!r} in {folder}")
+    names = (folder / "alphabet").read_text().split()
+    left = _read_matrix(folder / "left_side")
+    right = _read_matrix(folder / "right_side")
+    constants = np.loadtxt(folder / "c_vector", ndmin=1)
+    initial = np.loadtxt(folder / "M_0", ndmin=1)
+
+    n_species = len(names)
+    if left.shape != right.shape:
+        raise FormatError(
+            f"left_side {left.shape} and right_side {right.shape} disagree")
+    if left.shape[1] != n_species:
+        raise FormatError(
+            f"stoichiometry has {left.shape[1]} columns for "
+            f"{n_species} species")
+    if constants.shape[0] != left.shape[0]:
+        raise FormatError(
+            f"c_vector has {constants.shape[0]} entries for "
+            f"{left.shape[0]} reactions")
+    if initial.shape[0] != n_species:
+        raise FormatError(
+            f"M_0 has {initial.shape[0]} entries for {n_species} species")
+    if np.any(left < 0) or np.any(right < 0):
+        raise FormatError("stoichiometric coefficients must be >= 0")
+
+    model = ReactionBasedModel(folder.name or "biosimware-model")
+    for name, concentration in zip(names, initial):
+        model.add_species(name, float(concentration))
+    for i in range(left.shape[0]):
+        reactants = {names[j]: int(left[i, j])
+                     for j in np.nonzero(left[i])[0]}
+        products = {names[j]: int(right[i, j])
+                    for j in np.nonzero(right[i])[0]}
+        model.add_reaction(Reaction(reactants, products,
+                                    float(constants[i]), name=f"R{i}"))
+    return model
+
+
+def read_batch(folder: str | Path) -> ParameterizationBatch:
+    """Read the sweep batch (cs_vector / MX_0) shipped with a model.
+
+    Missing files fall back to the nominal constants / initial state
+    replicated to match the present file's row count.
+    """
+    folder = Path(folder)
+    model = read_model(folder)
+    cs_path = folder / "cs_vector"
+    mx_path = folder / "MX_0"
+    if not cs_path.is_file() and not mx_path.is_file():
+        raise FormatError(f"{folder} contains neither cs_vector nor MX_0")
+    constants = (_read_matrix(cs_path, dtype=np.float64)
+                 if cs_path.is_file() else None)
+    states = (_read_matrix(mx_path, dtype=np.float64)
+              if mx_path.is_file() else None)
+    if constants is None:
+        constants = np.tile(model.rate_constants(), (states.shape[0], 1))
+    if states is None:
+        states = np.tile(model.initial_state(), (constants.shape[0], 1))
+    if constants.shape[0] != states.shape[0]:
+        raise FormatError(
+            f"cs_vector has {constants.shape[0]} rows but MX_0 has "
+            f"{states.shape[0]}")
+    return ParameterizationBatch(constants, states)
+
+
+def read_t_vector(folder: str | Path) -> np.ndarray:
+    path = Path(folder) / "t_vector"
+    if not path.is_file():
+        raise FormatError(f"missing t_vector in {folder}")
+    return np.loadtxt(path, ndmin=1)
+
+
+def _write_matrix(path: Path, matrix: np.ndarray, fmt: str = "%d") -> None:
+    np.savetxt(path, np.atleast_2d(matrix), fmt=fmt, delimiter="\t")
+
+
+def _read_matrix(path: Path, dtype=np.int64) -> np.ndarray:
+    try:
+        return np.loadtxt(path, dtype=dtype, ndmin=2)
+    except ValueError as error:
+        raise FormatError(f"cannot parse {path}: {error}") from None

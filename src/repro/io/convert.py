@@ -1,0 +1,28 @@
+"""Converters between the SBML subset and the BioSimWare folder format.
+
+Mirrors the conversion tool the simulator family ships alongside the
+simulator: SBML documents can be turned into runnable model folders and
+back without losing the mass-action parameterization.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .biosimware import read_model as read_biosimware
+from .biosimware import write_model as write_biosimware
+from .sbml import read_sbml, write_sbml
+
+
+def sbml_to_biosimware(sbml_path: str | Path,
+                       folder: str | Path) -> Path:
+    """Convert an SBML-subset document to a BioSimWare folder."""
+    model = read_sbml(sbml_path)
+    return write_biosimware(model, folder)
+
+
+def biosimware_to_sbml(folder: str | Path,
+                       sbml_path: str | Path) -> Path:
+    """Convert a BioSimWare folder to an SBML-subset document."""
+    model = read_biosimware(folder)
+    return write_sbml(model, sbml_path)

@@ -1,0 +1,71 @@
+"""Persistence of simulation results (NumPy .npz archives).
+
+Parameter-space analyses produce large trajectory tensors that users
+archive and post-process elsewhere; this module round-trips
+:class:`~repro.gpu.batch_result.BatchSolveResult` objects (plus the
+species names needed to interpret them) through a single compressed
+``.npz`` file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FormatError
+from ..gpu.batch_result import BatchSolveResult
+
+_FORMAT_VERSION = 1
+
+
+def save_result(path: str | Path, result: BatchSolveResult,
+                species_names: list[str] | None = None) -> Path:
+    """Write a batch result (and optional species labels) to ``path``."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    names = np.array(species_names if species_names is not None else [],
+                     dtype=np.str_)
+    np.savez_compressed(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        t=result.t,
+        y=result.y,
+        status_codes=result.status_codes,
+        method_codes=result.method_codes,
+        n_steps=result.n_steps,
+        n_accepted=result.n_accepted,
+        n_rejected=result.n_rejected,
+        elapsed_seconds=np.array(result.elapsed_seconds),
+        species_names=names,
+    )
+    return path
+
+
+def load_result(path: str | Path
+                ) -> tuple[BatchSolveResult, list[str]]:
+    """Read a batch result; returns (result, species_names)."""
+    path = Path(path)
+    if not path.is_file():
+        raise FormatError(f"no result archive at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            version = int(archive["format_version"])
+            if version != _FORMAT_VERSION:
+                raise FormatError(
+                    f"unsupported result format version {version}")
+            result = BatchSolveResult(
+                t=archive["t"],
+                y=archive["y"],
+                status_codes=archive["status_codes"],
+                method_codes=archive["method_codes"],
+                n_steps=archive["n_steps"],
+                n_accepted=archive["n_accepted"],
+                n_rejected=archive["n_rejected"],
+                elapsed_seconds=float(archive["elapsed_seconds"]),
+            )
+            names = [str(name) for name in archive["species_names"]]
+    except (KeyError, ValueError) as error:
+        raise FormatError(f"cannot read {path}: {error}") from None
+    return result, names

@@ -1,0 +1,162 @@
+"""SBML-subset reader and writer.
+
+Many Systems Biology tools exchange models as SBML; the simulator
+family ships a converter between SBML and its folder format. This
+module implements a pragmatic SBML Level-3-shaped subset with the
+standard library's XML tooling:
+
+* species with ``initialConcentration``;
+* reactions with ``listOfReactants`` / ``listOfProducts`` and integer
+  ``stoichiometry``;
+* one kinetic constant per reaction, stored as a local parameter named
+  ``k`` (mass-action is implied, matching the simulator's semantics).
+
+Documents written by :func:`write_sbml` round-trip exactly through
+:func:`read_sbml`; foreign documents are accepted as long as they stay
+inside this subset.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from pathlib import Path
+
+from ..errors import FormatError
+from ..model import Reaction, ReactionBasedModel
+
+_NS = "http://www.sbml.org/sbml/level3/version2/core"
+
+
+def _tag(name: str) -> str:
+    return f"{{{_NS}}}{name}"
+
+
+def write_sbml(model: ReactionBasedModel, path: str | Path) -> Path:
+    """Serialize a mass-action model to an SBML-subset document."""
+    if not model.is_mass_action():
+        raise FormatError(
+            "the SBML subset writer only represents mass-action models; "
+            f"{model.name!r} uses other kinetic laws")
+    root = ElementTree.Element(_tag("sbml"), {"level": "3", "version": "2"})
+    model_el = ElementTree.SubElement(root, _tag("model"),
+                                      {"id": model.name})
+    species_list = ElementTree.SubElement(model_el, _tag("listOfSpecies"))
+    for species in model.species:
+        ElementTree.SubElement(species_list, _tag("species"), {
+            "id": species.name,
+            "initialConcentration": repr(species.initial_concentration),
+            "hasOnlySubstanceUnits": "false",
+            "boundaryCondition": "false",
+            "constant": "false",
+        })
+    reaction_list = ElementTree.SubElement(model_el, _tag("listOfReactions"))
+    for index, reaction in enumerate(model.reactions):
+        reaction_el = ElementTree.SubElement(reaction_list, _tag("reaction"), {
+            "id": reaction.name or f"R{index}",
+            "reversible": "false",
+        })
+        _write_side(reaction_el, "listOfReactants", reaction.reactants)
+        _write_side(reaction_el, "listOfProducts", reaction.products)
+        law_el = ElementTree.SubElement(reaction_el, _tag("kineticLaw"))
+        params = ElementTree.SubElement(law_el, _tag("listOfLocalParameters"))
+        ElementTree.SubElement(params, _tag("localParameter"), {
+            "id": "k", "value": repr(reaction.rate_constant),
+        })
+    tree = ElementTree.ElementTree(root)
+    ElementTree.indent(tree)
+    path = Path(path)
+    tree.write(path, xml_declaration=True, encoding="unicode")
+    return path
+
+
+def read_sbml(path: str | Path) -> ReactionBasedModel:
+    """Parse an SBML-subset document into a mass-action model."""
+    path = Path(path)
+    try:
+        root = ElementTree.parse(path).getroot()
+    except ElementTree.ParseError as error:
+        raise FormatError(f"cannot parse {path}: {error}") from None
+    model_el = root.find(_tag("model"))
+    if model_el is None:
+        # Tolerate documents without a namespace.
+        model_el = root.find("model")
+        if model_el is None:
+            raise FormatError(f"{path} has no <model> element")
+        return _read_model(model_el, namespaced=False, path=path)
+    return _read_model(model_el, namespaced=True, path=path)
+
+
+def _read_model(model_el, namespaced: bool, path) -> ReactionBasedModel:
+    def tag(name: str) -> str:
+        return _tag(name) if namespaced else name
+
+    model = ReactionBasedModel(model_el.get("id") or "sbml-model")
+    species_list = model_el.find(tag("listOfSpecies"))
+    if species_list is None:
+        raise FormatError(f"{path} has no listOfSpecies")
+    for species_el in species_list.findall(tag("species")):
+        identifier = species_el.get("id")
+        if not identifier:
+            raise FormatError(f"{path}: species without id")
+        concentration = float(species_el.get("initialConcentration", "0")
+                              or 0.0)
+        model.add_species(identifier, concentration)
+
+    reaction_list = model_el.find(tag("listOfReactions"))
+    if reaction_list is None:
+        raise FormatError(f"{path} has no listOfReactions")
+    for reaction_el in reaction_list.findall(tag("reaction")):
+        reactants = _read_side(reaction_el, tag, "listOfReactants", path)
+        products = _read_side(reaction_el, tag, "listOfProducts", path)
+        rate = _read_rate(reaction_el, tag, path)
+        model.add_reaction(Reaction(reactants, products, rate,
+                                    name=reaction_el.get("id") or ""))
+    return model
+
+
+def _write_side(reaction_el, list_name: str, side: dict[str, int]) -> None:
+    if not side:
+        return
+    side_el = ElementTree.SubElement(reaction_el, _tag(list_name))
+    for species, coefficient in side.items():
+        ElementTree.SubElement(side_el, _tag("speciesReference"), {
+            "species": species,
+            "stoichiometry": str(coefficient),
+            "constant": "true",
+        })
+
+
+def _read_side(reaction_el, tag, list_name: str, path) -> dict[str, int]:
+    side_el = reaction_el.find(tag(list_name))
+    side: dict[str, int] = {}
+    if side_el is None:
+        return side
+    for reference in side_el.findall(tag("speciesReference")):
+        species = reference.get("species")
+        if not species:
+            raise FormatError(f"{path}: speciesReference without species")
+        stoichiometry = float(reference.get("stoichiometry", "1"))
+        if stoichiometry != int(stoichiometry) or stoichiometry < 1:
+            raise FormatError(
+                f"{path}: non-integer stoichiometry {stoichiometry} "
+                f"for {species}")
+        side[species] = side.get(species, 0) + int(stoichiometry)
+    return side
+
+
+def _read_rate(reaction_el, tag, path) -> float:
+    law_el = reaction_el.find(tag("kineticLaw"))
+    if law_el is None:
+        raise FormatError(
+            f"{path}: reaction {reaction_el.get('id')!r} has no kineticLaw")
+    for params_name in ("listOfLocalParameters", "listOfParameters"):
+        params_el = law_el.find(tag(params_name))
+        if params_el is None:
+            continue
+        for parameter in params_el.findall(tag("localParameter")) + \
+                params_el.findall(tag("parameter")):
+            if parameter.get("id") == "k":
+                return float(parameter.get("value"))
+    raise FormatError(
+        f"{path}: reaction {reaction_el.get('id')!r} has no local "
+        "parameter 'k' (only mass-action subset documents are supported)")

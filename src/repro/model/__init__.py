@@ -1,0 +1,25 @@
+"""Reaction-based model formalism: species, reactions, kinetics, ODEs."""
+
+from .kinetics import MASS_ACTION, Hill, KineticLaw, MassAction, MichaelisMenten
+from .ratelaws import CustomLaw, Expression, parse_expression
+from .odesystem import ODESystem, POLICIES
+from .parameterization import (Parameterization, ParameterizationBatch,
+                               perturb_rate_constants, perturbed_batch)
+from .rbm import ReactionBasedModel
+from .reaction import Reaction, parse_reaction
+from .species import Species, SpeciesRegistry
+from .stoichiometry import (StoichiometricMatrices, build_matrices,
+                            conservation_laws, invariant_totals,
+                            reaction_graph_edges)
+
+__all__ = [
+    "MASS_ACTION", "Hill", "KineticLaw", "MassAction", "MichaelisMenten",
+    "CustomLaw", "Expression", "parse_expression",
+    "ODESystem", "POLICIES",
+    "Parameterization", "ParameterizationBatch",
+    "perturb_rate_constants", "perturbed_batch",
+    "ReactionBasedModel", "Reaction", "parse_reaction",
+    "Species", "SpeciesRegistry",
+    "StoichiometricMatrices", "build_matrices", "conservation_laws",
+    "invariant_totals", "reaction_graph_edges",
+]

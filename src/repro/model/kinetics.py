@@ -1,0 +1,98 @@
+"""Kinetic laws for reactions.
+
+The main law of this paper family is mass-action kinetics, which is what
+the ODE generator compiles to its fast vectorized path. Michaelis-Menten
+and Hill kinetics are supported as the extension the original tool lists
+as future work; they get their own vectorized groups in the compiled
+ODE system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KineticsError
+from .ratelaws import CustomLaw
+
+
+@dataclass(frozen=True)
+class MassAction:
+    """Law of mass action: flux = k * prod_j X_j^a_ij.
+
+    The kinetic constant ``k`` lives on the reaction (so it can be swept
+    and perturbed); the law itself is stateless.
+    """
+
+    def describe(self) -> str:
+        return "mass-action"
+
+
+@dataclass(frozen=True)
+class MichaelisMenten:
+    """Michaelis-Menten kinetics: flux = k * S / (km + S).
+
+    ``k`` plays the role of Vmax and lives on the reaction. The reaction
+    must have exactly one reactant (the substrate ``S``) with
+    stoichiometric coefficient 1.
+    """
+
+    km: float
+
+    def __post_init__(self) -> None:
+        if not (self.km > 0.0):
+            raise KineticsError(f"Michaelis constant must be > 0, got {self.km}")
+
+    def describe(self) -> str:
+        return f"michaelis-menten(km={self.km})"
+
+
+@dataclass(frozen=True)
+class Hill:
+    """Hill kinetics: flux = k * S^n / (km^n + S^n).
+
+    ``k`` plays the role of Vmax and lives on the reaction. The reaction
+    must have exactly one reactant (the substrate ``S``) with
+    stoichiometric coefficient 1. ``n`` is the Hill coefficient.
+    """
+
+    km: float
+    n: float
+
+    def __post_init__(self) -> None:
+        if not (self.km > 0.0):
+            raise KineticsError(f"Hill half-saturation must be > 0, got {self.km}")
+        if not (self.n > 0.0):
+            raise KineticsError(f"Hill coefficient must be > 0, got {self.n}")
+
+    def describe(self) -> str:
+        return f"hill(km={self.km}, n={self.n})"
+
+
+KineticLaw = MassAction | MichaelisMenten | Hill | CustomLaw
+
+MASS_ACTION = MassAction()
+
+
+def validate_law_for_reaction(law: KineticLaw, n_reactants: int,
+                              max_coefficient: int) -> None:
+    """Check that a kinetic law is compatible with a reaction shape.
+
+    Parameters
+    ----------
+    law:
+        The kinetic law attached to the reaction.
+    n_reactants:
+        Number of distinct reactant species.
+    max_coefficient:
+        Largest reactant stoichiometric coefficient.
+    """
+    if isinstance(law, (MassAction, CustomLaw)):
+        # Custom laws may reference any species; their symbols are
+        # checked against the model when the ODE system is compiled.
+        return
+    if n_reactants != 1 or max_coefficient != 1:
+        raise KineticsError(
+            f"{law.describe()} kinetics requires exactly one reactant with "
+            f"coefficient 1, got {n_reactants} reactant(s) with max "
+            f"coefficient {max_coefficient}"
+        )

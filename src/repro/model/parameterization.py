@@ -1,0 +1,170 @@
+"""Parameterizations of an RBM: kinetic constants and initial states.
+
+A parameter-space analysis runs the same model under many distinct
+parameterizations; this module holds single parameterizations, batches
+of them, and the multiplicative log-space perturbation scheme used to
+generate sweep batches from a nominal parameterization:
+
+    k_i' = exp( ln(k_i - 0.25 k_i)
+                + (ln(k_i + 0.25 k_i) - ln(k_i - 0.25 k_i)) * u ),
+    u ~ Uniform(0, 1)
+
+i.e. a log-uniform draw in [0.75 k_i, 1.25 k_i].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class Parameterization:
+    """One model instantiation: kinetic constants and initial state.
+
+    Attributes
+    ----------
+    rate_constants:
+        Shape (M,), strictly positive.
+    initial_state:
+        Shape (N,), non-negative concentrations.
+    """
+
+    rate_constants: np.ndarray
+    initial_state: np.ndarray
+
+    def __post_init__(self) -> None:
+        k = np.asarray(self.rate_constants, dtype=np.float64)
+        x0 = np.asarray(self.initial_state, dtype=np.float64)
+        object.__setattr__(self, "rate_constants", k)
+        object.__setattr__(self, "initial_state", x0)
+        if k.ndim != 1 or x0.ndim != 1:
+            raise ModelError("parameterization arrays must be 1-D")
+        if np.any(~np.isfinite(k)) or np.any(k <= 0.0):
+            raise ModelError("rate constants must be finite and > 0")
+        if np.any(~np.isfinite(x0)) or np.any(x0 < 0.0):
+            raise ModelError("initial state must be finite and >= 0")
+
+    @property
+    def n_reactions(self) -> int:
+        return self.rate_constants.shape[0]
+
+    @property
+    def n_species(self) -> int:
+        return self.initial_state.shape[0]
+
+    def with_rate_constant(self, index: int, value: float) -> "Parameterization":
+        k = self.rate_constants.copy()
+        k[index] = value
+        return Parameterization(k, self.initial_state.copy())
+
+    def with_initial_value(self, index: int, value: float) -> "Parameterization":
+        x0 = self.initial_state.copy()
+        x0[index] = value
+        return Parameterization(self.rate_constants.copy(), x0)
+
+
+@dataclass(frozen=True)
+class ParameterizationBatch:
+    """A batch of B parameterizations stored as stacked arrays.
+
+    Attributes
+    ----------
+    rate_constants:
+        Shape (B, M).
+    initial_states:
+        Shape (B, N).
+    """
+
+    rate_constants: np.ndarray
+    initial_states: np.ndarray
+
+    def __post_init__(self) -> None:
+        k = np.atleast_2d(np.asarray(self.rate_constants, dtype=np.float64))
+        x0 = np.atleast_2d(np.asarray(self.initial_states, dtype=np.float64))
+        object.__setattr__(self, "rate_constants", k)
+        object.__setattr__(self, "initial_states", x0)
+        if k.shape[0] != x0.shape[0]:
+            raise ModelError(
+                f"batch size mismatch: {k.shape[0]} rate-constant rows vs "
+                f"{x0.shape[0]} initial-state rows"
+            )
+        if np.any(~np.isfinite(k)) or np.any(k <= 0.0):
+            raise ModelError("rate constants must be finite and > 0")
+        if np.any(~np.isfinite(x0)) or np.any(x0 < 0.0):
+            raise ModelError("initial states must be finite and >= 0")
+
+    @property
+    def size(self) -> int:
+        return self.rate_constants.shape[0]
+
+    @property
+    def n_reactions(self) -> int:
+        return self.rate_constants.shape[1]
+
+    @property
+    def n_species(self) -> int:
+        return self.initial_states.shape[1]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, index: int) -> Parameterization:
+        return Parameterization(self.rate_constants[index].copy(),
+                                self.initial_states[index].copy())
+
+    def subset(self, indices: np.ndarray) -> "ParameterizationBatch":
+        return ParameterizationBatch(self.rate_constants[indices],
+                                     self.initial_states[indices])
+
+    @staticmethod
+    def from_parameterizations(
+            items: list[Parameterization]) -> "ParameterizationBatch":
+        if not items:
+            raise ModelError("cannot build a batch from zero parameterizations")
+        return ParameterizationBatch(
+            np.stack([p.rate_constants for p in items]),
+            np.stack([p.initial_state for p in items]),
+        )
+
+    @staticmethod
+    def replicate(base: Parameterization, count: int) -> "ParameterizationBatch":
+        """Batch of ``count`` copies of one parameterization."""
+        if count < 1:
+            raise ModelError(f"batch size must be >= 1, got {count}")
+        return ParameterizationBatch(
+            np.tile(base.rate_constants, (count, 1)),
+            np.tile(base.initial_state, (count, 1)),
+        )
+
+
+def perturb_rate_constants(base: np.ndarray, count: int,
+                           rng: np.random.Generator,
+                           spread: float = 0.25) -> np.ndarray:
+    """Log-uniform multiplicative perturbation of kinetic constants.
+
+    Each of the ``count`` output rows draws every constant log-uniformly
+    in [(1 - spread) k, (1 + spread) k]. This is the scheme used by the
+    paper family to generate the batches of a parameter sweep.
+    """
+    base = np.asarray(base, dtype=np.float64)
+    if np.any(base <= 0.0):
+        raise ModelError("perturbation requires strictly positive constants")
+    if not (0.0 < spread < 1.0):
+        raise ModelError(f"spread must be in (0, 1), got {spread}")
+    low = np.log(base * (1.0 - spread))
+    high = np.log(base * (1.0 + spread))
+    u = rng.random((count, base.shape[0]))
+    return np.exp(low + (high - low) * u)
+
+
+def perturbed_batch(base: Parameterization, count: int,
+                    rng: np.random.Generator,
+                    spread: float = 0.25) -> ParameterizationBatch:
+    """Batch with perturbed rate constants and the shared initial state."""
+    constants = perturb_rate_constants(base.rate_constants, count, rng, spread)
+    states = np.tile(base.initial_state, (count, 1))
+    return ParameterizationBatch(constants, states)

@@ -1,0 +1,170 @@
+"""Reaction-based models (RBMs).
+
+An RBM is the pair (S, R) of N molecular species and M biochemical
+reactions. It is the single source of truth from which stoichiometric
+matrices, ODE systems, parameterizations and file representations are
+derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from ..errors import ModelError
+from .kinetics import KineticLaw, MassAction
+from .parameterization import Parameterization, ParameterizationBatch
+from .reaction import Reaction, parse_reaction
+from .species import Species, SpeciesRegistry
+from .stoichiometry import (StoichiometricMatrices, build_matrices,
+                            conservation_laws)
+
+
+@dataclass
+class ReactionBasedModel:
+    """A reaction-based model of a biochemical network.
+
+    Models are typically assembled through :meth:`add_species` and
+    :meth:`add_reaction` (or the string-based :meth:`add`), then frozen
+    implicitly the first time a derived artifact (matrices, ODE system)
+    is requested.
+    """
+
+    name: str = "model"
+    species: SpeciesRegistry = field(default_factory=SpeciesRegistry)
+    reactions: list[Reaction] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_species(self, name: str, initial_concentration: float = 0.0) -> Species:
+        """Declare a species (idempotent for identical declarations)."""
+        self._invalidate()
+        species = Species(name, initial_concentration)
+        self.species.add(species)
+        return species
+
+    def add_reaction(self, reaction: Reaction) -> Reaction:
+        """Add a reaction; undeclared species are auto-registered at 0."""
+        self._invalidate()
+        for species_name in (*reaction.reactants, *reaction.products):
+            if species_name not in self.species:
+                self.species.add(Species(species_name, 0.0))
+        self.reactions.append(reaction)
+        return reaction
+
+    def add(self, text: str, rate_constant: float | None = None,
+            law: KineticLaw | None = None, name: str = "") -> Reaction:
+        """Parse and add a reaction from ``"2 A + B -> C @ 0.5"`` syntax."""
+        reaction = parse_reaction(
+            text, rate_constant,
+            law if law is not None else MassAction(), name)
+        return self.add_reaction(reaction)
+
+    def _invalidate(self) -> None:
+        self.__dict__.pop("matrices", None)
+        self.__dict__.pop("_conservation", None)
+
+    # ------------------------------------------------------------------
+    # shape
+
+    @property
+    def n_species(self) -> int:
+        return len(self.species)
+
+    @property
+    def n_reactions(self) -> int:
+        return len(self.reactions)
+
+    @property
+    def size(self) -> tuple[int, int]:
+        """(N, M) = (number of species, number of reactions)."""
+        return self.n_species, self.n_reactions
+
+    def is_mass_action(self) -> bool:
+        """True when every reaction uses the law of mass action."""
+        return all(isinstance(r.law, MassAction) for r in self.reactions)
+
+    def max_order(self) -> int:
+        """Largest reaction order in the model."""
+        return max((r.order for r in self.reactions), default=0)
+
+    # ------------------------------------------------------------------
+    # derived structure
+
+    @cached_property
+    def matrices(self) -> StoichiometricMatrices:
+        """Stoichiometric matrices A, B and S = B - A."""
+        self.validate()
+        return build_matrices(self.species, self.reactions)
+
+    @cached_property
+    def _conservation(self) -> np.ndarray:
+        return conservation_laws(self.matrices.net)
+
+    def conservation_law_basis(self) -> np.ndarray:
+        """Orthonormal basis (L, N) of conserved linear combinations."""
+        return self._conservation
+
+    def validate(self) -> None:
+        """Raise :class:`ModelError` for structurally invalid models."""
+        if self.n_species == 0:
+            raise ModelError(f"model {self.name!r} has no species")
+        if self.n_reactions == 0:
+            raise ModelError(f"model {self.name!r} has no reactions")
+        dynamic = set()
+        for reaction in self.reactions:
+            dynamic.update(reaction.species_names())
+        # Species never touched by any reaction are allowed (their ODE is
+        # dX/dt = 0) but a fully disconnected model is suspicious enough
+        # to reject.
+        if not dynamic:
+            raise ModelError(f"model {self.name!r} has no reacting species")
+
+    # ------------------------------------------------------------------
+    # parameterizations
+
+    def rate_constants(self) -> np.ndarray:
+        return np.array([r.rate_constant for r in self.reactions])
+
+    def initial_state(self) -> np.ndarray:
+        return np.array(self.species.initial_concentrations())
+
+    def nominal_parameterization(self) -> Parameterization:
+        """The parameterization written in the model definition."""
+        return Parameterization(self.rate_constants(), self.initial_state())
+
+    def batch(self, count: int) -> ParameterizationBatch:
+        """Batch of ``count`` copies of the nominal parameterization."""
+        return ParameterizationBatch.replicate(
+            self.nominal_parameterization(), count)
+
+    def check_parameterization(self, parameterization: Parameterization) -> None:
+        if parameterization.n_reactions != self.n_reactions:
+            raise ModelError(
+                f"parameterization has {parameterization.n_reactions} rate "
+                f"constants, model has {self.n_reactions} reactions")
+        if parameterization.n_species != self.n_species:
+            raise ModelError(
+                f"parameterization has {parameterization.n_species} initial "
+                f"values, model has {self.n_species} species")
+
+    # ------------------------------------------------------------------
+    # rendering
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        kind = "mass-action" if self.is_mass_action() else "mixed-kinetics"
+        lines = [
+            f"ReactionBasedModel {self.name!r}: N={self.n_species} species, "
+            f"M={self.n_reactions} reactions ({kind}, max order "
+            f"{self.max_order()})",
+        ]
+        lines.extend(f"  {r.text()}" for r in self.reactions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ReactionBasedModel {self.name!r} N={self.n_species} "
+                f"M={self.n_reactions}>")

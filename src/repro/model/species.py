@@ -1,0 +1,102 @@
+"""Molecular species of a reaction-based model."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class Species:
+    """A molecular species.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the species. Must be a valid Python-style
+        identifier so that species can be referenced from reaction
+        strings such as ``"A + B -> C"``.
+    initial_concentration:
+        Default initial concentration (arbitrary units, >= 0). Individual
+        simulations may override it through a
+        :class:`~repro.model.parameterization.Parameterization`.
+    """
+
+    name: str
+    initial_concentration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ModelError(
+                f"invalid species name {self.name!r}: must match "
+                "[A-Za-z_][A-Za-z0-9_]*"
+            )
+        if not (self.initial_concentration >= 0.0):
+            raise ModelError(
+                f"species {self.name!r}: initial concentration must be "
+                f"non-negative, got {self.initial_concentration}"
+            )
+
+    def with_concentration(self, value: float) -> "Species":
+        """Return a copy of this species with a new initial concentration."""
+        return Species(self.name, value)
+
+
+@dataclass
+class SpeciesRegistry:
+    """Ordered, name-indexed collection of species.
+
+    The registry fixes the species ordering used for every vector and
+    matrix in the package (state vectors, stoichiometric matrices, ...).
+    """
+
+    _species: list[Species] = field(default_factory=list)
+    _index: dict[str, int] = field(default_factory=dict)
+
+    def add(self, species: Species) -> int:
+        """Register a species and return its index.
+
+        Re-adding a species with the same name and concentration is a
+        no-op; re-adding with a different concentration is an error.
+        """
+        existing = self._index.get(species.name)
+        if existing is not None:
+            if self._species[existing] != species:
+                raise ModelError(
+                    f"species {species.name!r} registered twice with "
+                    "different initial concentrations"
+                )
+            return existing
+        index = len(self._species)
+        self._species.append(species)
+        self._index[species.name] = index
+        return index
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ModelError(f"unknown species {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self._species)
+
+    def __iter__(self):
+        return iter(self._species)
+
+    def __getitem__(self, index: int) -> Species:
+        return self._species[index]
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self._species]
+
+    def initial_concentrations(self) -> list[float]:
+        return [s.initial_concentration for s in self._species]

@@ -1,0 +1,19 @@
+"""Curated concrete biological models used by examples and benches."""
+
+from .cascade import (OBSERVED_SPECIES, PARAMETER_NAMES, TRUE_CONSTANTS,
+                      cascade)
+from .curated import (decay_chain, dimerization, hill_switch,
+                      lotka_volterra, michaelis_menten_cycle, robertson)
+from .extra import (goldbeter_mitotic, oregonator, schloegl, sir_epidemic)
+from .metabolic import (SA_OUTPUT_SPECIES, SA_TARGET_SPECIES,
+                        metabolic_network)
+from .oscillator import brusselator, oscillates
+
+__all__ = [
+    "OBSERVED_SPECIES", "PARAMETER_NAMES", "TRUE_CONSTANTS", "cascade",
+    "decay_chain", "dimerization", "hill_switch", "lotka_volterra",
+    "michaelis_menten_cycle", "robertson",
+    "SA_OUTPUT_SPECIES", "SA_TARGET_SPECIES", "metabolic_network",
+    "brusselator", "oscillates",
+    "goldbeter_mitotic", "oregonator", "schloegl", "sir_epidemic",
+]

@@ -1,0 +1,45 @@
+"""Phosphorylation cascade model used by the parameter-estimation
+experiment.
+
+A three-tier kinase cascade (MAPK-like) under mass-action kinetics:
+an upstream signal E activates tier 1, active tier 1 activates tier 2,
+and so on; constitutive phosphatases deactivate each tier. The six
+kinetic constants are the targets the PE experiment (E6) recovers from
+synthetic "observed" dynamics.
+"""
+
+from __future__ import annotations
+
+from ..model import ReactionBasedModel
+
+#: Names of the constants in reaction order (activation/deactivation
+#: per tier); useful for labeling PE results.
+PARAMETER_NAMES = ("k_act1", "k_dea1", "k_act2", "k_dea2",
+                   "k_act3", "k_dea3")
+
+#: Ground-truth constants the PE experiment tries to recover.
+TRUE_CONSTANTS = (2.0, 0.8, 1.5, 0.6, 1.0, 0.4)
+
+#: Observable species of the cascade (the active forms).
+OBSERVED_SPECIES = ("X1a", "X2a", "X3a")
+
+
+def cascade(constants: tuple[float, ...] = TRUE_CONSTANTS
+            ) -> ReactionBasedModel:
+    """Build the cascade with the given six kinetic constants."""
+    k_act1, k_dea1, k_act2, k_dea2, k_act3, k_dea3 = constants
+    model = ReactionBasedModel("kinase-cascade")
+    model.add_species("E", 1.0)      # upstream signal (conserved)
+    model.add_species("X1", 1.0)
+    model.add_species("X1a", 0.0)
+    model.add_species("X2", 1.0)
+    model.add_species("X2a", 0.0)
+    model.add_species("X3", 1.0)
+    model.add_species("X3a", 0.0)
+    model.add("X1 + E -> X1a + E", rate_constant=k_act1)
+    model.add("X1a -> X1", rate_constant=k_dea1)
+    model.add("X2 + X1a -> X2a + X1a", rate_constant=k_act2)
+    model.add("X2a -> X2", rate_constant=k_dea2)
+    model.add("X3 + X2a -> X3a + X2a", rate_constant=k_act3)
+    model.add("X3a -> X3", rate_constant=k_dea3)
+    return model

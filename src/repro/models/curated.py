@@ -1,0 +1,114 @@
+"""Curated small reaction-based models with known behavior.
+
+These models are used throughout the tests, examples and benchmarks:
+each one exercises a specific regime (stiffness, conservation,
+oscillation, saturating kinetics) with a structure that is easy to
+reason about analytically.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from ..model import Hill, MichaelisMenten, ReactionBasedModel
+
+
+def robertson() -> ReactionBasedModel:
+    """Robertson's classical stiff problem as an RBM.
+
+    A -> B (slow), 2B -> B + C (very fast), B + C -> A + C. The mass
+    totals are conserved and the Jacobian develops a ~1e4 stiffness
+    ratio as soon as B builds up — the canonical stress test for stiff
+    integrators.
+    """
+    model = ReactionBasedModel("robertson")
+    model.add_species("A", 1.0)
+    model.add_species("B", 0.0)
+    model.add_species("C", 0.0)
+    model.add("A -> B @ 0.04")
+    model.add("2 B -> B + C @ 3e7")
+    model.add("B + C -> A + C @ 1e4")
+    return model
+
+
+def decay_chain(length: int = 3, rate: float = 1.0,
+                initial: float = 10.0) -> ReactionBasedModel:
+    """Linear decay chain X0 -> X1 -> ... -> X_{length}.
+
+    With distinct rates the solution is a Bateman cascade with a known
+    closed form; the total mass is conserved.
+    """
+    if length < 1:
+        raise ModelError(f"chain length must be >= 1, got {length}")
+    model = ReactionBasedModel(f"decay-chain-{length}")
+    model.add_species("X0", initial)
+    for i in range(1, length + 1):
+        model.add_species(f"X{i}", 0.0)
+    for i in range(length):
+        model.add(f"X{i} -> X{i + 1}", rate_constant=rate / (1.0 + 0.5 * i))
+    return model
+
+
+def lotka_volterra(prey_birth: float = 1.0, predation: float = 0.1,
+                   predator_death: float = 0.5) -> ReactionBasedModel:
+    """Mass-action Lotka-Volterra oscillator.
+
+    Y1 -> 2 Y1 (prey reproduction), Y1 + Y2 -> 2 Y2 (predation),
+    Y2 -> 0 (predator death). Trajectories are closed orbits around
+    the center (predator_death/predation, prey_birth/predation).
+    """
+    model = ReactionBasedModel("lotka-volterra")
+    model.add_species("Y1", 10.0)
+    model.add_species("Y2", 5.0)
+    model.add("Y1 -> 2 Y1", rate_constant=prey_birth)
+    model.add("Y1 + Y2 -> 2 Y2", rate_constant=predation)
+    model.add("Y2 -> 0", rate_constant=predator_death)
+    return model
+
+
+def michaelis_menten_cycle(vmax_forward: float = 1.0, km_forward: float = 0.5,
+                           vmax_back: float = 0.6,
+                           km_back: float = 0.8) -> ReactionBasedModel:
+    """Two-state covalent modification cycle with saturating kinetics.
+
+    S <-> P where both directions follow Michaelis-Menten laws; the
+    total S + P is conserved, and the steady state exhibits the
+    Goldbeter-Koshland zero-order ultrasensitivity when both enzymes
+    are saturated.
+    """
+    model = ReactionBasedModel("mm-cycle")
+    model.add_species("S", 1.0)
+    model.add_species("P", 0.0)
+    model.add("S -> P", rate_constant=vmax_forward,
+              law=MichaelisMenten(km=km_forward))
+    model.add("P -> S", rate_constant=vmax_back,
+              law=MichaelisMenten(km=km_back))
+    return model
+
+
+def hill_switch(vmax: float = 1.0, km: float = 0.5,
+                n: float = 4.0, decay: float = 0.8) -> ReactionBasedModel:
+    """Self-activating gene switch with Hill kinetics.
+
+    X activates its own production through a steep Hill law and decays
+    linearly; for suitable parameters the system is bistable.
+    """
+    model = ReactionBasedModel("hill-switch")
+    model.add_species("X", 0.1)
+    model.add("X -> 2 X", rate_constant=vmax, law=Hill(km=km, n=n))
+    model.add("X -> 0", rate_constant=decay)
+    return model
+
+
+def dimerization(bind: float = 2.0, unbind: float = 1.0,
+                 initial: float = 1.0) -> ReactionBasedModel:
+    """Reversible dimerization 2 A <-> D.
+
+    The equilibrium is analytically solvable and both the mass total
+    A + 2 D and detailed balance are easy to verify in tests.
+    """
+    model = ReactionBasedModel("dimerization")
+    model.add_species("A", initial)
+    model.add_species("D", 0.0)
+    model.add("2 A -> D", rate_constant=bind)
+    model.add("D -> 2 A", rate_constant=unbind)
+    return model

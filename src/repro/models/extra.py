@@ -1,0 +1,134 @@
+"""Additional curated models: stiff oscillators, epidemics, bistability.
+
+These widen the benchmark model suite beyond the core set: the
+Oregonator is the classic *stiff* limit-cycle oscillator (the stress
+test for the router on oscillatory stiffness), the SIR epidemic is the
+standard closed mass-action contagion model, the Schlögl system is the
+canonical bistable network whose stochastic dynamics are bimodal while
+its deterministic limit picks a single branch, and the Goldbeter
+minimal mitotic oscillator exercises saturating (Michaelis-Menten)
+kinetics in a feedback loop.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from ..model import MichaelisMenten, ReactionBasedModel
+
+
+def oregonator() -> ReactionBasedModel:
+    """Field-Noyes Oregonator (Belousov-Zhabotinsky core).
+
+    Mass-action encoding with buffered A = B folded into the constants:
+
+        R1: Y      -> X          (A + Y -> X + P)
+        R2: X + Y  -> 0          (X + Y -> 2 P)
+        R3: X      -> 2 X + Z    (A + X -> 2 X + 2 Z, lumped)
+        R4: 2 X    -> 0          (2 X -> A + P)
+        R5: Z      -> Y          (B + Z -> f/2 Y, f = 2)
+
+    With the classical rate ordering this is both stiff and
+    oscillatory — the hard regime for explicit methods.
+    """
+    model = ReactionBasedModel("oregonator")
+    model.add_species("X", 1.0)
+    model.add_species("Y", 1.0)
+    model.add_species("Z", 2.0)
+    model.add("Y -> X @ 2.0")
+    model.add("X + Y -> 0 @ 0.1")
+    model.add("X -> 2 X + Z @ 104.0")
+    model.add("2 X -> 0 @ 0.016")
+    model.add("Z -> Y @ 26.0")
+    return model
+
+
+def sir_epidemic(infection_rate: float = 0.3,
+                 recovery_rate: float = 0.1,
+                 population: float = 1000.0,
+                 initial_infected: float = 1.0) -> ReactionBasedModel:
+    """SIR epidemic as a closed mass-action RBM.
+
+    S + I -> 2 I (infection), I -> R (recovery). The basic reproduction
+    number is R0 = infection_rate * S0 / recovery_rate; an outbreak
+    occurs iff R0 > 1. Total population is conserved.
+    """
+    if initial_infected <= 0 or population <= initial_infected:
+        raise ModelError("need 0 < initial_infected < population")
+    model = ReactionBasedModel("sir")
+    model.add_species("S", population - initial_infected)
+    model.add_species("I", initial_infected)
+    model.add_species("R", 0.0)
+    model.add("S + I -> 2 I", rate_constant=infection_rate / population)
+    model.add("I -> R", rate_constant=recovery_rate)
+    return model
+
+
+def schloegl(low_state: float = 85.0, unstable_state: float = 250.0,
+             high_state: float = 550.0, time_scale: float = 2e-6,
+             initial: float = 100.0) -> ReactionBasedModel:
+    """Schlögl's bistable autocatalytic system.
+
+        R1: 2 X -> 3 X,   R2: 3 X -> 2 X,   R3: 0 -> X,   R4: X -> 0
+
+    gives dX/dt = k1 X^2 - k2 X^3 + k3 - k4 X, a cubic whose three
+    positive roots are the two stable states and the separatrix between
+    them. The constants are *derived* from the requested fixed points
+    (factored cubic scaled by ``time_scale``), so bistability holds by
+    construction: trajectories starting below ``unstable_state`` settle
+    at ``low_state``, the rest at ``high_state``. The stochastic
+    version at small volume is bimodal and hops between branches — a
+    classic qualitative gap between SSA and the ODE limit.
+    """
+    if not (0 < low_state < unstable_state < high_state):
+        raise ModelError("need 0 < low < unstable < high fixed points")
+    r1, r2, r3 = low_state, unstable_state, high_state
+    b = time_scale
+    model = ReactionBasedModel("schloegl")
+    model.add_species("X", initial)
+    model.add("2 X -> 3 X", rate_constant=b * (r1 + r2 + r3))
+    model.add("3 X -> 2 X", rate_constant=b)
+    model.add("0 -> X", rate_constant=b * r1 * r2 * r3)
+    model.add("X -> 0",
+              rate_constant=b * (r1 * r2 + r1 * r3 + r2 * r3))
+    return model
+
+
+def goldbeter_mitotic() -> ReactionBasedModel:
+    """Goldbeter's minimal mitotic oscillator (1991 parameters).
+
+    Cyclin C drives the activation of cdc2 kinase M through a
+    saturating (zero-order ultrasensitive) activation step; active M
+    activates the cyclin protease P, which degrades C — a delayed
+    negative feedback producing robust limit-cycle oscillations.
+
+    The saturating catalytic steps use :class:`CustomLaw` expressions
+    (the general-kinetics engine), e.g. the cdc2 activation rate is
+    VM1 * [C / (Kc + C)] * Mi / (K1 + Mi). The kinase/protease pairs
+    (M, Mi) and (P, Pi) are conserved with total 1.
+    """
+    from ..model import CustomLaw
+
+    model = ReactionBasedModel("goldbeter-mitotic")
+    model.add_species("C", 0.1)      # cyclin
+    model.add_species("M", 0.01)     # active cdc2
+    model.add_species("Mi", 0.99)    # inactive cdc2
+    model.add_species("P", 0.01)     # active protease
+    model.add_species("Pi", 0.99)    # inactive protease
+
+    model.add("0 -> C @ 0.025")                  # synthesis vi
+    model.add("C -> 0 @ 0.01")                   # basal decay kd
+    # Protease-mediated cyclin degradation: vd * P * C / (Kd + C).
+    model.add("C -> 0", rate_constant=0.25,
+              law=CustomLaw.from_string("k * P * C / (0.02 + C)"))
+    # Cyclin-activated cdc2: VM1 * C/(Kc+C) * Mi/(K1+Mi).
+    model.add("Mi -> M", rate_constant=3.0,
+              law=CustomLaw.from_string(
+                  "k * (C / (0.5 + C)) * Mi / (0.005 + Mi)"))
+    model.add("M -> Mi", rate_constant=1.5,
+              law=MichaelisMenten(km=0.005))
+    # cdc2-activated protease: VM3 * M * Pi/(K3+Pi).
+    model.add("Pi -> P", rate_constant=1.0,
+              law=CustomLaw.from_string("k * M * Pi / (0.005 + Pi)"))
+    model.add("P -> Pi", rate_constant=0.5,
+              law=MichaelisMenten(km=0.005))
+    return model

@@ -1,0 +1,87 @@
+"""A compact human-red-blood-cell-style metabolic RBM.
+
+Substitute for the intracellular carbohydrate-metabolism model of the
+paper family's sensitivity-analysis experiment (see DESIGN.md): the
+original BioModels network is unreachable offline, so this module
+builds a structurally analogous mass-action model of upper/lower
+glycolysis plus the pentose-phosphate branch, with two explicit
+hexokinase isoforms (HK1, HK2) forming enzyme-substrate complexes —
+the feature the experiment perturbs.
+
+Shape: 22 species, 20 reactions. The sensitivity analysis (E5) varies
+the initial concentrations of the dominant isoform and its complexes
+and reads out the ribose-5-phosphate (R5P) trajectory.
+"""
+
+from __future__ import annotations
+
+from ..model import ReactionBasedModel
+
+#: Species whose initial concentrations the Sobol SA perturbs: the
+#: high-abundance HK isoform and every complex it forms.
+SA_TARGET_SPECIES = ("HK2", "HK2_GLC", "HK2_GLC_ATP")
+
+#: The read-out metabolite of the sensitivity analysis.
+SA_OUTPUT_SPECIES = "R5P"
+
+
+def metabolic_network() -> ReactionBasedModel:
+    """Build the glycolysis + pentose-phosphate RBM."""
+    model = ReactionBasedModel("rbc-metabolism")
+
+    # Metabolites (mM-scale initial concentrations).
+    model.add_species("GLC", 5.0)
+    model.add_species("G6P", 0.04)
+    model.add_species("F6P", 0.015)
+    model.add_species("FBP", 0.003)
+    model.add_species("GAP", 0.006)
+    model.add_species("PYR", 0.08)
+    model.add_species("LAC", 1.3)
+    model.add_species("SixPG", 0.002)   # 6-phosphogluconate
+    model.add_species("R5P", 0.01)
+    # Cofactors.
+    model.add_species("ATP", 1.5)
+    model.add_species("ADP", 0.25)
+    model.add_species("NAD", 0.06)
+    model.add_species("NADH", 0.03)
+    model.add_species("NADP", 0.03)
+    model.add_species("NADPH", 0.06)
+    model.add_species("Pi", 1.0)
+    # Hexokinase isoforms and their complexes (HK2 dominant).
+    model.add_species("HK1", 2e-5)
+    model.add_species("HK2", 1e-4)
+    model.add_species("HK1_GLC", 0.0)
+    model.add_species("HK2_GLC", 0.0)
+    model.add_species("HK1_GLC_ATP", 0.0)
+    model.add_species("HK2_GLC_ATP", 0.0)
+
+    # Hexokinase isoform mechanisms (ordered bi-bi, mass action).
+    model.add("HK1 + GLC -> HK1_GLC @ 80.0")
+    model.add("HK1_GLC -> HK1 + GLC @ 5.0")
+    model.add("HK1_GLC + ATP -> HK1_GLC_ATP @ 60.0")
+    model.add("HK1_GLC_ATP -> HK1 + G6P + ADP @ 30.0")
+    model.add("HK2 + GLC -> HK2_GLC @ 120.0")
+    model.add("HK2_GLC -> HK2 + GLC @ 2.0")
+    model.add("HK2_GLC + ATP -> HK2_GLC_ATP @ 90.0")
+    model.add("HK2_GLC_ATP -> HK2 + G6P + ADP @ 45.0")
+
+    # Upper glycolysis.
+    model.add("G6P -> F6P @ 3.0")
+    model.add("F6P -> G6P @ 1.2")
+    model.add("F6P + ATP -> FBP + ADP @ 4.0")
+    model.add("FBP -> 2 GAP @ 2.5")
+
+    # Lumped lower glycolysis and lactate export.
+    model.add("GAP + NAD + ADP + Pi -> PYR + NADH + ATP @ 6.0")
+    model.add("PYR + NADH -> LAC + NAD @ 8.0")
+    model.add("LAC -> 0 @ 0.5")
+
+    # Pentose-phosphate branch (read-out pathway).
+    model.add("G6P + NADP -> SixPG + NADPH @ 1.5")
+    model.add("SixPG + NADP -> R5P + NADPH @ 2.0")
+    model.add("R5P -> F6P @ 0.4")
+    model.add("NADPH -> NADP @ 1.0")     # lumped glutathione load
+
+    # ATP consumption load closing the energy loop.
+    model.add("ATP -> ADP + Pi @ 0.3")
+    return model

@@ -1,0 +1,47 @@
+"""The Brusselator oscillator as a reaction-based model.
+
+The Brusselator is the workhorse for the PSA-2D experiment (E4): its
+limit cycle appears exactly when b > 1 + a^2, so sweeping (a, b) yields
+an oscillation-amplitude map with a sharp analytic boundary — the same
+kind of two-parameter oscillation map the paper family computes for the
+autophagy/translation switch.
+
+Mass-action encoding (buffered A and B folded into the constants):
+
+    R1: 0      -> X        rate a      (feed)
+    R2: 2X + Y -> 3X       rate 1      (autocatalysis, third order)
+    R3: X      -> Y        rate b      (conversion)
+    R4: X      -> 0        rate 1      (drain)
+
+which gives dX/dt = a + X^2 Y - (b + 1) X, dY/dt = b X - X^2 Y.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from ..model import ReactionBasedModel
+
+#: Indices of the sweepable constants in the reaction list.
+FEED_REACTION = 0
+CONVERSION_REACTION = 2
+
+
+def brusselator(a: float = 1.0, b: float = 3.0,
+                x0: float = 1.0, y0: float = 1.0) -> ReactionBasedModel:
+    """Brusselator RBM with feed rate ``a`` and conversion rate ``b``."""
+    if a <= 0.0 or b <= 0.0:
+        raise ModelError(f"Brusselator needs a, b > 0, got a={a}, b={b}")
+    model = ReactionBasedModel("brusselator")
+    model.add_species("X", x0)
+    model.add_species("Y", y0)
+    model.add("0 -> X", rate_constant=a)
+    model.add("2 X + Y -> 3 X", rate_constant=1.0)
+    model.add("X -> Y", rate_constant=b)
+    model.add("X -> 0", rate_constant=1.0)
+    return model
+
+
+def oscillates(a: float, b: float) -> bool:
+    """Analytic limit-cycle criterion: the fixed point (a, b/a) is
+    unstable iff b > 1 + a^2."""
+    return b > 1.0 + a * a

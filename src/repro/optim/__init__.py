@@ -1,0 +1,14 @@
+"""Optimization substrate: PSO and Fuzzy Self-Tuning PSO."""
+
+from .fstpso import (COGNITIVE_RANGE, INERTIA_RANGE, SOCIAL_RANGE,
+                     FuzzySelfTuningPSO)
+from .fuzzy import FuzzyVariable, SugenoRule, SugenoSystem, TriangularSet
+from .pso import (Objective, OptimizationResult, ParticleSwarmOptimizer,
+                  PSOOptions)
+
+__all__ = [
+    "COGNITIVE_RANGE", "INERTIA_RANGE", "SOCIAL_RANGE", "FuzzySelfTuningPSO",
+    "FuzzyVariable", "SugenoRule", "SugenoSystem", "TriangularSet",
+    "Objective", "OptimizationResult", "ParticleSwarmOptimizer",
+    "PSOOptions",
+]

@@ -1,0 +1,126 @@
+"""Fuzzy Self-Tuning PSO (FST-PSO style).
+
+The settings-free PSO variant the paper family couples with the
+accelerated simulator for parameter estimation: every particle gets its
+own inertia, cognitive and social factors each iteration, inferred by a
+Sugeno fuzzy rule base from two normalized observables:
+
+* ``improvement``: how much the particle's fitness improved since the
+  previous iteration (positive = better), normalized to [-1, 1];
+* ``distance``: the particle's distance from the global best,
+  normalized by the search-box diagonal to [0, 1].
+
+The rule base follows the published design intent — particles that
+keep improving explore (higher inertia, higher cognitive trust),
+particles that got worse and sit far from the best are pulled socially,
+particles near the best refine locally with small steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fuzzy import FuzzyVariable, SugenoRule, SugenoSystem, TriangularSet
+from .pso import ParticleSwarmOptimizer, PSOOptions
+
+INERTIA_RANGE = (0.3, 1.2)
+COGNITIVE_RANGE = (0.1, 3.0)
+SOCIAL_RANGE = (1.0, 3.0)
+
+
+def _build_rule_base() -> SugenoSystem:
+    improvement = FuzzyVariable("improvement", (
+        TriangularSet("worse", -np.inf, -1.0, 0.0),
+        TriangularSet("same", -1.0, 0.0, 1.0),
+        TriangularSet("better", 0.0, 1.0, np.inf),
+    ))
+    distance = FuzzyVariable("distance", (
+        TriangularSet("near", -np.inf, 0.0, 0.5),
+        TriangularSet("far", 0.0, 0.5, np.inf),
+    ))
+    rules = [
+        # Inertia: keep momentum while improving, brake when worsening
+        # or already near the best.
+        SugenoRule((("improvement", "better"),), "inertia", 1.0),
+        SugenoRule((("improvement", "same"),), "inertia", 0.6),
+        SugenoRule((("improvement", "worse"),), "inertia", 0.35),
+        SugenoRule((("distance", "near"),), "inertia", 0.4),
+        SugenoRule((("distance", "far"),), "inertia", 0.9),
+        # Cognitive factor: trust the own trail while it pays off.
+        SugenoRule((("improvement", "better"),), "cognitive", 2.4),
+        SugenoRule((("improvement", "same"),), "cognitive", 1.2),
+        SugenoRule((("improvement", "worse"),), "cognitive", 0.3),
+        # Social factor: follow the swarm when lost or far away.
+        SugenoRule((("improvement", "worse"),), "social", 2.8),
+        SugenoRule((("improvement", "same"),), "social", 2.0),
+        SugenoRule((("improvement", "better"),), "social", 1.2),
+        SugenoRule((("distance", "far"),), "social", 2.6),
+        SugenoRule((("distance", "near"),), "social", 1.4),
+    ]
+    return SugenoSystem([improvement, distance], rules)
+
+
+class FuzzySelfTuningPSO(ParticleSwarmOptimizer):
+    """PSO whose per-particle coefficients are fuzzy-inferred."""
+
+    def __init__(self, options: PSOOptions = PSOOptions()) -> None:
+        super().__init__(options)
+        self._system = _build_rule_base()
+        self._previous_fitness: np.ndarray | None = None
+        self._inertia_values = np.full(options.swarm_size, options.inertia)
+        self._cognitive_values = np.full(options.swarm_size,
+                                         options.cognitive)
+        self._social_values = np.full(options.swarm_size, options.social)
+
+    # ParticleSwarmOptimizer hooks -------------------------------------
+
+    def _inertia(self, iteration: int) -> np.ndarray:
+        del iteration
+        return self._inertia_values
+
+    def _cognitive(self, iteration: int) -> np.ndarray:
+        del iteration
+        return self._cognitive_values
+
+    def _social(self, iteration: int) -> np.ndarray:
+        del iteration
+        return self._social_values
+
+    def _observe(self, fitness: np.ndarray, positions: np.ndarray,
+                 global_best: np.ndarray, bounds: np.ndarray) -> None:
+        """Update per-particle coefficients from the latest evaluation."""
+        finite = np.isfinite(fitness)
+        if self._previous_fitness is None:
+            improvement = np.zeros_like(fitness)
+        else:
+            previous = self._previous_fitness
+            delta = np.where(finite & np.isfinite(previous),
+                             previous - fitness, -1.0)
+            scale = np.max(np.abs(delta[np.isfinite(delta)]), initial=0.0)
+            improvement = delta / scale if scale > 0 else np.zeros_like(delta)
+        diagonal = float(np.linalg.norm(bounds[:, 1] - bounds[:, 0]))
+        distance = np.linalg.norm(positions - global_best[None, :],
+                                  axis=1) / max(diagonal, 1e-300)
+        outputs = self._system.evaluate({
+            "improvement": np.clip(improvement, -1.0, 1.0),
+            "distance": np.clip(distance, 0.0, 1.0),
+        })
+        self._inertia_values = _rescale(outputs["inertia"], INERTIA_RANGE,
+                                        (0.35, 1.0))
+        self._cognitive_values = _rescale(outputs["cognitive"],
+                                          COGNITIVE_RANGE, (0.3, 2.4))
+        self._social_values = _rescale(outputs["social"], SOCIAL_RANGE,
+                                       (1.2, 2.8))
+        self._previous_fitness = fitness.copy()
+
+
+def _rescale(values: np.ndarray, target: tuple[float, float],
+             source: tuple[float, float]) -> np.ndarray:
+    """Affinely map the rule-base output span onto the published range,
+    clamping NaNs (no rule fired) to the range midpoint."""
+    src_low, src_high = source
+    dst_low, dst_high = target
+    unit = (values - src_low) / max(src_high - src_low, 1e-300)
+    mapped = dst_low + np.clip(unit, 0.0, 1.0) * (dst_high - dst_low)
+    midpoint = 0.5 * (dst_low + dst_high)
+    return np.where(np.isfinite(mapped), mapped, midpoint)

@@ -1,0 +1,119 @@
+"""Minimal zero-order Sugeno fuzzy inference, vectorized.
+
+Just enough fuzzy machinery for the Fuzzy Self-Tuning PSO: triangular
+membership functions over scalar inputs, rules whose consequents are
+crisp singletons, and weighted-average defuzzification. All evaluation
+is vectorized over a population axis so one inference call tunes every
+particle of a swarm at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class TriangularSet:
+    """Triangular membership (left foot, peak, right foot).
+
+    Feet at -inf/+inf produce open shoulders (trapezoid edges).
+    """
+
+    name: str
+    left: float
+    peak: float
+    right: float
+
+    def membership(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        result = np.zeros_like(values)
+        if np.isfinite(self.left):
+            rising = (values > self.left) & (values <= self.peak)
+            width = max(self.peak - self.left, 1e-300)
+            result[rising] = (values[rising] - self.left) / width
+        else:
+            result[values <= self.peak] = 1.0
+        if np.isfinite(self.right):
+            falling = (values > self.peak) & (values < self.right)
+            width = max(self.right - self.peak, 1e-300)
+            result[falling] = (self.right - values[falling]) / width
+        else:
+            result[values > self.peak] = 1.0
+        result[values == self.peak] = 1.0
+        return result
+
+
+@dataclass(frozen=True)
+class FuzzyVariable:
+    """A named input with its linguistic sets."""
+
+    name: str
+    sets: tuple[TriangularSet, ...]
+
+    def set_named(self, set_name: str) -> TriangularSet:
+        for candidate in self.sets:
+            if candidate.name == set_name:
+                return candidate
+        raise AnalysisError(
+            f"variable {self.name!r} has no set {set_name!r}")
+
+
+@dataclass(frozen=True)
+class SugenoRule:
+    """IF <var is set> AND ... THEN <output = value> (singleton)."""
+
+    antecedents: tuple[tuple[str, str], ...]
+    output: str
+    value: float
+
+
+class SugenoSystem:
+    """Zero-order Sugeno system with min-AND and weighted-average
+    defuzzification."""
+
+    def __init__(self, variables: list[FuzzyVariable],
+                 rules: list[SugenoRule]) -> None:
+        self._variables = {v.name: v for v in variables}
+        if len(self._variables) != len(variables):
+            raise AnalysisError("duplicate fuzzy variable names")
+        self._rules = rules
+        outputs = {rule.output for rule in rules}
+        self.output_names = sorted(outputs)
+        for rule in rules:
+            for var_name, set_name in rule.antecedents:
+                self._variables[var_name].set_named(set_name)  # validate
+
+    def evaluate(self, inputs: dict[str, np.ndarray]
+                 ) -> dict[str, np.ndarray]:
+        """Infer all outputs for a population of input values.
+
+        Every input array has shape (P,); every output array too.
+        """
+        sizes = {np.asarray(v).shape for v in inputs.values()}
+        if len(sizes) != 1:
+            raise AnalysisError("all fuzzy inputs must share one shape")
+        (shape,) = sizes
+        numerators = {name: np.zeros(shape) for name in self.output_names}
+        denominators = {name: np.zeros(shape) for name in self.output_names}
+        for rule in self._rules:
+            strength = np.ones(shape)
+            for var_name, set_name in rule.antecedents:
+                if var_name not in inputs:
+                    raise AnalysisError(f"missing fuzzy input {var_name!r}")
+                membership = self._variables[var_name].set_named(
+                    set_name).membership(inputs[var_name])
+                strength = np.minimum(strength, membership)
+            numerators[rule.output] += strength * rule.value
+            denominators[rule.output] += strength
+        outputs = {}
+        for name in self.output_names:
+            denom = denominators[name]
+            outputs[name] = np.where(denom > 1e-12,
+                                     numerators[name] / np.maximum(denom,
+                                                                   1e-12),
+                                     np.nan)
+        return outputs

@@ -1,0 +1,166 @@
+"""Particle Swarm Optimization with batch fitness evaluation.
+
+The optimizer is written around *batched* objectives: one call
+evaluates the whole swarm, which is exactly what makes the accelerated
+simulator pay off in parameter estimation — every PSO iteration maps to
+one batched simulation launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+Objective = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class PSOOptions:
+    """Classic global-best PSO settings (Clerc constriction defaults)."""
+
+    swarm_size: int = 32
+    n_iterations: int = 50
+    inertia: float = 0.7298
+    cognitive: float = 1.49618
+    social: float = 1.49618
+    velocity_fraction: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.swarm_size < 2:
+            raise AnalysisError(f"swarm needs >= 2 particles, "
+                                f"got {self.swarm_size}")
+        if self.n_iterations < 1:
+            raise AnalysisError("n_iterations must be >= 1")
+        if not (0.0 < self.velocity_fraction <= 1.0):
+            raise AnalysisError("velocity_fraction must be in (0, 1]")
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimizer run."""
+
+    best_position: np.ndarray
+    best_fitness: float
+    history: np.ndarray               # best fitness per iteration
+    n_evaluations: int
+    n_iterations: int
+    positions: np.ndarray = field(default=None)  # final swarm (S, D)
+
+    @property
+    def converged_history(self) -> np.ndarray:
+        """Monotone best-so-far curve."""
+        return np.minimum.accumulate(self.history)
+
+
+def _validate_bounds(bounds: np.ndarray) -> np.ndarray:
+    bounds = np.asarray(bounds, dtype=np.float64)
+    if bounds.ndim != 2 or bounds.shape[1] != 2:
+        raise AnalysisError(f"bounds must have shape (D, 2), "
+                            f"got {bounds.shape}")
+    if np.any(bounds[:, 1] <= bounds[:, 0]):
+        raise AnalysisError("every bound must satisfy high > low")
+    return bounds
+
+
+def _reflect(positions: np.ndarray, velocities: np.ndarray,
+             bounds: np.ndarray) -> None:
+    """Reflect out-of-bounds particles and damp their velocity."""
+    low, high = bounds[:, 0], bounds[:, 1]
+    below = positions < low
+    above = positions > high
+    positions[below] = (2 * low[None, :].repeat(positions.shape[0], 0))[below] \
+        - positions[below]
+    positions[above] = (2 * high[None, :].repeat(positions.shape[0], 0))[above] \
+        - positions[above]
+    np.clip(positions, low, high, out=positions)
+    velocities[below | above] *= -0.5
+
+
+class ParticleSwarmOptimizer:
+    """Global-best PSO minimizing a batched objective."""
+
+    def __init__(self, options: PSOOptions = PSOOptions()) -> None:
+        self.options = options
+
+    def minimize(self, objective: Objective, bounds: np.ndarray,
+                 initial_positions: np.ndarray | None = None,
+                 callback: Callable[[int, float], None] | None = None
+                 ) -> OptimizationResult:
+        """Minimize ``objective`` over box ``bounds`` of shape (D, 2)."""
+        options = self.options
+        bounds = _validate_bounds(bounds)
+        dimension = bounds.shape[0]
+        rng = np.random.default_rng(options.seed)
+        span = bounds[:, 1] - bounds[:, 0]
+
+        if initial_positions is None:
+            positions = bounds[:, 0] + span * rng.random(
+                (options.swarm_size, dimension))
+        else:
+            positions = np.array(initial_positions, dtype=np.float64)
+            if positions.shape != (options.swarm_size, dimension):
+                raise AnalysisError(
+                    f"initial positions shape {positions.shape} does not "
+                    f"match ({options.swarm_size}, {dimension})")
+        velocity_cap = options.velocity_fraction * span
+        velocities = velocity_cap * (2 * rng.random(positions.shape) - 1)
+
+        fitness = np.asarray(objective(positions), dtype=np.float64)
+        n_evaluations = positions.shape[0]
+        personal_best = positions.copy()
+        personal_fitness = fitness.copy()
+        best_index = int(np.argmin(personal_fitness))
+        history = np.empty(options.n_iterations)
+
+        for iteration in range(options.n_iterations):
+            r_cognitive = rng.random(positions.shape)
+            r_social = rng.random(positions.shape)
+            velocities = (
+                self._inertia(iteration)[:, None] * velocities
+                + self._cognitive(iteration)[:, None] * r_cognitive
+                * (personal_best - positions)
+                + self._social(iteration)[:, None] * r_social
+                * (personal_best[best_index] - positions))
+            np.clip(velocities, -velocity_cap, velocity_cap, out=velocities)
+            positions = positions + velocities
+            _reflect(positions, velocities, bounds)
+
+            fitness = np.asarray(objective(positions), dtype=np.float64)
+            n_evaluations += positions.shape[0]
+            improved = fitness < personal_fitness
+            personal_best[improved] = positions[improved]
+            personal_fitness[improved] = fitness[improved]
+            best_index = int(np.argmin(personal_fitness))
+            history[iteration] = personal_fitness[best_index]
+            self._observe(fitness, positions, personal_best[best_index],
+                          bounds)
+            if callback is not None:
+                callback(iteration, float(personal_fitness[best_index]))
+
+        return OptimizationResult(personal_best[best_index].copy(),
+                                  float(personal_fitness[best_index]),
+                                  history, n_evaluations,
+                                  options.n_iterations, positions)
+
+    # Hooks the fuzzy self-tuning subclass overrides -------------------
+
+    def _inertia(self, iteration: int) -> np.ndarray:
+        del iteration
+        return np.full(self.options.swarm_size, self.options.inertia)
+
+    def _cognitive(self, iteration: int) -> np.ndarray:
+        del iteration
+        return np.full(self.options.swarm_size, self.options.cognitive)
+
+    def _social(self, iteration: int) -> np.ndarray:
+        del iteration
+        return np.full(self.options.swarm_size, self.options.social)
+
+    def _observe(self, fitness: np.ndarray, positions: np.ndarray,
+                 global_best: np.ndarray, bounds: np.ndarray) -> None:
+        """Per-iteration observation hook (no-op for plain PSO)."""

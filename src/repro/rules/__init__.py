@@ -1,0 +1,11 @@
+"""Rule-based modeling (BNGL-lite) and network expansion."""
+
+from .library import multisite_cascade, two_state_receptor
+from .rulemodel import (MoleculeType, Pattern, Rule, RuleBasedModel,
+                        RuleSpecies, expand)
+
+__all__ = [
+    "multisite_cascade", "two_state_receptor",
+    "MoleculeType", "Pattern", "Rule", "RuleBasedModel", "RuleSpecies",
+    "expand",
+]

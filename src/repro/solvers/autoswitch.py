@@ -1,0 +1,113 @@
+"""Auto-switching non-stiff/stiff driver (DOPRI5 -> Radau IIA).
+
+This mirrors the method-selection architecture of the simulator family:
+a cheap spectral-radius probe routes clearly-stiff problems directly to
+Radau IIA; everything else starts on DOPRI5, whose built-in Hairer
+stiffness test can abort the explicit integration mid-run, in which
+case the driver resumes the remaining time span with Radau IIA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SolverError
+from .base import (DEFAULT_OPTIONS, MAX_STEPS, SUCCESS, SolveResult,
+                   SolverOptions)
+from .bdf import BDF
+from .explicit import ExplicitRungeKutta
+from .radau5 import Radau5
+from .stiffness import spectral_radius
+from .tableaus import DOPRI5
+
+STIFF_SOLVERS = ("radau5", "bdf")
+
+
+class AutoSwitchSolver:
+    """Integrate with DOPRI5, escalating to an implicit method on
+    stiffness.
+
+    Parameters
+    ----------
+    options:
+        Shared solver options; ``options.stiffness_threshold`` is the
+        spectral-radius cutoff of the initial routing probe.
+    probe_jacobian:
+        When True (default) and a Jacobian callable is available, the
+        initial state's spectral radius decides the starting method.
+    stiff_solver:
+        Which implicit method handles the stiff phase: ``"radau5"``
+        (default, the paper family's choice) or ``"bdf"`` (the
+        LSODA-style multistep alternative) — an ablation axis.
+    """
+
+    name = "autoswitch"
+
+    def __init__(self, options: SolverOptions = DEFAULT_OPTIONS,
+                 probe_jacobian: bool = True,
+                 stiff_solver: str = "radau5") -> None:
+        if stiff_solver not in STIFF_SOLVERS:
+            raise SolverError(f"unknown stiff solver {stiff_solver!r}; "
+                              f"expected one of {STIFF_SOLVERS}")
+        self.options = options
+        self.probe_jacobian = probe_jacobian
+        self.stiff_solver = stiff_solver
+
+    def _make_stiff_solver(self, options: SolverOptions):
+        if self.stiff_solver == "bdf":
+            return BDF(options)
+        return Radau5(options)
+
+    def solve(self, fun, t_span: tuple[float, float], y0: np.ndarray,
+              t_eval: np.ndarray | None = None, jac=None) -> SolveResult:
+        t0, t1 = float(t_span[0]), float(t_span[1])
+        y0 = np.asarray(y0, dtype=np.float64)
+
+        start_stiff = False
+        if self.probe_jacobian and jac is not None:
+            radius = spectral_radius(np.asarray(jac(t0, y0)))
+            start_stiff = radius > self.options.stiffness_threshold
+        if start_stiff:
+            result = self._make_stiff_solver(self.options).solve(
+                fun, t_span, y0, t_eval, jac=jac)
+            result.method = f"{self.name}({self.stiff_solver})"
+            return result
+
+        explicit = ExplicitRungeKutta(DOPRI5, self.options,
+                                      abort_on_stiffness=True)
+        first = explicit.solve(fun, t_span, y0, t_eval)
+        if first.status in (SUCCESS, MAX_STEPS) or first.t_stop is None:
+            first.method = f"{self.name}(dopri5)"
+            return first
+
+        # Stiffness abort (or failure with resume info): continue the
+        # remaining span with Radau IIA from the abort state.
+        t_resume = first.t_stop
+        remaining_mask = (t_eval is None or
+                          np.asarray(t_eval, dtype=np.float64) > t_resume)
+        if t_eval is None:
+            remaining_eval = None
+        else:
+            t_eval = np.asarray(t_eval, dtype=np.float64)
+            remaining_eval = t_eval[t_eval > t_resume + 1e-15]
+            if remaining_eval.size == 0:
+                remaining_eval = np.array([t1])
+        del remaining_mask
+        stiff_options = self.options.replace(
+            max_steps=max(1, self.options.max_steps - first.stats.n_steps))
+        second = self._make_stiff_solver(stiff_options).solve(
+            fun, (t_resume, t1), first.y_stop, remaining_eval, jac=jac)
+
+        stats = first.stats
+        stats.merge(second.stats)
+        if t_eval is None:
+            merged_t = second.t
+            merged_y = second.y
+        else:
+            merged_t = np.concatenate([first.t, second.t])
+            merged_y = (np.vstack([first.y, second.y]) if first.y.size
+                        else second.y)
+        return SolveResult(merged_t, merged_y, second.status, stats,
+                           f"{self.name}(dopri5->{self.stiff_solver})",
+                           second.message, True, second.t_stop,
+                           second.y_stop)

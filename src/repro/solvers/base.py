@@ -1,0 +1,226 @@
+"""Shared definitions for the ODE solver stack.
+
+All solvers in this package — scalar CPU references and batched
+GPU-style engines — share the same option set and result schema, and
+follow the tolerance convention of the paper family: absolute error
+tolerance 1e-12, relative error tolerance 1e-6, and a cap of 1e4 steps
+per simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..errors import SolverError
+
+#: Status codes shared by every solver.
+SUCCESS = "success"
+MAX_STEPS = "max_steps"
+FAILED = "failed"
+STIFF_DETECTED = "stiff_detected"
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Numerical integration options.
+
+    Attributes
+    ----------
+    rtol, atol:
+        Relative / absolute local error tolerances (paper defaults
+        1e-6 / 1e-12).
+    max_steps:
+        Maximum accepted+rejected steps per simulation.
+    first_step:
+        Initial step size; ``None`` selects it automatically.
+    max_step:
+        Upper bound on the step size (default: span of the integration).
+    min_step_factor, max_step_factor:
+        Clamp on the per-step size change ratio.
+    safety:
+        Step controller safety factor.
+    newton_max_iterations, newton_tol_factor:
+        Implicit-stage Newton controls (Radau).
+    stiffness_threshold:
+        Dominant-eigenvalue magnitude above which a system is routed to
+        the stiff method by the auto-switching drivers.
+    """
+
+    rtol: float = 1e-6
+    atol: float = 1e-12
+    max_steps: int = 10_000
+    first_step: float | None = None
+    max_step: float = np.inf
+    min_step_factor: float = 0.2
+    max_step_factor: float = 8.0
+    safety: float = 0.9
+    newton_max_iterations: int = 7
+    newton_tol_factor: float = 0.03
+    stiffness_threshold: float = 500.0
+
+    def __post_init__(self) -> None:
+        if not (self.rtol > 0.0 and self.atol >= 0.0):
+            raise SolverError(
+                f"invalid tolerances rtol={self.rtol}, atol={self.atol}")
+        if self.max_steps < 1:
+            raise SolverError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.first_step is not None and not (self.first_step > 0.0):
+            raise SolverError(f"first_step must be > 0, got {self.first_step}")
+        if not (0.0 < self.min_step_factor < 1.0 <= self.max_step_factor):
+            raise SolverError("step factor clamps must satisfy "
+                              "0 < min < 1 <= max")
+
+    def replace(self, **changes) -> "SolverOptions":
+        """Copy with selected fields changed."""
+        return replace(self, **changes)
+
+
+DEFAULT_OPTIONS = SolverOptions()
+
+
+@dataclass
+class SolverStats:
+    """Work counters accumulated during one integration."""
+
+    n_steps: int = 0
+    n_accepted: int = 0
+    n_rejected: int = 0
+    n_rhs_evaluations: int = 0
+    n_jacobian_evaluations: int = 0
+    n_factorizations: int = 0
+    n_newton_iterations: int = 0
+
+    def merge(self, other: "SolverStats") -> None:
+        self.n_steps += other.n_steps
+        self.n_accepted += other.n_accepted
+        self.n_rejected += other.n_rejected
+        self.n_rhs_evaluations += other.n_rhs_evaluations
+        self.n_jacobian_evaluations += other.n_jacobian_evaluations
+        self.n_factorizations += other.n_factorizations
+        self.n_newton_iterations += other.n_newton_iterations
+
+
+@dataclass
+class SolveResult:
+    """Result of integrating one initial-value problem.
+
+    Attributes
+    ----------
+    t:
+        Save-time grid, shape (T,).
+    y:
+        States at the save times, shape (T, N).
+    status:
+        One of :data:`SUCCESS`, :data:`MAX_STEPS`, :data:`FAILED`.
+    stats:
+        Work counters.
+    method:
+        Name of the integration method that produced the result.
+    message:
+        Human-readable diagnostic for non-success statuses.
+    """
+
+    t: np.ndarray
+    y: np.ndarray
+    status: str
+    stats: SolverStats = field(default_factory=SolverStats)
+    method: str = ""
+    message: str = ""
+    stiffness_detected: bool = False
+    #: Internal integrator state at early termination (stiffness abort,
+    #: failure); lets a switching driver resume from where we stopped.
+    t_stop: float | None = None
+    y_stop: np.ndarray | None = None
+
+    @property
+    def success(self) -> bool:
+        return self.status == SUCCESS
+
+    def final_state(self) -> np.ndarray:
+        return self.y[-1]
+
+
+def error_norm(error: np.ndarray, reference: np.ndarray,
+               candidate: np.ndarray, options: SolverOptions) -> float:
+    """Hairer-style scaled RMS norm of a local error estimate."""
+    scale = options.atol + options.rtol * np.maximum(np.abs(reference),
+                                                     np.abs(candidate))
+    return float(np.sqrt(np.mean((error / scale) ** 2)))
+
+
+def validate_time_grid(t_span: tuple[float, float],
+                       t_eval: np.ndarray | None) -> np.ndarray:
+    """Check and normalize the save grid against the integration span."""
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if not (t1 > t0):
+        raise SolverError(f"t_span must be increasing, got {t_span}")
+    if t_eval is None:
+        t_eval = np.array([t0, t1])
+    t_eval = np.asarray(t_eval, dtype=np.float64)
+    if t_eval.ndim != 1 or t_eval.size == 0:
+        raise SolverError("t_eval must be a non-empty 1-D array")
+    if np.any(np.diff(t_eval) <= 0.0):
+        raise SolverError("t_eval must be strictly increasing")
+    if t_eval[0] < t0 - 1e-15 or t_eval[-1] > t1 + 1e-12 * max(1.0, abs(t1)):
+        raise SolverError(
+            f"t_eval range [{t_eval[0]}, {t_eval[-1]}] exceeds "
+            f"t_span {t_span}")
+    return t_eval
+
+
+def initial_step_size(fun, t0: float, y0: np.ndarray, f0: np.ndarray,
+                      order: int, options: SolverOptions,
+                      direction: float = 1.0) -> float:
+    """Hairer's starting-step heuristic (Solving ODEs I, II.4).
+
+    ``fun`` is called once; callers should count one extra RHS
+    evaluation.
+    """
+    scale = options.atol + np.abs(y0) * options.rtol
+    d0 = float(np.sqrt(np.mean((y0 / scale) ** 2)))
+    d1 = float(np.sqrt(np.mean((f0 / scale) ** 2)))
+    if d0 < 1e-5 or d1 < 1e-5:
+        h0 = 1e-6
+    else:
+        h0 = 0.01 * d0 / d1
+    y1 = y0 + h0 * direction * f0
+    f1 = fun(t0 + h0 * direction, y1)
+    d2 = float(np.sqrt(np.mean(((f1 - f0) / scale) ** 2))) / h0
+    if max(d1, d2) <= 1e-15:
+        h1 = max(1e-6, h0 * 1e-3)
+    else:
+        h1 = (0.01 / max(d1, d2)) ** (1.0 / (order + 1))
+    return min(100.0 * h0, h1, options.max_step)
+
+
+class StepController:
+    """Elementary and PI step-size controllers.
+
+    The PI (proportional-integral, Gustafsson) controller damps the step
+    oscillations of the elementary controller on mildly stiff problems;
+    both are exposed so the ablation bench can compare them.
+    """
+
+    def __init__(self, error_order: int, options: SolverOptions,
+                 use_pi: bool = True, beta: float = 0.04) -> None:
+        self.error_exponent = -1.0 / (error_order + 1)
+        self.options = options
+        self.use_pi = use_pi
+        self.beta = beta
+        self._previous_error: float | None = None
+
+    def factor(self, err_norm: float) -> float:
+        """Step multiplier proposed for the next step."""
+        options = self.options
+        if err_norm == 0.0:
+            return options.max_step_factor
+        factor = options.safety * err_norm ** self.error_exponent
+        if self.use_pi and self._previous_error is not None and err_norm <= 1.0:
+            factor *= self._previous_error ** self.beta / err_norm ** self.beta
+        return float(np.clip(factor, options.min_step_factor,
+                             options.max_step_factor))
+
+    def record_accepted(self, err_norm: float) -> None:
+        self._previous_error = max(err_norm, 1e-10)

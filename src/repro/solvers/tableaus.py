@@ -1,0 +1,147 @@
+"""Butcher tableaus for the embedded explicit Runge-Kutta methods.
+
+Each tableau packages the stage matrix ``a``, the nodes ``c``, the
+higher-order weights ``b`` (used to advance the solution) and the error
+weights ``e = b - b_hat`` (difference between the embedded orders, used
+for the local error estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ButcherTableau:
+    """An embedded explicit Runge-Kutta pair.
+
+    Attributes
+    ----------
+    name:
+        Human-readable method name.
+    order:
+        Order of the propagating solution.
+    error_order:
+        Order of the embedded (error-estimating) solution.
+    a, b, c, e:
+        Butcher coefficients; ``e`` gives the local error as
+        ``h * sum_i e_i k_i``.
+    first_same_as_last:
+        True when the last stage derivative equals f(t+h, y_new), so it
+        can seed the next step (FSAL property).
+    """
+
+    name: str
+    order: int
+    error_order: int
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    e: np.ndarray
+    first_same_as_last: bool = False
+
+    @property
+    def n_stages(self) -> int:
+        return self.b.shape[0]
+
+    def validate(self, tol: float = 1e-12) -> None:
+        """Structural consistency checks used by the test suite."""
+        n = self.n_stages
+        assert self.a.shape == (n, n)
+        assert self.c.shape == (n,)
+        assert self.e.shape == (n,)
+        assert np.allclose(self.a.sum(axis=1), self.c, atol=tol)
+        assert abs(self.b.sum() - 1.0) < tol
+        assert abs(self.e.sum()) < tol
+        assert np.allclose(np.triu(self.a), 0.0, atol=tol)
+
+
+def _tableau(name, order, error_order, a, b, b_hat, c, fsal=False):
+    a = np.array(a, dtype=np.float64)
+    b = np.array(b, dtype=np.float64)
+    b_hat = np.array(b_hat, dtype=np.float64)
+    c = np.array(c, dtype=np.float64)
+    return ButcherTableau(name, order, error_order, a, b, c, b - b_hat, fsal)
+
+
+#: Bogacki-Shampine 3(2) pair (the low-cost non-stiff option).
+BOGACKI_SHAMPINE_23 = _tableau(
+    "bs23", 3, 2,
+    a=[[0, 0, 0, 0],
+       [1 / 2, 0, 0, 0],
+       [0, 3 / 4, 0, 0],
+       [2 / 9, 1 / 3, 4 / 9, 0]],
+    b=[2 / 9, 1 / 3, 4 / 9, 0],
+    b_hat=[7 / 24, 1 / 4, 1 / 3, 1 / 8],
+    c=[0, 1 / 2, 3 / 4, 1],
+    fsal=True,
+)
+
+#: Runge-Kutta-Fehlberg 4(5) pair (the classical reference).
+FEHLBERG_45 = _tableau(
+    "rkf45", 5, 4,
+    a=[[0, 0, 0, 0, 0, 0],
+       [1 / 4, 0, 0, 0, 0, 0],
+       [3 / 32, 9 / 32, 0, 0, 0, 0],
+       [1932 / 2197, -7200 / 2197, 7296 / 2197, 0, 0, 0],
+       [439 / 216, -8, 3680 / 513, -845 / 4104, 0, 0],
+       [-8 / 27, 2, -3544 / 2565, 1859 / 4104, -11 / 40, 0]],
+    b=[16 / 135, 0, 6656 / 12825, 28561 / 56430, -9 / 50, 2 / 55],
+    b_hat=[25 / 216, 0, 1408 / 2565, 2197 / 4104, -1 / 5, 0],
+    c=[0, 1 / 4, 3 / 8, 12 / 13, 1, 1 / 2],
+)
+
+#: Cash-Karp 4(5) pair.
+CASH_KARP_45 = _tableau(
+    "cash-karp45", 5, 4,
+    a=[[0, 0, 0, 0, 0, 0],
+       [1 / 5, 0, 0, 0, 0, 0],
+       [3 / 40, 9 / 40, 0, 0, 0, 0],
+       [3 / 10, -9 / 10, 6 / 5, 0, 0, 0],
+       [-11 / 54, 5 / 2, -70 / 27, 35 / 27, 0, 0],
+       [1631 / 55296, 175 / 512, 575 / 13824, 44275 / 110592,
+        253 / 4096, 0]],
+    b=[37 / 378, 0, 250 / 621, 125 / 594, 0, 512 / 1771],
+    b_hat=[2825 / 27648, 0, 18575 / 48384, 13525 / 55296,
+           277 / 14336, 1 / 4],
+    c=[0, 1 / 5, 3 / 10, 3 / 5, 1, 7 / 8],
+)
+
+#: Dormand-Prince 5(4) pair — the paper family's non-stiff workhorse.
+DOPRI5 = _tableau(
+    "dopri5", 5, 4,
+    a=[[0, 0, 0, 0, 0, 0, 0],
+       [1 / 5, 0, 0, 0, 0, 0, 0],
+       [3 / 40, 9 / 40, 0, 0, 0, 0, 0],
+       [44 / 45, -56 / 15, 32 / 9, 0, 0, 0, 0],
+       [19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729, 0, 0, 0],
+       [9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176,
+        -5103 / 18656, 0, 0],
+       [35 / 384, 0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0]],
+    b=[35 / 384, 0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0],
+    b_hat=[5179 / 57600, 0, 7571 / 16695, 393 / 640, -92097 / 339200,
+           187 / 2100, 1 / 40],
+    c=[0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1, 1],
+    fsal=True,
+)
+
+#: Coefficients of the quartic dense-output interpolant of DOPRI5
+#: (Hairer, Norsett & Wanner, Solving ODEs I). Continuous extension:
+#: y(t + theta h) = y + h * sum_i k_i * P_i(theta), with P_i expressed
+#: below through the d_i correction coefficients.
+DOPRI5_DENSE_D = np.array([
+    -12715105075.0 / 11282082432.0,
+    0.0,
+    87487479700.0 / 32700410799.0,
+    -10690763975.0 / 1880347072.0,
+    701980252875.0 / 199316789632.0,
+    -1453857185.0 / 822651844.0,
+    69997945.0 / 29380423.0,
+])
+
+TABLEAUS = {
+    tableau.name: tableau
+    for tableau in (BOGACKI_SHAMPINE_23, FEHLBERG_45, CASH_KARP_45, DOPRI5)
+}

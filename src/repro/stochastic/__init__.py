@@ -1,0 +1,17 @@
+"""Stochastic simulation substrate: batched SSA and tau-leaping."""
+
+from .engine import METHODS, StochasticSimulator
+from .propensities import (StochasticNetwork, build_network,
+                           concentrations_to_counts,
+                           counts_to_concentrations)
+from .results import StochasticBatchResult
+from .ssa import BatchSSA
+from .tau_leaping import BatchTauLeaping
+
+__all__ = [
+    "METHODS", "StochasticSimulator",
+    "StochasticNetwork", "build_network", "concentrations_to_counts",
+    "counts_to_concentrations",
+    "StochasticBatchResult",
+    "BatchSSA", "BatchTauLeaping",
+]

@@ -1,0 +1,138 @@
+"""High-level stochastic simulation engine.
+
+:class:`StochasticSimulator` mirrors the deterministic
+:class:`~repro.gpu.engine.BatchSimulator`: it converts a mass-action RBM
+into count space at a chosen volume, runs a batch of replicas (or of
+distinct parameterizations) on the batched SSA or tau-leaping kernel,
+and returns count trajectories with concentration accessors — the
+engine the stochastic parameter-space analyses run on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import SolverError
+from ..model import (Parameterization, ParameterizationBatch,
+                     ReactionBasedModel)
+from .propensities import build_network, concentrations_to_counts
+from .results import StochasticBatchResult
+from .ssa import BatchSSA
+from .tau_leaping import BatchTauLeaping
+
+METHODS = ("ssa", "tau-leaping")
+
+
+class StochasticSimulator:
+    """Batched stochastic simulator for mass-action RBMs.
+
+    Parameters
+    ----------
+    model:
+        The (mass-action, order <= 2) model to simulate.
+    volume:
+        System volume Omega linking concentrations and counts; larger
+        volumes mean more molecules and dynamics closer to the ODE
+        limit.
+    method:
+        ``"ssa"`` (exact) or ``"tau-leaping"`` (accelerated,
+        approximate).
+    seed:
+        Seed of the simulation's random stream.
+    max_events:
+        Per-simulation cap on events (SSA) / steps (tau-leaping).
+    """
+
+    def __init__(self, model: ReactionBasedModel, volume: float = 1000.0,
+                 method: str = "ssa", seed: int = 0,
+                 max_events: int = 1_000_000) -> None:
+        if method not in METHODS:
+            raise SolverError(f"unknown stochastic method {method!r}; "
+                              f"expected one of {METHODS}")
+        self.model = model
+        self.volume = volume
+        self.method = method
+        self.seed = seed
+        self.max_events = max_events
+
+    def simulate(self, t_span: tuple[float, float],
+                 t_eval: np.ndarray | None = None,
+                 parameters: ParameterizationBatch | Parameterization |
+                 None = None,
+                 n_replicates: int = 1) -> StochasticBatchResult:
+        """Simulate the batch.
+
+        With no explicit ``parameters``, ``n_replicates`` independent
+        replicas of the nominal parameterization are run (the usual way
+        to estimate intrinsic-noise statistics). With a
+        :class:`ParameterizationBatch`, one replica per row is run and
+        ``n_replicates`` must be 1.
+        """
+        if t_eval is None:
+            t_eval = np.array([float(t_span[0]), float(t_span[1])])
+        t_eval = np.asarray(t_eval, dtype=np.float64)
+        batch = self._normalize(parameters, n_replicates)
+
+        shared_constants = np.allclose(batch.rate_constants,
+                                       batch.rate_constants[0])
+        rng = np.random.default_rng(self.seed)
+        started = time.perf_counter()
+        if shared_constants:
+            network = build_network(self.model, self.volume,
+                                    batch.rate_constants[0])
+            counts = concentrations_to_counts(batch.initial_states,
+                                              self.volume)
+            result = self._kernel().solve(network, counts, t_span, t_eval,
+                                          rng)
+        else:
+            # Distinct constants per row: the count-space constants
+            # differ, so each row gets its own (single-row) network but
+            # shares the kernel and random stream.
+            partials: list[StochasticBatchResult] = []
+            for index in range(batch.size):
+                network = build_network(self.model, self.volume,
+                                        batch.rate_constants[index])
+                counts = concentrations_to_counts(
+                    batch.initial_states[index:index + 1], self.volume)
+                partials.append(self._kernel().solve(
+                    network, counts, t_span, t_eval, rng))
+            result = _concatenate(partials)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _kernel(self):
+        if self.method == "ssa":
+            return BatchSSA(self.max_events)
+        return BatchTauLeaping(self.max_events)
+
+    def _normalize(self, parameters, n_replicates) -> ParameterizationBatch:
+        if parameters is None:
+            parameters = self.model.nominal_parameterization()
+        if isinstance(parameters, Parameterization):
+            self.model.check_parameterization(parameters)
+            return ParameterizationBatch.replicate(parameters,
+                                                   max(n_replicates, 1))
+        if not isinstance(parameters, ParameterizationBatch):
+            raise SolverError(
+                "parameters must be a Parameterization, "
+                f"ParameterizationBatch or None, got {type(parameters)!r}")
+        if n_replicates != 1:
+            raise SolverError(
+                "n_replicates > 1 requires a single Parameterization")
+        return parameters
+
+
+def _concatenate(partials: list[StochasticBatchResult]
+                 ) -> StochasticBatchResult:
+    first = partials[0]
+    return StochasticBatchResult(
+        t=first.t,
+        counts=np.concatenate([p.counts for p in partials]),
+        status_codes=np.concatenate([p.status_codes for p in partials]),
+        n_events=np.concatenate([p.n_events for p in partials]),
+        n_leaps=np.concatenate([p.n_leaps for p in partials]),
+        volume=first.volume,
+        method=first.method,
+    )

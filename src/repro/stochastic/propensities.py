@@ -1,0 +1,146 @@
+"""Stochastic reaction propensities and constant conversion.
+
+The stochastic half of the simulator family (SSA / tau-leaping) works
+on molecule *counts* n and propensity functions a_i(n); the
+deterministic half works on concentrations X and mass-action rates.
+With X = n / Omega the two are linked by
+
+    a_i(n) = c_i * h_i(n),   c_i = k_i * Omega^(1 - order_i),
+
+where h_i is the falling-factorial combinatorial count written as a
+*slot product*: a reaction consuming species j with multiplicity m
+contributes n_j (n_j - 1) ... (n_j - m + 1). (The usual 1/m!
+normalization of h and the m! of the rate conversion cancel exactly,
+which is why the slot-product form needs no special cases.) In the
+large-Omega limit the mean of the stochastic process matches the ODE
+dynamics — the property the test suite checks.
+
+Reactions up to order 3 are supported (three reactant slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from ..model import ReactionBasedModel
+
+#: Maximum supported reaction order (number of reactant slots).
+MAX_ORDER = 3
+
+
+@dataclass(frozen=True)
+class StochasticNetwork:
+    """Count-space encoding of a mass-action RBM.
+
+    Attributes
+    ----------
+    stoichiometry:
+        Net state-change matrix S = B - A, shape (M, N), int64.
+    slot_species:
+        Per-reaction reactant slots, shape (M, MAX_ORDER); -1 marks an
+        empty slot. A species consumed with multiplicity m occupies m
+        slots.
+    slot_offsets:
+        Falling-factorial offsets per slot, shape (M, MAX_ORDER): the
+        p-th occurrence of the same species carries offset p, so the
+        slot contributes (n - offset).
+    rate_constants_counts:
+        Converted constants c_i = k_i * Omega^(1 - order_i).
+    volume:
+        The Omega used for the conversion.
+    species_names:
+        Species labels in state order.
+    """
+
+    stoichiometry: np.ndarray
+    slot_species: np.ndarray
+    slot_offsets: np.ndarray
+    rate_constants_counts: np.ndarray
+    volume: float
+    species_names: list[str]
+
+    @property
+    def n_reactions(self) -> int:
+        return self.stoichiometry.shape[0]
+
+    @property
+    def n_species(self) -> int:
+        return self.stoichiometry.shape[1]
+
+    def propensities(self, counts: np.ndarray) -> np.ndarray:
+        """Batched propensity matrix a(n), shape (B, M).
+
+        ``counts`` has shape (B, N) (non-negative integers as floats).
+        """
+        counts = np.atleast_2d(counts)
+        batch = counts.shape[0]
+        extended = np.empty((batch, self.n_species + 1))
+        extended[:, :self.n_species] = counts
+        extended[:, self.n_species] = 1.0
+        result = np.broadcast_to(self.rate_constants_counts,
+                                 (batch, self.n_reactions)).copy()
+        for slot in range(MAX_ORDER):
+            species = self.slot_species[:, slot]
+            offsets = self.slot_offsets[:, slot]
+            filled = species >= 0
+            if not np.any(filled):
+                break
+            index = np.where(filled, species, self.n_species)
+            factor = extended[:, index] - offsets[None, :]
+            factor = np.where(filled[None, :],
+                              np.maximum(factor, 0.0), 1.0)
+            result *= factor
+        return result
+
+
+def build_network(model: ReactionBasedModel, volume: float,
+                  rate_constants: np.ndarray | None = None
+                  ) -> StochasticNetwork:
+    """Convert a mass-action RBM into count space at volume Omega."""
+    if volume <= 0.0:
+        raise ModelError(f"volume must be > 0, got {volume}")
+    if not model.is_mass_action():
+        raise ModelError(
+            "stochastic simulation requires mass-action kinetics; "
+            f"{model.name!r} uses other laws")
+    if model.max_order() > MAX_ORDER:
+        raise ModelError(
+            f"stochastic simulation supports reactions of order <= "
+            f"{MAX_ORDER}, {model.name!r} has order {model.max_order()}")
+    constants = (model.rate_constants() if rate_constants is None
+                 else np.asarray(rate_constants, dtype=np.float64))
+
+    m = model.n_reactions
+    slot_species = np.full((m, MAX_ORDER), -1, dtype=np.intp)
+    slot_offsets = np.zeros((m, MAX_ORDER), dtype=np.float64)
+    counts_constants = np.empty(m)
+    species_index = model.species.index_of
+    for i, reaction in enumerate(model.reactions):
+        slot = 0
+        for name, multiplicity in sorted(reaction.reactants.items()):
+            index = species_index(name)
+            for occurrence in range(multiplicity):
+                slot_species[i, slot] = index
+                slot_offsets[i, slot] = float(occurrence)
+                slot += 1
+        order = slot
+        counts_constants[i] = constants[i] * volume ** (1 - order)
+    return StochasticNetwork(
+        model.matrices.net.astype(np.int64), slot_species, slot_offsets,
+        counts_constants, volume, model.species.names)
+
+
+def concentrations_to_counts(concentrations: np.ndarray,
+                             volume: float) -> np.ndarray:
+    """Round concentrations * Omega to integer molecule counts."""
+    return np.rint(np.asarray(concentrations, dtype=np.float64)
+                   * volume)
+
+
+def counts_to_concentrations(counts: np.ndarray,
+                             volume: float) -> np.ndarray:
+    """Convert counts back to concentration units."""
+    return np.asarray(counts, dtype=np.float64) / volume

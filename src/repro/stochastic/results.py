@@ -1,0 +1,84 @@
+"""Result container for the stochastic batched simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .propensities import counts_to_concentrations
+
+#: Per-simulation status codes (aligned with the deterministic engine).
+RUNNING = 0
+OK = 1
+EXHAUSTED = 2
+
+STATUS_NAMES = {RUNNING: "running", OK: "success", EXHAUSTED: "max_events"}
+
+
+@dataclass
+class StochasticBatchResult:
+    """Trajectories (in molecule counts) of a stochastic batch.
+
+    Attributes
+    ----------
+    t:
+        Shared save grid, shape (T,).
+    counts:
+        Molecule counts at the save times, shape (B, T, N).
+    status_codes:
+        Shape (B,).
+    n_events:
+        Exact reaction firings (SSA steps) per simulation.
+    n_leaps:
+        Tau-leap steps per simulation (zero for pure SSA).
+    volume:
+        The Omega the simulation ran at.
+    method:
+        "ssa" or "tau-leaping".
+    """
+
+    t: np.ndarray
+    counts: np.ndarray
+    status_codes: np.ndarray
+    n_events: np.ndarray
+    n_leaps: np.ndarray
+    volume: float
+    method: str
+    elapsed_seconds: float = 0.0
+
+    @property
+    def batch_size(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def all_success(self) -> bool:
+        return bool(np.all(self.status_codes == OK))
+
+    def statuses(self) -> list[str]:
+        return [STATUS_NAMES[int(code)] for code in self.status_codes]
+
+    def concentrations(self) -> np.ndarray:
+        """Trajectories converted back to concentration units."""
+        return counts_to_concentrations(self.counts, self.volume)
+
+    def ensemble_mean(self) -> np.ndarray:
+        """Mean concentration trajectory across the batch, shape (T, N)."""
+        return self.concentrations().mean(axis=0)
+
+    def ensemble_std(self) -> np.ndarray:
+        """Std of the concentration trajectories, shape (T, N)."""
+        return self.concentrations().std(axis=0)
+
+
+def allocate(t_eval: np.ndarray, batch: int, n_species: int, volume: float,
+             method: str) -> StochasticBatchResult:
+    return StochasticBatchResult(
+        t=t_eval.copy(),
+        counts=np.zeros((batch, t_eval.size, n_species)),
+        status_codes=np.full(batch, RUNNING, dtype=np.int64),
+        n_events=np.zeros(batch, dtype=np.int64),
+        n_leaps=np.zeros(batch, dtype=np.int64),
+        volume=volume,
+        method=method,
+    )

@@ -1,0 +1,145 @@
+"""Batched Gillespie Stochastic Simulation Algorithm (direct method).
+
+The coarse-grained stochastic analog of the batched deterministic
+engine: every simulation in the batch advances through exact reaction
+events with its own clock, but propensity evaluation, waiting-time
+sampling, reaction selection and state updates all execute as batched
+array kernels over the active subset — one CUDA-thread-per-simulation
+in NumPy clothing, matching the SSA implementations of the GPU
+simulator family.
+
+Between events the state is piecewise constant, so save times falling
+inside a waiting interval record the pre-event state exactly (no
+interpolation error).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SolverError
+from .propensities import StochasticNetwork
+from .results import EXHAUSTED, OK, RUNNING, StochasticBatchResult, allocate
+
+
+class BatchSSA:
+    """Exact direct-method SSA over a batch of independent replicas."""
+
+    name = "ssa"
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise SolverError("max_events must be >= 1")
+        self.max_events = max_events
+
+    def solve(self, network: StochasticNetwork,
+              initial_counts: np.ndarray, t_span: tuple[float, float],
+              t_eval: np.ndarray,
+              rng: np.random.Generator) -> StochasticBatchResult:
+        t0, t1 = float(t_span[0]), float(t_span[1])
+        t_eval = np.asarray(t_eval, dtype=np.float64)
+        counts = np.array(np.atleast_2d(initial_counts), dtype=np.float64)
+        batch, n = counts.shape
+        result = allocate(t_eval, batch, n, network.volume, self.name)
+        times = np.full(batch, t0)
+        save_index = np.zeros(batch, dtype=np.int64)
+        status = result.status_codes
+        stoichiometry = network.stoichiometry.astype(np.float64)
+
+        all_rows = np.arange(batch)
+        self._record_crossings(result, counts, times[all_rows], save_index,
+                               status, all_rows)
+
+        while True:
+            active = np.flatnonzero(status == RUNNING)
+            if active.size == 0:
+                break
+            exhausted = active[result.n_events[active] >= self.max_events]
+            if exhausted.size:
+                status[exhausted] = EXHAUSTED
+                active = np.flatnonzero(status == RUNNING)
+                if active.size == 0:
+                    break
+
+            propensities = network.propensities(counts[active])
+            totals = propensities.sum(axis=1)
+
+            # Dead simulations (no reaction can fire): state is frozen,
+            # so every remaining save point records the current counts.
+            dead = totals <= 0.0
+            if np.any(dead):
+                dead_rows = active[dead]
+                self._flush_remaining(result, counts, save_index, dead_rows)
+                status[dead_rows] = OK
+                keep = ~dead
+                active = active[keep]
+                propensities = propensities[keep]
+                totals = totals[keep]
+                if active.size == 0:
+                    continue
+
+            waits = rng.exponential(1.0, size=active.size) / totals
+            new_times = times[active] + waits
+
+            # Record every grid point the waiting interval jumps over
+            # (pre-event state).
+            finished = new_times > t1
+            self._record_crossings(result, counts, new_times, save_index,
+                                   status, active)
+
+            done_rows = active[finished]
+            if done_rows.size:
+                self._flush_remaining(result, counts, save_index, done_rows)
+                status[done_rows] = OK
+            firing = ~finished
+            fire_rows = active[firing]
+            if fire_rows.size == 0:
+                continue
+
+            thresholds = rng.random(fire_rows.size) * totals[firing]
+            cumulative = np.cumsum(propensities[firing], axis=1)
+            reactions = (cumulative < thresholds[:, None]).sum(axis=1)
+            reactions = np.minimum(reactions, network.n_reactions - 1)
+            counts[fire_rows] += stoichiometry[reactions]
+            np.maximum(counts[fire_rows], 0.0, out=counts[fire_rows])
+            times[fire_rows] = new_times[firing]
+            result.n_events[fire_rows] += 1
+
+        return result
+
+    @staticmethod
+    def _record_crossings(result, counts, limits, save_index, status,
+                          rows) -> None:
+        """Record the current state at every grid point each row's clock
+        jumps over.
+
+        ``limits`` is aligned with ``rows`` and holds each row's new
+        time; the pre-event state applies to every grid point at or
+        before it. Vectorized; the loop only repeats while some row
+        still has another grid point to record.
+        """
+        t_eval = result.t
+        while rows.size:
+            in_range = save_index[rows] < t_eval.size
+            safe_index = np.minimum(save_index[rows], t_eval.size - 1)
+            targets = np.where(in_range, t_eval[safe_index], np.inf)
+            reached = targets <= limits
+            hit = rows[reached]
+            if hit.size == 0:
+                return
+            result.counts[hit, save_index[hit], :] = counts[hit]
+            save_index[hit] += 1
+            finished = hit[save_index[hit] >= t_eval.size]
+            status[finished] = OK
+            rows = rows[reached]
+            limits = limits[reached]
+
+    @staticmethod
+    def _flush_remaining(result, counts, save_index, rows) -> None:
+        """Fill all remaining grid points of finished rows."""
+        t_eval = result.t
+        for row in rows:
+            remaining = save_index[row]
+            if remaining < t_eval.size:
+                result.counts[row, remaining:, :] = counts[row]
+                save_index[row] = t_eval.size

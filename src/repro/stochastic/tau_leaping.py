@@ -1,0 +1,219 @@
+"""Batched tau-leaping stochastic simulator.
+
+The accelerated approximate counterpart of the exact SSA (the
+cuTauLeaping slot of the simulator family's "semiotic square"): each
+leap fires Poisson-distributed reaction counts over a step tau chosen
+by the Cao-Gillespie-Petzold bounded-relative-change criterion, with
+
+* per-simulation adaptive tau (batched, like the deterministic step
+  controllers),
+* clipping of tau to the next save time, so the grid is hit exactly,
+* automatic fallback to exact SSA micro-steps whenever tau would be
+  smaller than a few expected event intervals,
+* rejection and halving of leaps that would drive a population
+  negative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SolverError
+from .propensities import StochasticNetwork
+from .results import EXHAUSTED, OK, RUNNING, StochasticBatchResult, allocate
+
+#: Relative-change bound epsilon of the tau-selection rule.
+EPSILON = 0.03
+#: Leap/SSA switch: fall back to exact steps when tau < FALLBACK / a0.
+FALLBACK_MULTIPLE = 10.0
+#: Exact micro-steps taken per fallback activation.
+SSA_BURST = 10
+
+
+class BatchTauLeaping:
+    """Adaptive batched tau-leaping with SSA fallback."""
+
+    name = "tau-leaping"
+
+    def __init__(self, max_steps: int = 1_000_000,
+                 epsilon: float = EPSILON) -> None:
+        if max_steps < 1:
+            raise SolverError("max_steps must be >= 1")
+        if not (0.0 < epsilon < 1.0):
+            raise SolverError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.max_steps = max_steps
+        self.epsilon = epsilon
+
+    def solve(self, network: StochasticNetwork,
+              initial_counts: np.ndarray, t_span: tuple[float, float],
+              t_eval: np.ndarray,
+              rng: np.random.Generator) -> StochasticBatchResult:
+        t0, t1 = float(t_span[0]), float(t_span[1])
+        t_eval = np.asarray(t_eval, dtype=np.float64)
+        counts = np.array(np.atleast_2d(initial_counts), dtype=np.float64)
+        batch, n = counts.shape
+        result = allocate(t_eval, batch, n, network.volume, self.name)
+        times = np.full(batch, t0)
+        save_index = np.zeros(batch, dtype=np.int64)
+        status = result.status_codes
+        stoichiometry = network.stoichiometry.astype(np.float64)
+        consumes_second_order = self._second_order_consumers(network)
+
+        # Record grid points at or before t0.
+        initial_hits = t_eval <= t0
+        if np.any(initial_hits):
+            hit_count = int(np.sum(initial_hits))
+            result.counts[:, :hit_count, :] = counts[:, None, :]
+            save_index[:] = hit_count
+
+        while True:
+            active = np.flatnonzero(status == RUNNING)
+            if active.size == 0:
+                break
+            total_steps = result.n_leaps[active] + result.n_events[active]
+            exhausted = active[total_steps >= self.max_steps]
+            if exhausted.size:
+                status[exhausted] = EXHAUSTED
+                active = np.flatnonzero(status == RUNNING)
+                if active.size == 0:
+                    break
+
+            propensities = network.propensities(counts[active])
+            totals = propensities.sum(axis=1)
+            dead = totals <= 0.0
+            if np.any(dead):
+                dead_rows = active[dead]
+                for row in dead_rows:
+                    remaining = save_index[row]
+                    result.counts[row, remaining:, :] = counts[row]
+                    save_index[row] = t_eval.size
+                status[dead_rows] = OK
+                keep = ~dead
+                active, propensities, totals = (active[keep],
+                                                propensities[keep],
+                                                totals[keep])
+                if active.size == 0:
+                    continue
+
+            tau = self._select_tau(counts[active], propensities,
+                                   stoichiometry, consumes_second_order)
+            # Clip to the next save time so the grid is hit exactly.
+            next_save = t_eval[np.minimum(save_index[active],
+                                          t_eval.size - 1)]
+            limit = np.minimum(next_save, t1) - times[active]
+            limit = np.maximum(limit, 0.0)
+            tau = np.minimum(tau, limit)
+            hits_grid = tau >= limit - 1e-15
+
+            fallback = tau * totals < FALLBACK_MULTIPLE
+            leap_mask = ~fallback
+
+            if np.any(leap_mask):
+                self._leap(network, counts, times, active[leap_mask],
+                           propensities[leap_mask], tau[leap_mask],
+                           stoichiometry, result, rng)
+            if np.any(fallback):
+                self._ssa_burst(network, counts, times, active[fallback],
+                                min(t1, np.inf), result, rng)
+
+            # Record rows that reached their next grid point.
+            self._record_reached(result, counts, times, save_index, status,
+                                 active)
+            del hits_grid
+
+        return result
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _second_order_consumers(network: StochasticNetwork) -> np.ndarray:
+        """Highest reactant order per species (the g_j of the rule)."""
+        g = np.ones(network.n_species)
+        for i in range(network.n_reactions):
+            slots = network.slot_species[i]
+            filled = slots[slots >= 0]
+            order = float(filled.size)
+            for j in filled:
+                g[j] = max(g[j], order)
+        return g
+
+    def _select_tau(self, counts, propensities, stoichiometry,
+                    g) -> np.ndarray:
+        """Cao's bounded-relative-change tau, per simulation."""
+        mu = propensities @ stoichiometry            # (b, N)
+        sigma2 = propensities @ stoichiometry ** 2   # (b, N)
+        bound = np.maximum(self.epsilon * counts / g[None, :], 1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            by_mean = np.where(np.abs(mu) > 0, bound / np.abs(mu), np.inf)
+            by_var = np.where(sigma2 > 0, bound ** 2 / sigma2, np.inf)
+        tau = np.minimum(by_mean, by_var).min(axis=1)
+        return np.where(np.isfinite(tau), tau, np.inf)
+
+    @staticmethod
+    def _leap(network, counts, times, rows, propensities, tau,
+              stoichiometry, result, rng) -> None:
+        """Fire Poisson counts; halve tau on would-be-negative leaps."""
+        pending = np.arange(rows.size)
+        local_tau = tau.copy()
+        for _ in range(30):
+            if pending.size == 0:
+                return
+            firings = rng.poisson(
+                propensities[pending] * local_tau[pending, None])
+            delta = firings @ stoichiometry
+            proposed = counts[rows[pending]] + delta
+            ok = np.all(proposed >= 0.0, axis=1)
+            accepted = pending[ok]
+            if accepted.size:
+                counts[rows[accepted]] = proposed[ok]
+                times[rows[accepted]] += local_tau[accepted]
+                result.n_leaps[rows[accepted]] += 1
+            pending = pending[~ok]
+            local_tau[pending] *= 0.5
+        # Rows still pending after 30 halvings advance by zero this
+        # iteration; the fallback branch will pick them up next loop.
+
+    @staticmethod
+    def _ssa_burst(network, counts, times, rows, t_end, result,
+                   rng) -> None:
+        """A few exact SSA events for rows in the stiff-leap regime."""
+        stoichiometry = network.stoichiometry.astype(np.float64)
+        active = rows.copy()
+        for _ in range(SSA_BURST):
+            if active.size == 0:
+                return
+            propensities = network.propensities(counts[active])
+            totals = propensities.sum(axis=1)
+            alive = totals > 0.0
+            active = active[alive]
+            if active.size == 0:
+                return
+            propensities = propensities[alive]
+            totals = totals[alive]
+            waits = rng.exponential(1.0, size=active.size) / totals
+            thresholds = rng.random(active.size) * totals
+            cumulative = np.cumsum(propensities, axis=1)
+            reactions = (cumulative < thresholds[:, None]).sum(axis=1)
+            reactions = np.minimum(reactions, network.n_reactions - 1)
+            counts[active] += stoichiometry[reactions]
+            np.maximum(counts[active], 0.0, out=counts[active])
+            times[active] += waits
+            result.n_events[active] += 1
+
+    @staticmethod
+    def _record_reached(result, counts, times, save_index, status,
+                        rows) -> None:
+        t_eval = result.t
+        while rows.size:
+            in_range = save_index[rows] < t_eval.size
+            safe_index = np.minimum(save_index[rows], t_eval.size - 1)
+            targets = np.where(in_range, t_eval[safe_index], np.inf)
+            reached = times[rows] >= targets - 1e-12
+            hit = rows[reached]
+            if hit.size == 0:
+                return
+            result.counts[hit, save_index[hit], :] = counts[hit]
+            save_index[hit] += 1
+            finished = hit[save_index[hit] >= t_eval.size]
+            status[finished] = OK
+            rows = hit

@@ -1,0 +1,9 @@
+"""Synthetic RBM generation for benchmarking."""
+
+from .generator import (SyntheticModelSpec, generate_asymmetric,
+                        generate_model, generate_symmetric, log_uniform)
+
+__all__ = [
+    "SyntheticModelSpec", "generate_asymmetric", "generate_model",
+    "generate_symmetric", "log_uniform",
+]

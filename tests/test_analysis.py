@@ -1,0 +1,114 @@
+"""Tests for trajectory analysis metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (batch_relative_distances, oscillation_metrics,
+                        relative_distance, steady_state_time)
+from repro.core.analysis import (batch_oscillation_amplitudes, final_value)
+from repro.errors import AnalysisError
+
+
+class TestOscillationMetrics:
+    def test_pure_sine(self):
+        times = np.linspace(0, 20 * np.pi, 2000)
+        metrics = oscillation_metrics(times, 2.0 + 1.5 * np.sin(times))
+        assert metrics.oscillating
+        assert metrics.amplitude == pytest.approx(1.5, rel=1e-2)
+        assert metrics.period == pytest.approx(2 * np.pi, rel=1e-2)
+
+    def test_constant_signal_is_flat(self):
+        times = np.linspace(0, 10, 100)
+        metrics = oscillation_metrics(times, np.full(100, 3.0))
+        assert not metrics.oscillating
+        assert metrics.amplitude == 0.0
+
+    def test_damped_ringdown_rejected(self):
+        times = np.linspace(0, 60, 3000)
+        signal = 1.0 + np.exp(-0.3 * times) * np.sin(times)
+        metrics = oscillation_metrics(times, signal)
+        assert not metrics.oscillating
+
+    def test_tiny_numerical_noise_rejected(self):
+        rng = np.random.default_rng(0)
+        times = np.linspace(0, 10, 500)
+        signal = 1.0 + 1e-9 * rng.standard_normal(500)
+        metrics = oscillation_metrics(times, signal)
+        assert not metrics.oscillating
+
+    def test_settle_fraction_skips_transient(self):
+        times = np.linspace(0, 100, 5000)
+        # Strong transient then clean oscillation.
+        signal = np.where(times < 20, 10 * np.exp(-times),
+                          np.sin(times))
+        metrics = oscillation_metrics(times, signal, settle_fraction=0.25)
+        assert metrics.oscillating
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            oscillation_metrics(np.arange(5.0), np.arange(4.0))
+
+    def test_short_window(self):
+        metrics = oscillation_metrics(np.arange(4.0), np.arange(4.0))
+        assert not metrics.oscillating
+
+
+class TestSteadyState:
+    def test_exponential_settles(self):
+        times = np.linspace(0, 20, 2001)
+        signal = 1.0 + np.exp(-times)
+        settle = steady_state_time(times, signal, relative_tolerance=1e-3)
+        # exp(-t) < 1e-3 around t = 6.9.
+        assert 6.0 < settle < 8.5
+
+    def test_already_settled(self):
+        times = np.linspace(0, 1, 10)
+        assert steady_state_time(times, np.ones(10)) == 0.0
+
+    def test_never_settles(self):
+        times = np.linspace(0, 10, 1000)
+        assert np.isnan(steady_state_time(times, np.sin(times)))
+
+
+class TestDistances:
+    def test_identical_dynamics_score_zero(self):
+        target = np.random.default_rng(0).random((10, 3))
+        assert relative_distance(target, target) == 0.0
+
+    def test_scaling_by_two_scores_one(self):
+        target = np.ones((5, 2))
+        assert relative_distance(target, 2 * target) == pytest.approx(1.0)
+
+    def test_non_finite_candidate_is_infinite(self):
+        target = np.ones((4, 1))
+        candidate = target.copy()
+        candidate[2, 0] = np.nan
+        assert relative_distance(target, candidate) == np.inf
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            relative_distance(np.ones((3, 2)), np.ones((2, 3)))
+
+    def test_batch_distances(self):
+        target = np.ones((6, 2))
+        candidates = np.stack([target, 2 * target, np.full_like(target,
+                                                                np.nan)])
+        scores = batch_relative_distances(target, candidates)
+        assert scores[0] == 0.0
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[2] == np.inf
+
+
+class TestBatchHelpers:
+    def test_final_value(self):
+        trajectories = np.arange(24.0).reshape(2, 4, 3)
+        assert np.allclose(final_value(trajectories, 1), [10.0, 22.0])
+
+    def test_batch_amplitudes_handle_nan_rows(self):
+        times = np.linspace(0, 20 * np.pi, 1500)
+        good = 1.0 + np.sin(times)
+        bad = np.full_like(times, np.nan)
+        trajectories = np.stack([good, bad])[:, :, None]
+        amplitudes = batch_oscillation_amplitudes(times, trajectories, 0)
+        assert amplitudes[0] == pytest.approx(1.0, rel=5e-2)
+        assert amplitudes[1] == 0.0

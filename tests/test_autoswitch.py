@@ -1,0 +1,91 @@
+"""Tests for the DOPRI5 -> Radau auto-switching driver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import AutoSwitchSolver, ScipyLSODA, SolverOptions
+
+
+def vdp(t, y, mu=1000.0):
+    return np.array([y[1], mu * (1 - y[0] ** 2) * y[1] - y[0]])
+
+
+def vdp_jac(t, y, mu=1000.0):
+    return np.array([[0.0, 1.0],
+                     [-2 * mu * y[0] * y[1] - 1.0, mu * (1 - y[0] ** 2)]])
+
+
+def oscillator(t, y):
+    return np.array([y[1], -y[0]])
+
+
+class TestRouting:
+    def test_nonstiff_problem_stays_on_dopri5(self):
+        solver = AutoSwitchSolver(probe_jacobian=False)
+        result = solver.solve(oscillator, (0, 10), np.array([1.0, 0.0]),
+                              np.linspace(0, 10, 5))
+        assert result.success
+        assert result.method == "autoswitch(dopri5)"
+
+    def test_probe_routes_stiff_problem_directly(self):
+        solver = AutoSwitchSolver(SolverOptions(max_steps=100_000))
+        result = solver.solve(vdp, (0, 1), np.array([2.0, 0.0]),
+                              np.array([0.0, 1.0]), jac=vdp_jac)
+        assert result.success
+        assert result.method == "autoswitch(radau5)"
+
+    def test_midrun_switch_without_probe(self):
+        solver = AutoSwitchSolver(SolverOptions(max_steps=200_000),
+                                  probe_jacobian=False)
+        grid = np.linspace(0, 3, 7)
+        result = solver.solve(vdp, (0, 3), np.array([2.0, 0.0]), grid)
+        assert result.success
+        assert result.method == "autoswitch(dopri5->radau5)"
+        assert result.stiffness_detected
+        assert result.t.shape == grid.shape
+
+    def test_switched_solution_matches_lsoda(self):
+        grid = np.linspace(0, 3, 7)
+        options = SolverOptions(max_steps=200_000)
+        switched = AutoSwitchSolver(options, probe_jacobian=False).solve(
+            vdp, (0, 3), np.array([2.0, 0.0]), grid)
+        reference = ScipyLSODA(options).solve(
+            vdp, (0, 3), np.array([2.0, 0.0]), grid)
+        assert np.allclose(switched.y, reference.y, rtol=1e-3, atol=1e-5)
+
+    def test_merged_stats_cover_both_phases(self):
+        solver = AutoSwitchSolver(SolverOptions(max_steps=200_000),
+                                  probe_jacobian=False)
+        result = solver.solve(vdp, (0, 2), np.array([2.0, 0.0]),
+                              np.array([0.0, 2.0]))
+        assert result.stats.n_steps > 0
+        # Radau phase contributes factorizations.
+        assert result.stats.n_factorizations > 0
+
+    def test_bdf_backed_switch(self):
+        """The multistep stiff backend produces the same dynamics."""
+        grid = np.linspace(0, 3, 7)
+        options = SolverOptions(max_steps=200_000)
+        radau = AutoSwitchSolver(options, probe_jacobian=False).solve(
+            vdp, (0, 3), np.array([2.0, 0.0]), grid)
+        bdf = AutoSwitchSolver(options, probe_jacobian=False,
+                               stiff_solver="bdf").solve(
+            vdp, (0, 3), np.array([2.0, 0.0]), grid)
+        assert bdf.success
+        assert bdf.method == "autoswitch(dopri5->bdf)"
+        assert np.allclose(bdf.y, radau.y, rtol=1e-3, atol=1e-5)
+
+    def test_unknown_stiff_solver_rejected(self):
+        from repro.errors import SolverError
+        with pytest.raises(SolverError):
+            AutoSwitchSolver(stiff_solver="trapezoid")
+
+    def test_probe_threshold_configurable(self):
+        """A huge threshold keeps even VdP on the explicit start."""
+        options = SolverOptions(max_steps=200_000,
+                                stiffness_threshold=1e9)
+        solver = AutoSwitchSolver(options)
+        result = solver.solve(vdp, (0, 0.01), np.array([2.0, 0.0]),
+                              np.array([0.0, 0.01]), jac=vdp_jac)
+        assert result.success
+        assert result.method.startswith("autoswitch(dopri5")

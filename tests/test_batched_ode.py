@@ -1,0 +1,84 @@
+"""Tests for the batched RHS binding and kernel counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.gpu import BatchedODEProblem, KernelCounters
+from repro.model import ODESystem, perturbed_batch
+
+
+@pytest.fixture
+def problem(toy_model):
+    system = ODESystem.from_model(toy_model)
+    batch = perturbed_batch(toy_model.nominal_parameterization(), 6,
+                            np.random.default_rng(0))
+    return BatchedODEProblem(system, batch)
+
+
+class TestBinding:
+    def test_shapes(self, problem):
+        assert problem.batch_size == 6
+        assert problem.n_species == 4
+        assert problem.initial_states().shape == (6, 4)
+
+    def test_row_selection_uses_right_constants(self, problem):
+        states = problem.initial_states()
+        rows = np.array([0, 3, 5])
+        selected = problem.fun(np.zeros(3), states[rows], rows)
+        full = problem.fun(np.zeros(6), states, np.arange(6))
+        assert np.allclose(selected, full[rows])
+
+    def test_jacobian_row_selection(self, problem):
+        states = problem.initial_states()
+        rows = np.array([1, 4])
+        selected = problem.jacobian(np.zeros(2), states[rows], rows)
+        full = problem.jacobian(np.zeros(6), states, np.arange(6))
+        assert np.allclose(selected, full[rows])
+
+    def test_policy_validation(self, toy_model):
+        system = ODESystem.from_model(toy_model)
+        batch = toy_model.batch(2)
+        with pytest.raises(SolverError):
+            BatchedODEProblem(system, batch, policy="ludicrous")
+
+    def test_shape_mismatch_rejected(self, toy_model, chain_model):
+        system = ODESystem.from_model(toy_model)
+        wrong_batch = chain_model.batch(2)
+        with pytest.raises(SolverError):
+            BatchedODEProblem(system, wrong_batch)
+
+    def test_subset_shares_counters(self, problem):
+        subset = problem.subset(np.array([0, 1]))
+        assert subset.counters is problem.counters
+        subset.fun(np.zeros(2), subset.initial_states(), np.arange(2))
+        assert problem.counters.rhs_kernel_launches == 1
+
+
+class TestCounters:
+    def test_rhs_counting(self, problem):
+        states = problem.initial_states()
+        problem.fun(np.zeros(6), states, np.arange(6))
+        problem.fun(np.zeros(2), states[:2], np.arange(2))
+        counters = problem.counters
+        assert counters.rhs_kernel_launches == 2
+        assert counters.rhs_simulation_evaluations == 8
+
+    def test_jacobian_counting(self, problem):
+        states = problem.initial_states()
+        problem.jacobian(np.zeros(6), states, np.arange(6))
+        assert problem.counters.jacobian_kernel_launches == 1
+        assert problem.counters.jacobian_simulation_evaluations == 6
+
+    def test_merge(self):
+        first = KernelCounters(rhs_kernel_launches=1,
+                               rhs_simulation_evaluations=10,
+                               factorizations=2)
+        second = KernelCounters(rhs_kernel_launches=3,
+                                rhs_simulation_evaluations=5,
+                                newton_iterations=7)
+        first.merge(second)
+        assert first.rhs_kernel_launches == 4
+        assert first.rhs_simulation_evaluations == 15
+        assert first.factorizations == 2
+        assert first.newton_iterations == 7

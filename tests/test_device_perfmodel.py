@@ -1,0 +1,80 @@
+"""Tests for the virtual device and the analytic performance model."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.gpu import (DEVICES, GTX_1650, KernelCounters, TITAN_X,
+                       VirtualDevice, estimate_device_time, occupancy)
+
+
+class TestVirtualDevice:
+    def test_titan_x_preset_matches_paper_configuration(self):
+        assert TITAN_X.cores == 3072
+        assert TITAN_X.clock_ghz == pytest.approx(1.075)
+        assert TITAN_X.memory_gb == 12.0
+
+    def test_peak_gflops(self):
+        assert TITAN_X.peak_gflops == pytest.approx(
+            3072 * 1.075 * 2.0, rel=1e-12)
+
+    def test_memory_fits(self):
+        assert TITAN_X.memory_fits(1000)
+        assert not TITAN_X.memory_fits(10 ** 12)
+
+    def test_invalid_device_rejected(self):
+        with pytest.raises(SolverError):
+            VirtualDevice("broken", cores=0, clock_ghz=1.0, memory_gb=1.0)
+
+    def test_registry(self):
+        assert DEVICES[TITAN_X.name] is TITAN_X
+        assert DEVICES[GTX_1650.name] is GTX_1650
+
+
+class TestOccupancy:
+    def test_small_batch_underutilizes(self):
+        assert occupancy(1, 4, TITAN_X) < 0.01
+
+    def test_large_batch_saturates(self):
+        assert occupancy(2048, 64, TITAN_X) == 1.0
+
+    def test_monotone_in_batch(self):
+        values = [occupancy(b, 16, TITAN_X) for b in (1, 8, 64, 512)]
+        assert values == sorted(values)
+
+
+class TestEstimates:
+    def make_counters(self, scale=1):
+        return KernelCounters(
+            rhs_kernel_launches=100 * scale,
+            rhs_simulation_evaluations=10_000 * scale,
+            jacobian_kernel_launches=10 * scale,
+            jacobian_simulation_evaluations=100 * scale,
+            factorizations=50 * scale,
+            newton_iterations=500 * scale,
+        )
+
+    def test_estimate_positive_and_decomposed(self):
+        estimate = estimate_device_time(self.make_counters(), 64, 16, 16)
+        assert estimate.launch_seconds > 0
+        assert estimate.arithmetic_seconds > 0
+        assert estimate.linear_algebra_seconds > 0
+        assert estimate.total_seconds == pytest.approx(
+            estimate.launch_seconds + estimate.arithmetic_seconds
+            + estimate.linear_algebra_seconds)
+
+    def test_estimate_scales_with_workload(self):
+        small = estimate_device_time(self.make_counters(1), 64, 16, 16)
+        large = estimate_device_time(self.make_counters(10), 64, 16, 16)
+        assert large.total_seconds > small.total_seconds
+
+    def test_bigger_device_is_faster_on_saturating_workload(self):
+        counters = self.make_counters(100)
+        big = estimate_device_time(counters, 4096, 128, 128, TITAN_X)
+        small = estimate_device_time(counters, 4096, 128, 128, GTX_1650)
+        assert big.arithmetic_seconds < small.arithmetic_seconds
+
+    def test_oversubscription_penalizes_launches(self):
+        counters = self.make_counters()
+        normal = estimate_device_time(counters, 1024, 8, 8)
+        oversubscribed = estimate_device_time(counters, 8192, 8, 8)
+        assert oversubscribed.launch_seconds > normal.launch_seconds

@@ -1,0 +1,134 @@
+"""Edge-case tests across subsystems (gaps found by review)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ModelError
+from repro.io import read_batch, write_model
+from repro.io.biosimware import _read_matrix
+from repro.models import decay_chain, dimerization
+from repro.rules import MoleculeType, Pattern, Rule, RuleBasedModel
+from repro.solvers import SolverOptions
+
+
+class TestBioSimWarePartialBatch:
+    def test_batch_with_only_mx0(self, tmp_path):
+        """MX_0 without cs_vector replicates the nominal constants."""
+        model = dimerization()
+        folder = tmp_path / "dimer"
+        write_model(model, folder)
+        states = np.array([[1.0, 0.0], [0.5, 0.25], [2.0, 0.1]])
+        np.savetxt(folder / "MX_0", states, delimiter="\t")
+        batch = read_batch(folder)
+        assert batch.size == 3
+        assert np.allclose(batch.initial_states, states)
+        assert np.allclose(batch.rate_constants,
+                           model.rate_constants()[None, :])
+
+    def test_batch_with_only_cs_vector(self, tmp_path):
+        model = dimerization()
+        folder = tmp_path / "dimer"
+        write_model(model, folder)
+        constants = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.savetxt(folder / "cs_vector", constants, delimiter="\t")
+        batch = read_batch(folder)
+        assert batch.size == 2
+        assert np.allclose(batch.rate_constants, constants)
+        assert np.allclose(batch.initial_states,
+                           model.initial_state()[None, :])
+
+    def test_mismatched_batch_rows_rejected(self, tmp_path):
+        model = dimerization()
+        folder = tmp_path / "dimer"
+        write_model(model, folder)
+        np.savetxt(folder / "cs_vector", np.ones((2, 2)), delimiter="\t")
+        np.savetxt(folder / "MX_0", np.ones((3, 2)), delimiter="\t")
+        with pytest.raises(FormatError):
+            read_batch(folder)
+
+    def test_negative_stoichiometry_rejected(self, tmp_path):
+        model = dimerization()
+        folder = tmp_path / "dimer"
+        write_model(model, folder)
+        matrix = _read_matrix(folder / "left_side")
+        matrix[0, 0] = -1
+        np.savetxt(folder / "left_side", matrix, fmt="%d",
+                   delimiter="\t")
+        from repro.io import read_model
+        with pytest.raises(FormatError):
+            read_model(folder)
+
+
+class TestRuleEdgeCases:
+    def test_with_states_rejects_unknown_state(self):
+        molecule = MoleculeType("A", (("p", ("u", "p")),))
+        species = molecule.default_state()
+        with pytest.raises(ModelError):
+            species.with_states({"p": "zzz"})
+
+    def test_rule_change_state_validated(self):
+        molecule = MoleculeType("A", (("p", ("u", "p")),))
+        with pytest.raises(ModelError):
+            Rule("bad", Pattern(molecule), {"p": "omega"}, 1.0)
+
+    def test_self_loop_rules_are_skipped(self):
+        """A rule whose product equals its substrate emits nothing."""
+        molecule = MoleculeType("A", (("p", ("u", "p")),))
+        model = RuleBasedModel("loop")
+        model.add_molecule_type(molecule)
+        model.add_seed(molecule.species(p="p"), 1.0)
+        # The rule sets p -> p on species already in state p: no-op for
+        # the seeded species, so expansion must reject the empty net.
+        model.add_rule(Rule("noop-ish", Pattern(molecule, {"p": "u"}),
+                            {"p": "p"}, 1.0))
+        with pytest.raises(ModelError):
+            model.expand()
+
+    def test_rule_model_without_rules_rejected(self):
+        molecule = MoleculeType("A", ())
+        model = RuleBasedModel("no-rules")
+        model.add_molecule_type(molecule)
+        model.add_seed(molecule.default_state(), 1.0)
+        with pytest.raises(ModelError):
+            model.expand()
+
+
+class TestEngineEdgeCases:
+    def test_single_save_point_grid(self):
+        """A one-point grid (just the horizon) works on every engine."""
+        from repro.core import simulate
+        model = decay_chain(2)
+        grid = np.array([1.0])
+        for engine in ("batched", "dopri5", "radau5", "bdf"):
+            result = simulate(model, (0, 1), grid, engine=engine,
+                              options=SolverOptions(max_steps=50_000))
+            assert result.all_success, engine
+            assert result.y.shape[1] == 1
+
+    def test_grid_with_duplicate_span_end(self):
+        from repro.core import simulate
+        model = decay_chain(1)
+        grid = np.array([0.0, 0.5, 1.0])
+        result = simulate(model, (0, 1), grid)
+        assert result.all_success
+        assert np.all(np.isfinite(result.y))
+
+    def test_zero_concentration_start(self):
+        """All-zero initial state with only synthesis reactions."""
+        from repro.core import simulate
+        from repro.model import ReactionBasedModel
+        model = ReactionBasedModel("fromzero")
+        model.add_species("A", 0.0)
+        model.add("0 -> A @ 1.0")
+        result = simulate(model, (0, 2), np.linspace(0, 2, 5))
+        assert result.all_success
+        assert np.allclose(result.y[0, :, 0], np.linspace(0, 2, 5),
+                           atol=1e-6)
+
+    def test_batch_of_one(self):
+        from repro.core import simulate
+        model = decay_chain(1)
+        result = simulate(model, (0, 1), np.array([0.0, 1.0]),
+                          model.batch(1))
+        assert result.batch_size == 1
+        assert result.all_success

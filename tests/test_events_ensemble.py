@@ -1,0 +1,153 @@
+"""Tests for event detection and ensemble statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (autocorrelation, batch_crossing_counts,
+                        crossing_times, find_events, is_bimodal,
+                        oscillation_period_from_events, simulate,
+                        stationary_histogram, summarize_ensemble,
+                        threshold_event)
+from repro.errors import AnalysisError
+from repro.models import brusselator, decay_chain, schloegl, sir_epidemic
+from repro.solvers import SolverOptions
+from repro.stochastic import StochasticSimulator
+
+OPTIONS = SolverOptions(max_steps=200_000)
+
+
+class TestEventDetection:
+    def test_sine_crossings_located_precisely(self):
+        times = np.linspace(0, 4 * np.pi, 120)
+        trajectory = np.sin(times)[:, None]
+        rising = crossing_times(times, trajectory, threshold_event(0, 0.0),
+                                direction=1)
+        # sin starts rising through zero at t = 0 and again at 2 pi.
+        assert np.allclose(rising, [0.0, 2 * np.pi], atol=1e-3)
+        both = crossing_times(times, trajectory, threshold_event(0, 0.0))
+        assert len(both) >= 3
+
+    def test_direction_filter(self):
+        times = np.linspace(0, 2 * np.pi, 100)
+        trajectory = np.cos(times)[:, None]
+        falling = find_events(times, trajectory, threshold_event(0, 0.0),
+                              direction=-1)
+        rising = find_events(times, trajectory, threshold_event(0, 0.0),
+                             direction=1)
+        assert len(falling) == 1 and falling[0].direction == -1
+        assert len(rising) == 1 and rising[0].direction == 1
+        assert falling[0].time == pytest.approx(np.pi / 2, abs=1e-3)
+        assert rising[0].time == pytest.approx(3 * np.pi / 2, abs=1e-3)
+
+    def test_no_crossings(self):
+        times = np.linspace(0, 1, 10)
+        trajectory = np.ones((10, 1))
+        assert find_events(times, trajectory,
+                           threshold_event(0, 0.0)) == []
+
+    def test_shape_validation(self):
+        with pytest.raises(AnalysisError):
+            find_events(np.arange(5.0), np.ones((4, 1)),
+                        threshold_event(0, 0.0))
+
+    def test_epidemic_threshold_crossings(self):
+        """The SIR infection curve crosses 100 once up and once down."""
+        grid = np.linspace(0, 200, 401)
+        result = simulate(sir_epidemic(), (0, 200), grid, options=OPTIONS)
+        index = result.species_index("I")
+        events = find_events(grid, result.trajectory(0),
+                             threshold_event(index, 100.0))
+        assert len(events) == 2
+        assert events[0].direction == 1 and events[1].direction == -1
+        assert events[0].time < events[1].time
+
+    def test_period_from_events_matches_peak_period(self):
+        grid = np.linspace(0, 60, 601)
+        result = simulate(brusselator(a=1.0, b=3.0), (0, 60), grid,
+                          options=OPTIONS)
+        period = oscillation_period_from_events(
+            grid, result.trajectory(0), result.species_index("X"))
+        # Known Brusselator period at (1, 3) is ~7.2 time units.
+        assert period == pytest.approx(7.2, rel=0.1)
+
+    def test_batch_crossing_counts(self):
+        times = np.linspace(0, 2 * np.pi, 200)
+        batch = np.stack([np.sin(times)[:, None],
+                          np.ones((200, 1))])
+        counts = batch_crossing_counts(times, batch,
+                                       threshold_event(0, 0.0))
+        assert counts.tolist()[1] == 0
+        assert counts[0] >= 1
+
+
+class TestEnsembleStatistics:
+    @pytest.fixture(scope="class")
+    def decay_ensemble(self):
+        model = decay_chain(1, rate=1.0, initial=10.0)
+        simulator = StochasticSimulator(model, volume=100.0, seed=0)
+        result = simulator.simulate((0, 2), np.linspace(0, 2, 21),
+                                    n_replicates=200)
+        return result
+
+    def test_summary_shapes(self, decay_ensemble):
+        summary = summarize_ensemble(decay_ensemble.t,
+                                     decay_ensemble.counts)
+        assert summary.mean.shape == decay_ensemble.counts.shape[1:]
+        assert np.all(summary.variance >= 0)
+
+    def test_pure_death_fano_below_one_for_binomial_survival(self,
+                                                             decay_ensemble):
+        """Pure-death from a fixed count: survivors are binomial, so
+        Fano = 1 - p(survive) < 1."""
+        summary = summarize_ensemble(decay_ensemble.t,
+                                     decay_ensemble.counts)
+        fano_end = summary.fano_factor()[-1, 0]
+        survive = summary.mean[-1, 0] / summary.mean[0, 0]
+        assert fano_end == pytest.approx(1.0 - survive, abs=0.12)
+
+    def test_needs_two_replicas(self):
+        with pytest.raises(AnalysisError):
+            summarize_ensemble(np.arange(3.0), np.ones((1, 3, 2)))
+
+    def test_autocorrelation_normalized(self, decay_ensemble):
+        lags, correlation = autocorrelation(decay_ensemble.t,
+                                            decay_ensemble.counts, 0)
+        assert correlation[0] == pytest.approx(1.0)
+        assert np.all(np.abs(correlation) <= 1.0 + 1e-9)
+        assert lags[1] - lags[0] == pytest.approx(0.1)
+
+    def test_histogram_sums_to_one(self, decay_ensemble):
+        edges, probabilities = stationary_histogram(
+            decay_ensemble.counts, 0, n_bins=10)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert edges.size == 11
+
+
+class TestBimodality:
+    def test_unimodal_histogram_rejected(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(0.0, 1.0, size=(20, 100, 1))
+        edges, probabilities = stationary_histogram(samples, 0)
+        assert not is_bimodal(edges, probabilities)
+
+    def test_bimodal_histogram_detected(self):
+        rng = np.random.default_rng(1)
+        low = rng.normal(-3.0, 0.4, size=(10, 100, 1))
+        high = rng.normal(3.0, 0.4, size=(10, 100, 1))
+        samples = np.concatenate([low, high])
+        edges, probabilities = stationary_histogram(samples, 0)
+        assert is_bimodal(edges, probabilities)
+
+    def test_schloegl_ensemble_is_bimodal(self):
+        """End-to-end: stochastic Schlögl from the separatrix shows the
+        two-branch distribution."""
+        simulator = StochasticSimulator(schloegl(initial=250.0),
+                                        volume=1.0, method="tau-leaping",
+                                        seed=5, max_events=2_000_000)
+        result = simulator.simulate((0, 400.0),
+                                    np.linspace(200.0, 400.0, 11),
+                                    n_replicates=12)
+        edges, probabilities = stationary_histogram(result.counts, 0,
+                                                    n_bins=12,
+                                                    settle_fraction=0.0)
+        assert is_bimodal(edges, probabilities)

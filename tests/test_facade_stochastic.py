@@ -1,0 +1,66 @@
+"""Tests for the stochastic engines behind the simulate() facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ParameterRange, SweepTarget, endpoint_metric,
+                        run_psa_1d, simulate)
+from repro.errors import AnalysisError
+from repro.models import decay_chain
+
+
+class TestFacade:
+    def test_ssa_returns_concentration_units(self):
+        model = decay_chain(1, rate=1.0, initial=10.0)
+        result = simulate(model, (0, 1), np.array([0.0, 1.0]),
+                          engine="ssa", volume=500.0, seed=0,
+                          n_replicates=10)
+        assert result.engine == "ssa"
+        assert result.batch_size == 10
+        # Initial concentration round-trips through counts.
+        assert np.allclose(result.y[:, 0, 0], 10.0)
+        assert result.raw.methods()[0] == "ssa"
+
+    def test_tau_leaping_engine(self):
+        model = decay_chain(1, rate=1.0, initial=10.0)
+        result = simulate(model, (0, 1), np.array([0.0, 1.0]),
+                          engine="tau-leaping", volume=5000.0, seed=0,
+                          n_replicates=4)
+        assert result.all_success
+        assert result.raw.methods()[0] == "tau-leaping"
+
+    def test_ensemble_mean_near_ode(self):
+        model = decay_chain(2, rate=1.0, initial=10.0)
+        grid = np.linspace(0, 2, 5)
+        stochastic = simulate(model, (0, 2), grid, engine="ssa",
+                              volume=500.0, seed=1, n_replicates=60)
+        deterministic = simulate(model, (0, 2), grid)
+        error = np.max(np.abs(stochastic.y.mean(axis=0)
+                              - deterministic.y[0])
+                       / (np.abs(deterministic.y[0]) + 0.1))
+        assert error < 0.05
+
+    def test_event_budget_maps_to_max_steps_status(self):
+        model = decay_chain(1, rate=1.0, initial=10.0)
+        result = simulate(model, (0, 10), np.array([0.0, 10.0]),
+                          engine="ssa", volume=50_000.0, seed=0,
+                          max_events=5)
+        assert set(result.statuses()) == {"max_steps"}
+
+    def test_stochastic_psa(self):
+        """Parameter sweeps run unchanged on the stochastic engine."""
+        model = decay_chain(1, rate=1.0, initial=10.0)
+        target = SweepTarget.rate_constant(model, 0,
+                                           ParameterRange(0.5, 2.0))
+        psa = run_psa_1d(model, target, 5, (0, 2),
+                         np.array([0.0, 2.0]),
+                         metric=endpoint_metric(model, "X0"),
+                         engine="ssa", volume=2000.0, seed=2)
+        assert psa.simulation.all_success
+        # Faster decay leaves less X0 (up to noise, monotone at this
+        # volume).
+        assert psa.metric_values[0] > psa.metric_values[-1]
+
+    def test_unknown_engine_still_rejected(self):
+        with pytest.raises(AnalysisError):
+            simulate(decay_chain(1), (0, 1), engine="langevin")

@@ -1,0 +1,174 @@
+"""Tests for model I/O: BioSimWare folders, SBML subset, converters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.io import (biosimware_to_sbml, read_batch, read_model,
+                      read_sbml, read_t_vector, sbml_to_biosimware,
+                      write_model, write_sbml)
+from repro.model import MichaelisMenten, ParameterizationBatch, perturbed_batch
+from repro.models import metabolic_network, robertson
+
+
+class TestBioSimWare:
+    def test_round_trip(self, toy_model, tmp_path):
+        write_model(toy_model, tmp_path / "toy")
+        loaded = read_model(tmp_path / "toy")
+        assert loaded.species.names == toy_model.species.names
+        assert np.allclose(loaded.rate_constants(),
+                           toy_model.rate_constants())
+        assert np.allclose(loaded.initial_state(), toy_model.initial_state())
+        assert np.array_equal(loaded.matrices.reactants,
+                              toy_model.matrices.reactants)
+        assert np.array_equal(loaded.matrices.products,
+                              toy_model.matrices.products)
+
+    def test_round_trip_large_model(self, tmp_path):
+        model = metabolic_network()
+        write_model(model, tmp_path / "metabolic")
+        loaded = read_model(tmp_path / "metabolic")
+        assert loaded.size == model.size
+        assert np.array_equal(loaded.matrices.net, model.matrices.net)
+
+    def test_batch_round_trip(self, toy_model, tmp_path):
+        batch = perturbed_batch(toy_model.nominal_parameterization(), 5,
+                                np.random.default_rng(0))
+        write_model(toy_model, tmp_path / "toy", batch=batch,
+                    t_vector=np.linspace(0, 1, 4))
+        loaded = read_batch(tmp_path / "toy")
+        assert loaded.size == 5
+        assert np.allclose(loaded.rate_constants, batch.rate_constants)
+        assert np.allclose(loaded.initial_states, batch.initial_states)
+        times = read_t_vector(tmp_path / "toy")
+        assert np.allclose(times, np.linspace(0, 1, 4))
+
+    def test_missing_file_rejected(self, toy_model, tmp_path):
+        write_model(toy_model, tmp_path / "toy")
+        (tmp_path / "toy" / "c_vector").unlink()
+        with pytest.raises(FormatError):
+            read_model(tmp_path / "toy")
+
+    def test_shape_mismatch_rejected(self, toy_model, tmp_path):
+        write_model(toy_model, tmp_path / "toy")
+        (tmp_path / "toy" / "c_vector").write_text("1.0\n")
+        with pytest.raises(FormatError):
+            read_model(tmp_path / "toy")
+
+    def test_non_mass_action_rejected(self, tmp_path):
+        from repro.model import ReactionBasedModel
+        model = ReactionBasedModel("mm")
+        model.add_species("S", 1.0)
+        model.add("S -> P", rate_constant=1.0, law=MichaelisMenten(km=0.5))
+        with pytest.raises(FormatError):
+            write_model(model, tmp_path / "mm")
+
+    def test_batch_without_sweep_files_rejected(self, toy_model, tmp_path):
+        write_model(toy_model, tmp_path / "toy")
+        with pytest.raises(FormatError):
+            read_batch(tmp_path / "toy")
+
+    def test_garbage_matrix_rejected(self, toy_model, tmp_path):
+        write_model(toy_model, tmp_path / "toy")
+        (tmp_path / "toy" / "left_side").write_text("not a matrix\n")
+        with pytest.raises(FormatError):
+            read_model(tmp_path / "toy")
+
+    def test_loaded_model_simulates_identically(self, tmp_path):
+        from repro.core import simulate
+        model = robertson()
+        write_model(model, tmp_path / "rob")
+        loaded = read_model(tmp_path / "rob")
+        grid = np.array([0.0, 1.0, 10.0])
+        from repro.solvers import SolverOptions
+        options = SolverOptions(max_steps=100_000)
+        original = simulate(model, (0, 10), grid, options=options)
+        reloaded = simulate(loaded, (0, 10), grid, options=options)
+        assert np.allclose(original.y, reloaded.y, rtol=1e-10)
+
+
+class TestSBML:
+    def test_round_trip(self, toy_model, tmp_path):
+        path = tmp_path / "toy.xml"
+        write_sbml(toy_model, path)
+        loaded = read_sbml(path)
+        assert loaded.species.names == toy_model.species.names
+        assert np.allclose(loaded.rate_constants(),
+                           toy_model.rate_constants())
+        assert np.array_equal(loaded.matrices.net, toy_model.matrices.net)
+
+    def test_document_is_namespaced_xml(self, toy_model, tmp_path):
+        path = tmp_path / "toy.xml"
+        write_sbml(toy_model, path)
+        text = path.read_text()
+        assert "sbml.org/sbml/level3" in text
+        assert "listOfSpecies" in text
+
+    def test_malformed_xml_rejected(self, tmp_path):
+        path = tmp_path / "broken.xml"
+        path.write_text("<sbml><model>")
+        with pytest.raises(FormatError):
+            read_sbml(path)
+
+    def test_missing_kinetic_law_rejected(self, tmp_path):
+        path = tmp_path / "nolaw.xml"
+        path.write_text("""<sbml><model id="m">
+          <listOfSpecies><species id="A" initialConcentration="1"/>
+          </listOfSpecies>
+          <listOfReactions><reaction id="R0">
+            <listOfReactants>
+              <speciesReference species="A" stoichiometry="1"/>
+            </listOfReactants>
+          </reaction></listOfReactions>
+        </model></sbml>""")
+        with pytest.raises(FormatError):
+            read_sbml(path)
+
+    def test_unnamespaced_document_accepted(self, tmp_path):
+        path = tmp_path / "plain.xml"
+        path.write_text("""<sbml><model id="m">
+          <listOfSpecies><species id="A" initialConcentration="2.5"/>
+          <species id="B"/></listOfSpecies>
+          <listOfReactions><reaction id="R0">
+            <listOfReactants>
+              <speciesReference species="A" stoichiometry="1"/>
+            </listOfReactants>
+            <listOfProducts>
+              <speciesReference species="B" stoichiometry="1"/>
+            </listOfProducts>
+            <kineticLaw><listOfLocalParameters>
+              <localParameter id="k" value="0.7"/>
+            </listOfLocalParameters></kineticLaw>
+          </reaction></listOfReactions>
+        </model></sbml>""")
+        model = read_sbml(path)
+        assert model.species[0].initial_concentration == 2.5
+        assert model.rate_constants()[0] == 0.7
+
+    def test_fractional_stoichiometry_rejected(self, tmp_path):
+        path = tmp_path / "frac.xml"
+        path.write_text("""<sbml><model id="m">
+          <listOfSpecies><species id="A" initialConcentration="1"/>
+          </listOfSpecies>
+          <listOfReactions><reaction id="R0">
+            <listOfReactants>
+              <speciesReference species="A" stoichiometry="0.5"/>
+            </listOfReactants>
+            <kineticLaw><listOfLocalParameters>
+              <localParameter id="k" value="1"/>
+            </listOfLocalParameters></kineticLaw>
+          </reaction></listOfReactions>
+        </model></sbml>""")
+        with pytest.raises(FormatError):
+            read_sbml(path)
+
+
+class TestConverters:
+    def test_sbml_to_biosimware_and_back(self, toy_model, tmp_path):
+        write_sbml(toy_model, tmp_path / "toy.xml")
+        sbml_to_biosimware(tmp_path / "toy.xml", tmp_path / "folder")
+        biosimware_to_sbml(tmp_path / "folder", tmp_path / "round.xml")
+        final = read_sbml(tmp_path / "round.xml")
+        assert np.array_equal(final.matrices.net, toy_model.matrices.net)
+        assert np.allclose(final.rate_constants(),
+                           toy_model.rate_constants())

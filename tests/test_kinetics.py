@@ -1,0 +1,44 @@
+"""Unit tests for kinetic laws."""
+
+import pytest
+
+from repro.errors import KineticsError
+from repro.model import Hill, MassAction, MichaelisMenten
+from repro.model.kinetics import validate_law_for_reaction
+
+
+class TestLaws:
+    def test_mass_action_is_stateless_and_equal(self):
+        assert MassAction() == MassAction()
+        assert "mass-action" in MassAction().describe()
+
+    def test_michaelis_menten_requires_positive_km(self):
+        with pytest.raises(KineticsError):
+            MichaelisMenten(km=0.0)
+        with pytest.raises(KineticsError):
+            MichaelisMenten(km=-1.0)
+
+    def test_hill_requires_positive_parameters(self):
+        with pytest.raises(KineticsError):
+            Hill(km=0.0, n=2.0)
+        with pytest.raises(KineticsError):
+            Hill(km=1.0, n=0.0)
+
+    def test_describe_mentions_parameters(self):
+        assert "0.5" in MichaelisMenten(km=0.5).describe()
+        description = Hill(km=0.5, n=4.0).describe()
+        assert "0.5" in description and "4.0" in description
+
+
+class TestValidation:
+    def test_mass_action_accepts_any_shape(self):
+        validate_law_for_reaction(MassAction(), 0, 0)
+        validate_law_for_reaction(MassAction(), 3, 2)
+
+    def test_saturating_laws_need_single_unit_substrate(self):
+        validate_law_for_reaction(MichaelisMenten(km=1.0), 1, 1)
+        validate_law_for_reaction(Hill(km=1.0, n=2.0), 1, 1)
+        with pytest.raises(KineticsError):
+            validate_law_for_reaction(MichaelisMenten(km=1.0), 2, 1)
+        with pytest.raises(KineticsError):
+            validate_law_for_reaction(Hill(km=1.0, n=2.0), 1, 2)

@@ -1,0 +1,165 @@
+"""Tests for the curated biological models."""
+
+import numpy as np
+import pytest
+
+from repro.core import oscillation_metrics, simulate
+from repro.models import (brusselator, cascade, decay_chain, dimerization,
+                          hill_switch, lotka_volterra,
+                          michaelis_menten_cycle, metabolic_network,
+                          oscillates, robertson)
+from repro.solvers import SolverOptions
+
+STIFF = SolverOptions(max_steps=200_000)
+
+
+class TestRobertson:
+    def test_classic_dynamics(self):
+        grid = np.array([0.0, 0.4, 4.0, 40.0])
+        result = simulate(robertson(), (0, 40), grid, options=STIFF)
+        a, b, c = result.y[0, -1]
+        # Known Robertson behaviour: A decays slowly, B stays tiny.
+        assert 0.7 < a < 1.0
+        assert b < 1e-4
+        assert a + b + c == pytest.approx(1.0, abs=1e-6)
+
+
+class TestDecayChain:
+    def test_bateman_solution_first_species(self):
+        model = decay_chain(2, rate=1.0, initial=10.0)
+        grid = np.linspace(0, 3, 7)
+        result = simulate(model, (0, 3), grid)
+        assert np.allclose(result.species("X0")[0], 10.0 * np.exp(-grid),
+                           rtol=1e-5)
+
+    def test_mass_flows_to_terminal_species(self):
+        model = decay_chain(3)
+        result = simulate(model, (0, 200), np.array([0.0, 200.0]),
+                          options=STIFF)
+        assert result.y[0, -1, -1] == pytest.approx(10.0, rel=1e-3)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(Exception):
+            decay_chain(0)
+
+
+class TestLotkaVolterra:
+    def test_sustained_oscillations(self):
+        grid = np.linspace(0, 30, 601)
+        result = simulate(lotka_volterra(), (0, 30), grid, options=STIFF)
+        metrics = oscillation_metrics(grid, result.species("Y1")[0])
+        assert metrics.oscillating
+        assert metrics.n_peaks >= 2
+
+    def test_conserved_quantity_along_orbit(self):
+        """V = k2*(Y1+Y2) - k3*ln(Y1) - k1*ln(Y2) is a first integral."""
+        grid = np.linspace(0, 10, 101)
+        options = SolverOptions(rtol=1e-10, atol=1e-12, max_steps=200_000)
+        result = simulate(lotka_volterra(), (0, 10), grid, options=options)
+        prey = result.species("Y1")[0]
+        predator = result.species("Y2")[0]
+        integral = (0.1 * (prey + predator) - 0.5 * np.log(prey)
+                    - 1.0 * np.log(predator))
+        assert np.std(integral) < 1e-4 * np.abs(np.mean(integral))
+
+
+class TestBrusselator:
+    def test_oscillation_criterion(self):
+        assert oscillates(1.0, 3.0)
+        assert not oscillates(1.0, 1.5)
+
+    def test_supercritical_parameters_oscillate(self):
+        grid = np.linspace(0, 60, 601)
+        result = simulate(brusselator(a=1.0, b=3.0), (0, 60), grid,
+                          options=STIFF)
+        metrics = oscillation_metrics(grid, result.species("X")[0])
+        assert metrics.oscillating
+
+    def test_subcritical_parameters_settle(self):
+        grid = np.linspace(0, 60, 601)
+        result = simulate(brusselator(a=1.0, b=1.2), (0, 60), grid,
+                          options=STIFF)
+        metrics = oscillation_metrics(grid, result.species("X")[0])
+        assert not metrics.oscillating
+        # Fixed point is (a, b/a) = (1, 1.2).
+        assert result.y[0, -1, 0] == pytest.approx(1.0, abs=0.05)
+        assert result.y[0, -1, 1] == pytest.approx(1.2, abs=0.05)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(Exception):
+            brusselator(a=-1.0)
+
+
+class TestSaturatingModels:
+    def test_mm_cycle_conserves_total(self):
+        model = michaelis_menten_cycle()
+        grid = np.linspace(0, 20, 21)
+        result = simulate(model, (0, 20), grid, options=STIFF)
+        totals = result.y[0].sum(axis=1)
+        assert np.allclose(totals, 1.0, atol=1e-6)
+
+    def test_mm_cycle_reaches_interior_steady_state(self):
+        model = michaelis_menten_cycle()
+        result = simulate(model, (0, 50), np.array([0.0, 50.0]),
+                          options=STIFF)
+        s, p = result.y[0, -1]
+        assert 0.0 < s < 1.0 and 0.0 < p < 1.0
+
+    def test_hill_switch_turns_on_from_high_seed(self):
+        model = hill_switch()
+        # Seed above threshold: the switch latches high.
+        high = model.nominal_parameterization().with_initial_value(0, 1.0)
+        result = simulate(model, (0, 50), np.array([0.0, 50.0]), high,
+                          options=STIFF)
+        assert result.y[0, -1, 0] > 0.5
+
+    def test_hill_switch_decays_from_low_seed(self):
+        model = hill_switch()
+        low = model.nominal_parameterization().with_initial_value(0, 0.01)
+        result = simulate(model, (0, 50), np.array([0.0, 50.0]), low,
+                          options=STIFF)
+        assert result.y[0, -1, 0] < 0.1
+
+
+class TestCascade:
+    def test_activation_propagates_down_tiers(self):
+        grid = np.linspace(0, 10, 11)
+        result = simulate(cascade(), (0, 10), grid, options=STIFF)
+        assert result.y[0, -1, result.model.species.index_of("X3a")] > 0.1
+
+    def test_tier_totals_conserved(self):
+        grid = np.linspace(0, 10, 11)
+        result = simulate(cascade(), (0, 10), grid, options=STIFF)
+        model = result.model
+        for tier in ("1", "2", "3"):
+            inactive = result.species(f"X{tier}")[0]
+            active = result.species(f"X{tier}a")[0]
+            assert np.allclose(inactive + active, 1.0, atol=1e-6)
+
+
+class TestMetabolic:
+    def test_shape_matches_docstring(self):
+        model = metabolic_network()
+        assert model.n_species == 22
+        assert model.n_reactions == 20
+
+    def test_dynamics_stay_finite_and_nonnegative(self):
+        grid = np.linspace(0, 5, 11)
+        result = simulate(metabolic_network(), (0, 5), grid, options=STIFF)
+        assert result.all_success
+        assert np.all(np.isfinite(result.y))
+        assert np.all(result.y > -1e-8)
+
+    def test_r5p_responds_to_hk2_knockdown(self):
+        """Removing the dominant isoform changes the read-out — the
+        premise of the SA experiment."""
+        model = metabolic_network()
+        nominal = simulate(model, (0, 5), np.array([0.0, 5.0]),
+                           options=STIFF)
+        knocked = model.nominal_parameterization().with_initial_value(
+            model.species.index_of("HK2"), 0.0)
+        knockdown = simulate(model, (0, 5), np.array([0.0, 5.0]), knocked,
+                             options=STIFF)
+        r5p = model.species.index_of("R5P")
+        assert nominal.y[0, -1, r5p] != pytest.approx(
+            knockdown.y[0, -1, r5p], rel=1e-3)

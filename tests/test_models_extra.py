@@ -1,0 +1,130 @@
+"""Tests for the additional curated models (extra suite)."""
+
+import numpy as np
+import pytest
+
+from repro.core import oscillation_metrics, simulate
+from repro.errors import ModelError
+from repro.models import (goldbeter_mitotic, oregonator, schloegl,
+                          sir_epidemic)
+from repro.solvers import SolverOptions
+from repro.stochastic import StochasticSimulator
+
+OPTIONS = SolverOptions(max_steps=400_000)
+
+
+class TestOregonator:
+    def test_sustained_relaxation_oscillations(self):
+        grid = np.linspace(0, 60, 601)
+        result = simulate(oregonator(), (0, 60), grid, options=OPTIONS)
+        assert result.all_success
+        metrics = oscillation_metrics(grid, result.species("X")[0])
+        assert metrics.oscillating
+
+    def test_positive_dynamics(self):
+        grid = np.linspace(0, 30, 301)
+        result = simulate(oregonator(), (0, 30), grid, options=OPTIONS)
+        assert np.all(result.y > -1e-6)
+
+
+class TestSIR:
+    def test_population_conserved(self):
+        grid = np.linspace(0, 200, 41)
+        result = simulate(sir_epidemic(), (0, 200), grid, options=OPTIONS)
+        totals = result.y[0].sum(axis=1)
+        assert np.allclose(totals, 1000.0, rtol=1e-8)
+
+    def test_outbreak_when_r0_above_one(self):
+        # R0 = 0.3 * 999 / 0.1 ~ 3: the epidemic takes off and burns out.
+        grid = np.linspace(0, 200, 201)
+        result = simulate(sir_epidemic(), (0, 200), grid, options=OPTIONS)
+        infected = result.species("I")[0]
+        assert infected.max() > 100.0
+        assert infected[-1] < 10.0
+        assert result.species("R")[0][-1] > 800.0
+
+    def test_no_outbreak_when_r0_below_one(self):
+        model = sir_epidemic(infection_rate=0.05, recovery_rate=0.1)
+        grid = np.linspace(0, 200, 41)
+        result = simulate(model, (0, 200), grid, options=OPTIONS)
+        assert result.species("I")[0].max() < 5.0
+
+    def test_invalid_setup_rejected(self):
+        with pytest.raises(ModelError):
+            sir_epidemic(initial_infected=0.0)
+        with pytest.raises(ModelError):
+            sir_epidemic(population=1.0, initial_infected=1.0)
+
+
+class TestSchloegl:
+    def test_bistability_by_construction(self):
+        grid = np.array([0.0, 2e5])
+        low = simulate(schloegl(initial=100.0), (0, 2e5), grid,
+                       options=OPTIONS)
+        high = simulate(schloegl(initial=300.0), (0, 2e5), grid,
+                        options=OPTIONS)
+        assert low.y[0, -1, 0] == pytest.approx(85.0, rel=1e-3)
+        assert high.y[0, -1, 0] == pytest.approx(550.0, rel=1e-3)
+
+    def test_separatrix_ordering_validated(self):
+        with pytest.raises(ModelError):
+            schloegl(low_state=300.0, unstable_state=200.0)
+
+    def test_stochastic_version_runs(self):
+        """The count-space Schlögl (volume 1) fluctuates but stays
+        near a branch over short horizons."""
+        simulator = StochasticSimulator(schloegl(initial=100.0),
+                                        volume=1.0, method="ssa", seed=0,
+                                        max_events=2_000_000)
+        result = simulator.simulate((0, 100.0), np.array([0.0, 100.0]),
+                                    n_replicates=5)
+        assert result.all_success
+        assert np.all(result.counts[:, -1, 0] < 400)
+
+    def test_stochastic_bimodality_from_separatrix(self):
+        """Replicas launched at the unstable point split between the
+        two branches — the qualitative behaviour the deterministic
+        limit cannot show (it commits to one branch). Tau-leaping
+        preserves the bistable structure."""
+        simulator = StochasticSimulator(schloegl(initial=250.0),
+                                        volume=1.0, method="tau-leaping",
+                                        seed=5, max_events=2_000_000)
+        result = simulator.simulate((0, 400.0), np.array([0.0, 400.0]),
+                                    n_replicates=12)
+        assert result.all_success
+        final = result.counts[:, -1, 0]
+        assert np.sum(final < 250) >= 2
+        assert np.sum(final >= 250) >= 2
+        # Ends sit near the constructed fixed points, not in between.
+        assert not np.any((final > 150) & (final < 400))
+
+
+class TestGoldbeter:
+    def test_limit_cycle_period(self):
+        """The 1991 parameter set oscillates with a ~25 time-unit
+        period."""
+        grid = np.linspace(0, 300, 3001)
+        result = simulate(goldbeter_mitotic(), (0, 300), grid,
+                          options=OPTIONS)
+        assert result.all_success
+        metrics = oscillation_metrics(grid, result.species("M")[0])
+        assert metrics.oscillating
+        assert metrics.period == pytest.approx(25.0, rel=0.15)
+
+    def test_conserved_kinase_and_protease_pairs(self):
+        grid = np.linspace(0, 100, 101)
+        result = simulate(goldbeter_mitotic(), (0, 100), grid,
+                          options=OPTIONS)
+        m_total = result.species("M")[0] + result.species("Mi")[0]
+        p_total = result.species("P")[0] + result.species("Pi")[0]
+        assert np.allclose(m_total, 1.0, atol=1e-6)
+        assert np.allclose(p_total, 1.0, atol=1e-6)
+
+    def test_fractions_stay_in_unit_interval(self):
+        grid = np.linspace(0, 100, 101)
+        result = simulate(goldbeter_mitotic(), (0, 100), grid,
+                          options=OPTIONS)
+        for name in ("M", "Mi", "P", "Pi"):
+            values = result.species(name)[0]
+            assert np.all(values > -1e-8)
+            assert np.all(values < 1.0 + 1e-8)

@@ -1,0 +1,132 @@
+"""Tests for Morris screening, bifurcation scans, and multi-start PE."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FreeParameter, ParameterEstimation, ParameterRange,
+                        SweepTarget, estimate_multi_start, morris_design,
+                        run_bifurcation_scan, run_morris_screening,
+                        synthetic_target)
+from repro.errors import AnalysisError
+from repro.models import (OBSERVED_SPECIES, TRUE_CONSTANTS, brusselator,
+                          cascade, decay_chain)
+from repro.solvers import SolverOptions
+
+OPTIONS = SolverOptions(max_steps=200_000)
+
+
+class TestMorrisDesign:
+    def test_shape_and_bounds(self):
+        rng = np.random.default_rng(0)
+        points, deltas = morris_design(3, 8, 4, rng)
+        assert points.shape == (8, 4, 3)
+        assert deltas.shape == (8, 3)
+        assert np.all(points >= -1e-12) and np.all(points <= 1 + 1e-12)
+
+    def test_each_step_moves_exactly_one_factor(self):
+        rng = np.random.default_rng(1)
+        points, _ = morris_design(4, 6, 4, rng)
+        for t in range(6):
+            for step in range(4):
+                moved = np.abs(points[t, step + 1] - points[t, step]) > 1e-12
+                assert moved.sum() == 1
+
+    def test_every_factor_moves_once_per_trajectory(self):
+        rng = np.random.default_rng(2)
+        points, _ = morris_design(5, 4, 4, rng)
+        for t in range(4):
+            total_move = np.abs(points[t, -1] - points[t, 0])
+            assert np.all(total_move > 1e-12)
+
+    def test_odd_levels_rejected(self):
+        with pytest.raises(AnalysisError):
+            morris_design(2, 4, 3, np.random.default_rng(0))
+
+
+class TestMorrisScreening:
+    def test_influential_vs_inert_factors(self):
+        model = decay_chain(3)
+        targets = [
+            SweepTarget.rate_constant(model, 0, ParameterRange(0.5, 2.0)),
+            SweepTarget.initial_concentration(model, "X2",
+                                              ParameterRange(0.0, 0.01)),
+        ]
+        result = run_morris_screening(
+            model, targets, output_species="X3", n_trajectories=10,
+            t_span=(0, 2), t_eval=np.array([0.0, 2.0]), options=OPTIONS)
+        assert result.n_simulations == 10 * 3
+        assert result.mu_star[0] > 50 * result.mu_star[1]
+        assert result.ranking()[0][0] == "k[0]"
+
+    def test_table_renders(self):
+        model = decay_chain(2)
+        targets = [SweepTarget.rate_constant(model, 0,
+                                             ParameterRange(0.5, 2.0))]
+        result = run_morris_screening(
+            model, targets, output_species="X2", n_trajectories=4,
+            t_span=(0, 1), t_eval=np.array([0.0, 1.0]), options=OPTIONS)
+        assert "mu*" in result.table()
+
+    def test_requires_output_spec(self):
+        model = decay_chain(2)
+        targets = [SweepTarget.rate_constant(model, 0,
+                                             ParameterRange(0.5, 2.0))]
+        with pytest.raises(AnalysisError):
+            run_morris_screening(model, targets, n_trajectories=2)
+
+
+class TestBifurcationScan:
+    def test_brusselator_hopf_located(self):
+        model = brusselator(a=1.0)
+        target = SweepTarget.rate_constant(model, 2,
+                                           ParameterRange(1.0, 3.5))
+        scan = run_bifurcation_scan(model, target, "X", 11, (0, 80),
+                                    options=OPTIONS)
+        intervals = scan.hopf_intervals()
+        assert len(intervals) == 1
+        low, high = intervals[0]
+        assert low <= 2.0 + 1e-9 <= high + 0.3
+        # Below the Hopf: stable and non-oscillating; above: unstable
+        # with growing amplitude.
+        below = scan.values < 1.9
+        above = scan.values > 2.4
+        assert np.all(scan.stable[below])
+        assert np.all(~scan.stable[above])
+        assert np.all(scan.amplitudes[below] == 0)
+        assert np.all(scan.amplitudes[above] > 0)
+        # Steady X is a for the Brusselator, independent of b.
+        assert np.allclose(scan.steady_states[:, 0], 1.0, atol=1e-6)
+
+    def test_table_renders(self):
+        model = brusselator(a=1.0)
+        target = SweepTarget.rate_constant(model, 2,
+                                           ParameterRange(1.0, 3.0))
+        scan = run_bifurcation_scan(model, target, "X", 3, (0, 40),
+                                    options=OPTIONS)
+        assert "stable" in scan.table()
+
+
+class TestMultiStartPE:
+    def test_multi_start_returns_best(self):
+        truth = cascade(TRUE_CONSTANTS)
+        times, observed = synthetic_target(truth, OBSERVED_SPECIES,
+                                           (0, 8), 15)
+        estimation = ParameterEstimation(
+            cascade(TRUE_CONSTANTS), [FreeParameter(0, 1e-2, 1e2)],
+            OBSERVED_SPECIES, times, observed)
+        best = estimate_multi_start(estimation, n_starts=2,
+                                    swarm_size=8, n_iterations=5, seed=0)
+        single = estimation.estimate("fstpso", swarm_size=8,
+                                     n_iterations=5, seed=0)
+        assert best.fitness <= single.fitness + 1e-12
+        assert best.n_simulations == 2 * 8 * 6
+
+    def test_invalid_starts_rejected(self):
+        truth = cascade(TRUE_CONSTANTS)
+        times, observed = synthetic_target(truth, OBSERVED_SPECIES,
+                                           (0, 8), 10)
+        estimation = ParameterEstimation(
+            cascade(TRUE_CONSTANTS), [FreeParameter(0, 1e-2, 1e2)],
+            OBSERVED_SPECIES, times, observed)
+        with pytest.raises(AnalysisError):
+            estimate_multi_start(estimation, n_starts=0)

@@ -1,0 +1,186 @@
+"""Unit and property tests for the compiled ODE systems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model import (Hill, MichaelisMenten, ODESystem,
+                         ReactionBasedModel)
+from repro.synth import generate_symmetric
+
+from .conftest import finite_difference_jacobian
+
+
+class TestFlux:
+    def test_mass_action_flux_values(self, toy_system, toy_model):
+        state = np.array([[1.0, 2.0, 0.5, 0.3]])
+        constants = toy_model.rate_constants()
+        flux = toy_system.flux(state, constants)[0]
+        # A+B -> C: 0.5 * 1 * 2; C -> A+B: 0.2 * 0.5; 2A -> D: 0.1 * 1;
+        # 0 -> A: 0.01; D -> 0: 0.3 * 0.3.
+        assert flux == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.09])
+
+    def test_second_order_same_species_uses_square(self):
+        model = ReactionBasedModel("sq")
+        model.add_species("A", 3.0)
+        model.add("2 A -> B @ 2.0")
+        system = ODESystem.from_model(model)
+        flux = system.flux(np.array([[3.0, 0.0]]), np.array([2.0]))
+        assert flux[0, 0] == pytest.approx(2.0 * 9.0)
+
+    def test_high_order_generic_path(self):
+        model = ReactionBasedModel("cubic")
+        model.add_species("X", 2.0)
+        model.add_species("Y", 3.0)
+        model.add("2 X + Y -> 3 X @ 0.5")
+        system = ODESystem.from_model(model)
+        flux = system.flux(np.array([[2.0, 3.0, 0.0][:2]]), np.array([0.5]))
+        assert flux[0, 0] == pytest.approx(0.5 * 4.0 * 3.0)
+
+    def test_michaelis_menten_flux(self):
+        model = ReactionBasedModel("mm")
+        model.add_species("S", 1.0)
+        model.add("S -> P", rate_constant=2.0, law=MichaelisMenten(km=0.5))
+        system = ODESystem.from_model(model)
+        flux = system.flux(np.array([[1.0, 0.0]]), np.array([2.0]))
+        assert flux[0, 0] == pytest.approx(2.0 * 1.0 / 1.5)
+
+    def test_hill_flux_half_saturation(self):
+        model = ReactionBasedModel("hill")
+        model.add_species("S", 0.5)
+        model.add("S -> P", rate_constant=4.0, law=Hill(km=0.5, n=3.0))
+        system = ODESystem.from_model(model)
+        flux = system.flux(np.array([[0.5, 0.0]]), np.array([4.0]))
+        assert flux[0, 0] == pytest.approx(2.0)   # half of Vmax at S = km
+
+    def test_batched_constants_broadcast(self, toy_system, toy_model):
+        constants = toy_model.rate_constants()
+        states = np.tile([1.0, 2.0, 0.5, 0.3], (3, 1))
+        shared = toy_system.flux(states, constants)
+        stacked = toy_system.flux(states, np.tile(constants, (3, 1)))
+        assert np.allclose(shared, stacked)
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["hybrid", "coarse", "fine"])
+    def test_policies_agree_on_toy_model(self, toy_system, toy_model,
+                                         policy):
+        rng = np.random.default_rng(0)
+        states = rng.random((5, toy_model.n_species))
+        constants = toy_model.rate_constants()
+        expected = toy_system.rhs(states, constants, "hybrid")
+        assert np.allclose(toy_system.rhs(states, constants, policy),
+                           expected)
+
+    def test_unknown_policy_rejected(self, toy_system, toy_model):
+        with pytest.raises(ModelError):
+            toy_system.rhs(np.ones((1, 4)), toy_model.rate_constants(),
+                           policy="warp")
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_policies_agree_on_random_models(self, seed):
+        """All three granularity policies compute identical derivatives."""
+        model = generate_symmetric(8, seed=seed)
+        system = ODESystem.from_model(model)
+        rng = np.random.default_rng(seed)
+        states = rng.random((3, model.n_species))
+        constants = model.rate_constants()
+        hybrid = system.rhs(states, constants, "hybrid")
+        assert np.allclose(system.rhs(states, constants, "coarse"), hybrid,
+                           rtol=1e-12, atol=1e-12)
+        assert np.allclose(system.rhs(states, constants, "fine"), hybrid,
+                           rtol=1e-12, atol=1e-12)
+
+
+class TestRHS:
+    def test_rhs_matches_matrix_formula(self, toy_system, toy_model):
+        """dX/dt = (B - A)^T (K o X^A), the paper's Eq. 2."""
+        rng = np.random.default_rng(1)
+        state = rng.random(toy_model.n_species)
+        constants = toy_model.rate_constants()
+        matrices = toy_model.matrices
+        monomials = np.prod(
+            state[None, :] ** matrices.reactants, axis=1)
+        expected = matrices.net.T @ (constants * monomials)
+        assert np.allclose(toy_system.rhs_single(state, constants), expected)
+
+    def test_conservation_respected_by_rhs(self, dimer_model):
+        system = ODESystem.from_model(dimer_model)
+        laws = dimer_model.conservation_law_basis()
+        rng = np.random.default_rng(2)
+        states = rng.random((6, dimer_model.n_species))
+        derivative = system.rhs(states, dimer_model.rate_constants())
+        assert np.allclose(derivative @ laws.T, 0.0, atol=1e-12)
+
+    def test_scipy_adapters(self, toy_system, toy_model):
+        constants = toy_model.rate_constants()
+        fun = toy_system.as_scipy_rhs(constants)
+        jac = toy_system.as_scipy_jacobian(constants)
+        state = np.array([1.0, 2.0, 0.5, 0.3])
+        assert np.allclose(fun(0.0, state),
+                           toy_system.rhs_single(state, constants))
+        assert jac(0.0, state).shape == (4, 4)
+
+
+class TestJacobian:
+    def test_jacobian_matches_finite_differences(self, toy_system,
+                                                 toy_model):
+        constants = toy_model.rate_constants()
+        state = np.array([1.0, 2.0, 0.5, 0.3])
+        analytic = toy_system.jacobian_single(state, constants)
+        numeric = finite_difference_jacobian(
+            lambda x: toy_system.rhs_single(x, constants), state)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_jacobian_with_generic_and_saturating_terms(self):
+        model = ReactionBasedModel("mixed")
+        model.add_species("X", 0.7)
+        model.add_species("Y", 0.4)
+        model.add_species("Z", 0.2)
+        model.add("2 X + Y -> 3 X @ 0.5")                  # order 3
+        model.add("Y -> Z", rate_constant=1.5,
+                  law=MichaelisMenten(km=0.3))
+        model.add("Z -> X", rate_constant=2.0, law=Hill(km=0.4, n=2.0))
+        system = ODESystem.from_model(model)
+        constants = model.rate_constants()
+        state = np.array([0.7, 0.4, 0.2])
+        analytic = system.jacobian_single(state, constants)
+        numeric = finite_difference_jacobian(
+            lambda x: system.rhs_single(x, constants), state)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_jacobian_property_on_random_models(self, seed):
+        """Analytic Jacobians match finite differences for random RBMs."""
+        model = generate_symmetric(6, seed=seed)
+        system = ODESystem.from_model(model)
+        rng = np.random.default_rng(seed + 1)
+        state = rng.random(model.n_species) + 0.1
+        constants = model.rate_constants()
+        analytic = system.jacobian_single(state, constants)
+        numeric = finite_difference_jacobian(
+            lambda x: system.rhs_single(x, constants), state)
+        scale = np.max(np.abs(numeric)) + 1.0
+        assert np.allclose(analytic, numeric, atol=1e-4 * scale)
+
+    def test_batched_jacobian_rows_independent(self, toy_system, toy_model):
+        rng = np.random.default_rng(3)
+        states = rng.random((4, toy_model.n_species))
+        constants = toy_model.rate_constants()
+        batched = toy_system.jacobian(states, constants)
+        for b in range(4):
+            single = toy_system.jacobian_single(states[b], constants)
+            assert np.allclose(batched[b], single)
+
+    def test_jacobian_operator_is_deterministic(self, toy_system,
+                                                toy_model):
+        rng = np.random.default_rng(4)
+        states = rng.random((2, toy_model.n_species))
+        constants = toy_model.rate_constants()
+        first = toy_system.jacobian(states, constants)
+        second = toy_system.jacobian(states, constants)
+        assert np.array_equal(first, second)

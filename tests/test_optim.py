@@ -1,0 +1,166 @@
+"""Tests for PSO, the fuzzy system, and FST-PSO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.optim import (FuzzySelfTuningPSO, FuzzyVariable,
+                         ParticleSwarmOptimizer, PSOOptions, SugenoRule,
+                         SugenoSystem, TriangularSet)
+
+
+def sphere(positions):
+    return np.sum(positions ** 2, axis=1)
+
+
+def rosenbrock(positions):
+    x, y = positions[:, 0], positions[:, 1]
+    return (1 - x) ** 2 + 100 * (y - x ** 2) ** 2
+
+
+BOUNDS_2D = np.array([[-5.0, 5.0], [-5.0, 5.0]])
+
+
+class TestPSOOptions:
+    def test_invalid_swarm_rejected(self):
+        with pytest.raises(AnalysisError):
+            PSOOptions(swarm_size=1)
+
+    def test_invalid_velocity_fraction_rejected(self):
+        with pytest.raises(AnalysisError):
+            PSOOptions(velocity_fraction=0.0)
+
+
+class TestPSO:
+    def test_sphere_minimum_found(self):
+        optimizer = ParticleSwarmOptimizer(
+            PSOOptions(swarm_size=24, n_iterations=60, seed=0))
+        result = optimizer.minimize(sphere, BOUNDS_2D)
+        assert result.best_fitness < 1e-4
+        assert np.allclose(result.best_position, 0.0, atol=0.05)
+
+    def test_rosenbrock_progress(self):
+        optimizer = ParticleSwarmOptimizer(
+            PSOOptions(swarm_size=30, n_iterations=80, seed=1))
+        result = optimizer.minimize(rosenbrock, BOUNDS_2D)
+        assert result.best_fitness < 0.5
+
+    def test_bounds_respected(self):
+        optimizer = ParticleSwarmOptimizer(
+            PSOOptions(swarm_size=16, n_iterations=20, seed=2))
+        tight = np.array([[1.0, 2.0], [3.0, 4.0]])
+        result = optimizer.minimize(sphere, tight)
+        assert 1.0 <= result.best_position[0] <= 2.0
+        assert 3.0 <= result.best_position[1] <= 4.0
+        assert np.all(result.positions >= tight[:, 0] - 1e-12)
+        assert np.all(result.positions <= tight[:, 1] + 1e-12)
+
+    def test_deterministic_per_seed(self):
+        options = PSOOptions(swarm_size=10, n_iterations=10, seed=5)
+        first = ParticleSwarmOptimizer(options).minimize(sphere, BOUNDS_2D)
+        second = ParticleSwarmOptimizer(options).minimize(sphere, BOUNDS_2D)
+        assert np.array_equal(first.best_position, second.best_position)
+
+    def test_evaluation_count(self):
+        optimizer = ParticleSwarmOptimizer(
+            PSOOptions(swarm_size=8, n_iterations=5, seed=0))
+        result = optimizer.minimize(sphere, BOUNDS_2D)
+        assert result.n_evaluations == 8 * 6
+
+    def test_invalid_bounds_rejected(self):
+        optimizer = ParticleSwarmOptimizer()
+        with pytest.raises(AnalysisError):
+            optimizer.minimize(sphere, np.array([[1.0, 1.0]]))
+
+    def test_callback_invoked(self):
+        seen = []
+        optimizer = ParticleSwarmOptimizer(
+            PSOOptions(swarm_size=6, n_iterations=4, seed=0))
+        optimizer.minimize(sphere, BOUNDS_2D,
+                           callback=lambda i, f: seen.append((i, f)))
+        assert len(seen) == 4
+
+    def test_infinite_fitness_handled(self):
+        """Candidates scoring inf (failed simulations) do not crash."""
+
+        def partial(positions):
+            values = sphere(positions)
+            values[positions[:, 0] > 0] = np.inf
+            return values
+
+        optimizer = ParticleSwarmOptimizer(
+            PSOOptions(swarm_size=12, n_iterations=15, seed=3))
+        result = optimizer.minimize(partial, BOUNDS_2D)
+        assert np.isfinite(result.best_fitness)
+
+
+class TestFuzzySystem:
+    @pytest.fixture
+    def simple_system(self):
+        temperature = FuzzyVariable("temperature", (
+            TriangularSet("cold", -np.inf, 0.0, 1.0),
+            TriangularSet("hot", 0.0, 1.0, np.inf),
+        ))
+        rules = [
+            SugenoRule((("temperature", "cold"),), "power", 1.0),
+            SugenoRule((("temperature", "hot"),), "power", 0.0),
+        ]
+        return SugenoSystem([temperature], rules)
+
+    def test_membership_triangle(self):
+        fset = TriangularSet("mid", 0.0, 0.5, 1.0)
+        values = fset.membership(np.array([0.0, 0.25, 0.5, 0.75, 1.0]))
+        assert np.allclose(values, [0.0, 0.5, 1.0, 0.5, 0.0])
+
+    def test_open_shoulders(self):
+        fset = TriangularSet("low", -np.inf, 0.0, 1.0)
+        values = fset.membership(np.array([-5.0, 0.0, 0.5, 2.0]))
+        assert np.allclose(values, [1.0, 1.0, 0.5, 0.0])
+
+    def test_interpolation_between_rules(self, simple_system):
+        outputs = simple_system.evaluate(
+            {"temperature": np.array([0.0, 0.5, 1.0])})
+        assert np.allclose(outputs["power"], [1.0, 0.5, 0.0])
+
+    def test_unknown_set_rejected(self):
+        var = FuzzyVariable("x", (TriangularSet("a", 0, 1, 2),))
+        with pytest.raises(AnalysisError):
+            SugenoSystem([var], [SugenoRule((("x", "zzz"),), "out", 1.0)])
+
+    def test_missing_input_rejected(self, simple_system):
+        with pytest.raises(AnalysisError):
+            simple_system.evaluate({"pressure": np.array([1.0])})
+
+
+class TestFSTPSO:
+    def test_sphere_minimum_found(self):
+        optimizer = FuzzySelfTuningPSO(
+            PSOOptions(swarm_size=24, n_iterations=60, seed=0))
+        result = optimizer.minimize(sphere, BOUNDS_2D)
+        assert result.best_fitness < 1e-3
+
+    def test_coefficients_become_heterogeneous(self):
+        optimizer = FuzzySelfTuningPSO(
+            PSOOptions(swarm_size=16, n_iterations=10, seed=1))
+        optimizer.minimize(sphere, BOUNDS_2D)
+        # After observing the swarm, particles carry distinct settings.
+        assert len(np.unique(optimizer._inertia_values)) > 1
+
+    def test_coefficients_stay_in_published_ranges(self):
+        from repro.optim import (COGNITIVE_RANGE, INERTIA_RANGE,
+                                 SOCIAL_RANGE)
+        optimizer = FuzzySelfTuningPSO(
+            PSOOptions(swarm_size=16, n_iterations=15, seed=2))
+        optimizer.minimize(rosenbrock, BOUNDS_2D)
+        assert np.all(optimizer._inertia_values >= INERTIA_RANGE[0])
+        assert np.all(optimizer._inertia_values <= INERTIA_RANGE[1])
+        assert np.all(optimizer._cognitive_values >= COGNITIVE_RANGE[0])
+        assert np.all(optimizer._cognitive_values <= COGNITIVE_RANGE[1])
+        assert np.all(optimizer._social_values >= SOCIAL_RANGE[0])
+        assert np.all(optimizer._social_values <= SOCIAL_RANGE[1])
+
+    def test_not_worse_than_plain_pso_on_sphere(self):
+        options = PSOOptions(swarm_size=20, n_iterations=40, seed=4)
+        plain = ParticleSwarmOptimizer(options).minimize(sphere, BOUNDS_2D)
+        fuzzy = FuzzySelfTuningPSO(options).minimize(sphere, BOUNDS_2D)
+        assert fuzzy.best_fitness < max(plain.best_fitness * 100, 1e-2)

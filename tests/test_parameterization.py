@@ -1,0 +1,139 @@
+"""Unit tests for parameterizations, batches, and perturbations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model import (Parameterization, ParameterizationBatch,
+                         perturb_rate_constants, perturbed_batch)
+
+
+def make_parameterization(m=3, n=2):
+    return Parameterization(np.linspace(0.1, 1.0, m), np.linspace(0, 1, n))
+
+
+class TestParameterization:
+    def test_shapes(self):
+        p = make_parameterization(4, 3)
+        assert p.n_reactions == 4
+        assert p.n_species == 3
+
+    def test_rejects_nonpositive_constants(self):
+        with pytest.raises(ModelError):
+            Parameterization(np.array([1.0, 0.0]), np.array([1.0]))
+
+    def test_rejects_negative_state(self):
+        with pytest.raises(ModelError):
+            Parameterization(np.array([1.0]), np.array([-0.1]))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ModelError):
+            Parameterization(np.array([np.inf]), np.array([1.0]))
+        with pytest.raises(ModelError):
+            Parameterization(np.array([1.0]), np.array([np.nan]))
+
+    def test_rejects_wrong_dimensionality(self):
+        with pytest.raises(ModelError):
+            Parameterization(np.ones((2, 2)), np.ones(2))
+
+    def test_with_rate_constant_copy_semantics(self):
+        p = make_parameterization()
+        q = p.with_rate_constant(0, 9.0)
+        assert q.rate_constants[0] == 9.0
+        assert p.rate_constants[0] != 9.0
+
+    def test_with_initial_value_copy_semantics(self):
+        p = make_parameterization()
+        q = p.with_initial_value(1, 7.0)
+        assert q.initial_state[1] == 7.0
+        assert p.initial_state[1] != 7.0
+
+
+class TestBatch:
+    def test_from_parameterizations(self):
+        items = [make_parameterization(), make_parameterization()]
+        batch = ParameterizationBatch.from_parameterizations(items)
+        assert batch.size == 2
+        assert batch.n_reactions == 3
+
+    def test_from_empty_list_rejected(self):
+        with pytest.raises(ModelError):
+            ParameterizationBatch.from_parameterizations([])
+
+    def test_replicate(self):
+        batch = ParameterizationBatch.replicate(make_parameterization(), 5)
+        assert batch.size == 5
+        assert np.allclose(batch.rate_constants[0], batch.rate_constants[4])
+
+    def test_replicate_rejects_zero_count(self):
+        with pytest.raises(ModelError):
+            ParameterizationBatch.replicate(make_parameterization(), 0)
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            ParameterizationBatch(np.ones((2, 3)), np.ones((3, 2)))
+
+    def test_getitem_returns_parameterization(self):
+        batch = ParameterizationBatch.replicate(make_parameterization(), 2)
+        item = batch[1]
+        assert isinstance(item, Parameterization)
+        assert item.n_reactions == 3
+
+    def test_subset_selects_rows(self):
+        constants = np.arange(1, 7, dtype=float).reshape(3, 2)
+        states = np.arange(6, dtype=float).reshape(3, 2)
+        batch = ParameterizationBatch(constants, states)
+        subset = batch.subset(np.array([2, 0]))
+        assert subset.size == 2
+        assert np.allclose(subset.rate_constants[0], constants[2])
+
+    def test_len_matches_size(self):
+        batch = ParameterizationBatch.replicate(make_parameterization(), 4)
+        assert len(batch) == 4
+
+
+class TestPerturbation:
+    def test_perturbation_stays_within_band(self):
+        rng = np.random.default_rng(0)
+        base = np.array([1.0, 1e-3, 50.0])
+        samples = perturb_rate_constants(base, 500, rng)
+        assert samples.shape == (500, 3)
+        assert np.all(samples >= base * 0.75 - 1e-12)
+        assert np.all(samples <= base * 1.25 + 1e-12)
+
+    def test_perturbation_is_seed_deterministic(self):
+        base = np.array([2.0, 3.0])
+        first = perturb_rate_constants(base, 10, np.random.default_rng(7))
+        second = perturb_rate_constants(base, 10, np.random.default_rng(7))
+        assert np.array_equal(first, second)
+
+    def test_perturbation_rejects_nonpositive_base(self):
+        with pytest.raises(ModelError):
+            perturb_rate_constants(np.array([0.0]), 2,
+                                   np.random.default_rng(0))
+
+    def test_perturbation_rejects_bad_spread(self):
+        with pytest.raises(ModelError):
+            perturb_rate_constants(np.array([1.0]), 2,
+                                   np.random.default_rng(0), spread=1.5)
+
+    def test_perturbed_batch_shares_initial_state(self):
+        base = make_parameterization()
+        batch = perturbed_batch(base, 8, np.random.default_rng(1))
+        assert batch.size == 8
+        assert np.allclose(batch.initial_states, base.initial_state[None, :])
+        assert not np.allclose(batch.rate_constants,
+                               base.rate_constants[None, :])
+
+    @settings(max_examples=25, deadline=None)
+    @given(spread=st.floats(min_value=0.01, max_value=0.9),
+           scale=st.floats(min_value=1e-6, max_value=1e6))
+    def test_perturbation_band_property(self, spread, scale):
+        """For any spread and magnitude, samples stay in the band."""
+        rng = np.random.default_rng(3)
+        base = np.array([scale])
+        samples = perturb_rate_constants(base, 64, rng, spread)
+        assert np.all(samples >= base * (1 - spread) * (1 - 1e-9))
+        assert np.all(samples <= base * (1 + spread) * (1 + 1e-9))

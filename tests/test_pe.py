@@ -1,0 +1,125 @@
+"""Tests for parameter estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FreeParameter, ParameterEstimation,
+                        synthetic_target)
+from repro.errors import AnalysisError
+from repro.models import OBSERVED_SPECIES, TRUE_CONSTANTS, cascade
+from repro.solvers import SolverOptions
+
+
+@pytest.fixture(scope="module")
+def target():
+    truth = cascade(TRUE_CONSTANTS)
+    return synthetic_target(truth, OBSERVED_SPECIES, (0, 8), 21)
+
+
+class TestSetup:
+    def test_free_parameter_validation(self):
+        with pytest.raises(AnalysisError):
+            FreeParameter(0, 1.0, 0.5)
+        with pytest.raises(AnalysisError):
+            FreeParameter(0, 0.0, 1.0)
+
+    def test_log_bounds(self):
+        free = FreeParameter(0, 1e-2, 1e2)
+        assert free.log_bounds == (-2.0, 2.0)
+
+    def test_out_of_range_index_rejected(self, target):
+        times, dynamics = target
+        with pytest.raises(AnalysisError):
+            ParameterEstimation(cascade(), [FreeParameter(99, 0.1, 10)],
+                                OBSERVED_SPECIES, times, dynamics)
+
+    def test_target_shape_mismatch_rejected(self, target):
+        times, dynamics = target
+        with pytest.raises(AnalysisError):
+            ParameterEstimation(cascade(), [FreeParameter(0, 0.1, 10)],
+                                OBSERVED_SPECIES, times, dynamics[:, :1])
+
+    def test_no_free_parameters_rejected(self, target):
+        times, dynamics = target
+        with pytest.raises(AnalysisError):
+            ParameterEstimation(cascade(), [], OBSERVED_SPECIES, times,
+                                dynamics)
+
+
+class TestFitness:
+    def test_truth_scores_zero(self, target):
+        times, dynamics = target
+        pe = ParameterEstimation(cascade(TRUE_CONSTANTS),
+                                 [FreeParameter(0, 1e-2, 1e2)],
+                                 OBSERVED_SPECIES, times, dynamics)
+        score = pe.fitness(np.array([[np.log10(TRUE_CONSTANTS[0])]]))
+        assert score[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_wrong_constants_score_positive(self, target):
+        times, dynamics = target
+        pe = ParameterEstimation(cascade(TRUE_CONSTANTS),
+                                 [FreeParameter(0, 1e-2, 1e2)],
+                                 OBSERVED_SPECIES, times, dynamics)
+        score = pe.fitness(np.array([[np.log10(50.0)]]))
+        assert score[0] > 0.05
+
+    def test_batch_fitness_evaluates_whole_swarm(self, target):
+        times, dynamics = target
+        pe = ParameterEstimation(cascade(TRUE_CONSTANTS),
+                                 [FreeParameter(0, 1e-2, 1e2)],
+                                 OBSERVED_SPECIES, times, dynamics)
+        scores = pe.fitness(np.log10([[0.5], [2.0], [8.0]]))
+        assert scores.shape == (3,)
+        assert pe.n_simulations == 3
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("optimizer", ["pso", "fstpso"])
+    def test_single_parameter_recovery(self, target, optimizer):
+        """With one unknown the swarm recovers the true constant."""
+        times, dynamics = target
+        wrong = list(TRUE_CONSTANTS)
+        wrong[0] = 0.1
+        pe = ParameterEstimation(cascade(tuple(wrong)),
+                                 [FreeParameter(0, 1e-2, 1e2)],
+                                 OBSERVED_SPECIES, times, dynamics)
+        result = pe.estimate(optimizer, swarm_size=12, n_iterations=15,
+                             seed=3)
+        assert result.fitness < 0.05
+        assert result.estimated_constants[0] == pytest.approx(
+            TRUE_CONSTANTS[0], rel=0.5)
+
+    def test_history_is_monotone_nonincreasing(self, target):
+        times, dynamics = target
+        pe = ParameterEstimation(cascade(TRUE_CONSTANTS),
+                                 [FreeParameter(0, 1e-2, 1e2)],
+                                 OBSERVED_SPECIES, times, dynamics)
+        result = pe.estimate("pso", swarm_size=8, n_iterations=8, seed=0)
+        history = result.optimization.converged_history
+        assert np.all(np.diff(history) <= 1e-15)
+
+    def test_simulation_count_tracked(self, target):
+        times, dynamics = target
+        pe = ParameterEstimation(cascade(TRUE_CONSTANTS),
+                                 [FreeParameter(0, 1e-2, 1e2)],
+                                 OBSERVED_SPECIES, times, dynamics)
+        result = pe.estimate("pso", swarm_size=8, n_iterations=5, seed=0)
+        assert result.n_simulations == 8 * 6   # initial + 5 iterations
+
+    def test_unknown_optimizer_rejected(self, target):
+        times, dynamics = target
+        pe = ParameterEstimation(cascade(TRUE_CONSTANTS),
+                                 [FreeParameter(0, 1e-2, 1e2)],
+                                 OBSERVED_SPECIES, times, dynamics)
+        with pytest.raises(AnalysisError):
+            pe.estimate("genetic")
+
+    def test_constants_table(self, target):
+        times, dynamics = target
+        pe = ParameterEstimation(cascade(TRUE_CONSTANTS),
+                                 [FreeParameter(0, 1e-2, 1e2)],
+                                 OBSERVED_SPECIES, times, dynamics)
+        result = pe.estimate("pso", swarm_size=6, n_iterations=3, seed=0)
+        table = result.constants_table(true_values=[TRUE_CONSTANTS[0]],
+                                       names=["k_act1"])
+        assert "k_act1" in table and "ratio" in table

@@ -1,0 +1,134 @@
+"""Tests for parameter sweep analysis (PSA-1D / PSA-2D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ParameterRange, SweepTarget, amplitude_metric,
+                        build_sweep_batch, endpoint_metric, run_psa_1d,
+                        run_psa_2d)
+from repro.errors import AnalysisError
+from repro.models import brusselator, decay_chain, oscillates
+from repro.solvers import SolverOptions
+
+
+class TestSweepTargets:
+    def test_rate_constant_target(self, chain_model):
+        target = SweepTarget.rate_constant(chain_model, 0,
+                                           ParameterRange(0.1, 1.0))
+        assert target.label == "k[0]"
+
+    def test_out_of_range_reaction_rejected(self, chain_model):
+        with pytest.raises(AnalysisError):
+            SweepTarget.rate_constant(chain_model, 99,
+                                      ParameterRange(0.1, 1.0))
+
+    def test_initial_concentration_target(self, chain_model):
+        target = SweepTarget.initial_concentration(
+            chain_model, "X0", ParameterRange(1.0, 10.0))
+        assert "X0" in target.label
+
+    def test_unknown_species_rejected(self, chain_model):
+        with pytest.raises(Exception):
+            SweepTarget.initial_concentration(chain_model, "nope",
+                                              ParameterRange(0, 1))
+
+    def test_rate_scale_target(self, chain_model):
+        target = SweepTarget.rate_scale(chain_model, [0, 1, 2],
+                                        ParameterRange(0.5, 2.0), "P9")
+        assert target.label == "P9"
+        with pytest.raises(AnalysisError):
+            SweepTarget.rate_scale(chain_model, [], ParameterRange(0.5, 2))
+
+
+class TestBuildBatch:
+    def test_rate_constant_column(self, chain_model):
+        target = SweepTarget.rate_constant(chain_model, 1,
+                                           ParameterRange(0.1, 1.0))
+        values = np.array([[0.25], [0.75]])
+        batch = build_sweep_batch(chain_model, [target], values)
+        assert batch.rate_constants[0, 1] == 0.25
+        assert batch.rate_constants[1, 1] == 0.75
+        # Other constants keep nominal values.
+        nominal = chain_model.rate_constants()
+        assert batch.rate_constants[0, 0] == nominal[0]
+
+    def test_initial_concentration_column(self, chain_model):
+        target = SweepTarget.initial_concentration(
+            chain_model, "X0", ParameterRange(1.0, 5.0))
+        batch = build_sweep_batch(chain_model, [target],
+                                  np.array([[2.0], [4.0]]))
+        assert batch.initial_states[0, 0] == 2.0
+        assert batch.initial_states[1, 0] == 4.0
+
+    def test_rate_scale_multiplies_group(self, chain_model):
+        nominal = chain_model.rate_constants()
+        target = SweepTarget.rate_scale(chain_model, [0, 2],
+                                        ParameterRange(0.5, 2.0))
+        batch = build_sweep_batch(chain_model, [target],
+                                  np.array([[2.0]]))
+        assert batch.rate_constants[0, 0] == pytest.approx(2 * nominal[0])
+        assert batch.rate_constants[0, 2] == pytest.approx(2 * nominal[2])
+        assert batch.rate_constants[0, 1] == pytest.approx(nominal[1])
+
+    def test_column_count_mismatch_rejected(self, chain_model):
+        target = SweepTarget.rate_constant(chain_model, 0,
+                                           ParameterRange(0.1, 1.0))
+        with pytest.raises(AnalysisError):
+            build_sweep_batch(chain_model, [target], np.ones((2, 2)))
+
+
+class TestPSA1D:
+    def test_endpoint_monotone_in_decay_rate(self):
+        model = decay_chain(1)
+        target = SweepTarget.rate_constant(model, 0,
+                                           ParameterRange(0.1, 2.0))
+        result = run_psa_1d(model, target, 8, (0, 1),
+                            np.array([0.0, 1.0]),
+                            metric=endpoint_metric(model, "X0"))
+        assert result.n_points == 8
+        assert result.simulation.all_success
+        # Faster decay -> lower X0 endpoint: strictly decreasing metric.
+        assert np.all(np.diff(result.metric_values) < 0)
+
+    def test_without_metric(self):
+        model = decay_chain(1)
+        target = SweepTarget.rate_constant(model, 0,
+                                           ParameterRange(0.1, 2.0))
+        result = run_psa_1d(model, target, 4, (0, 1))
+        assert result.metric_values is None
+
+
+class TestPSA2D:
+    def test_brusselator_amplitude_map_matches_hopf_boundary(self):
+        model = brusselator()
+        target_a = SweepTarget.rate_constant(model, 0,
+                                             ParameterRange(0.6, 1.8))
+        target_b = SweepTarget.rate_constant(model, 2,
+                                             ParameterRange(0.6, 5.5))
+        grid = np.linspace(0, 60, 301)
+        result = run_psa_2d(model, target_a, target_b, 6, 6, (0, 60), grid,
+                            metric=amplitude_metric(model, "X"),
+                            options=SolverOptions(max_steps=100_000))
+        assert result.metric_map.shape == (6, 6)
+        assert result.simulation.all_success
+        agreement = 0
+        for i, a in enumerate(result.values_x):
+            for j, b in enumerate(result.values_y):
+                predicted = oscillates(a, b)
+                observed = result.metric_map[i, j] > 0
+                agreement += predicted == observed
+        # The analytic Hopf boundary b = 1 + a^2 must match almost all
+        # cells (boundary cells may disagree).
+        assert agreement >= 30
+
+    def test_grid_ordering_is_row_major(self):
+        model = decay_chain(1)
+        tx = SweepTarget.rate_constant(model, 0, ParameterRange(0.1, 1.0))
+        ty = SweepTarget.initial_concentration(model, "X0",
+                                               ParameterRange(1.0, 2.0))
+        result = run_psa_2d(model, tx, ty, 2, 3, (0, 1),
+                            np.array([0.0, 1.0]))
+        batch = result.simulation.raw
+        assert batch.batch_size == 6
+        # First three rows share values_x[0].
+        assert result.n_points == 6

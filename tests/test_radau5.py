@@ -1,0 +1,155 @@
+"""Tests for the scalar Radau IIA order-5 solver."""
+
+import numpy as np
+import pytest
+from scipy.integrate import solve_ivp
+
+from repro.solvers import (MU_COMPLEX, MU_REAL, RADAU_A, RADAU_C, RADAU_T,
+                           RADAU_TI, Radau5, SolverOptions)
+
+
+def robertson_rhs(t, y):
+    return np.array([
+        -0.04 * y[0] + 1e4 * y[1] * y[2],
+        0.04 * y[0] - 1e4 * y[1] * y[2] - 3e7 * y[1] ** 2,
+        3e7 * y[1] ** 2,
+    ])
+
+
+def robertson_jac(t, y):
+    return np.array([
+        [-0.04, 1e4 * y[2], 1e4 * y[1]],
+        [0.04, -1e4 * y[2] - 6e7 * y[1], -1e4 * y[1]],
+        [0.0, 6e7 * y[1], 0.0],
+    ])
+
+
+class TestDerivedConstants:
+    """The transformation is derived numerically at import; check it
+    against the known closed forms of the RADAU5 literature."""
+
+    def test_mu_real_closed_form(self):
+        expected = 3.0 + 3.0 ** (2.0 / 3.0) - 3.0 ** (1.0 / 3.0)
+        assert MU_REAL == pytest.approx(expected, rel=1e-12)
+
+    def test_mu_complex_closed_form(self):
+        expected_real = 3.0 + 0.5 * (3.0 ** (1.0 / 3.0)
+                                     - 3.0 ** (2.0 / 3.0))
+        expected_imag = -0.5 * (3.0 ** (5.0 / 6.0) + 3.0 ** (7.0 / 6.0))
+        assert MU_COMPLEX.real == pytest.approx(expected_real, rel=1e-12)
+        assert MU_COMPLEX.imag == pytest.approx(expected_imag, rel=1e-12)
+
+    def test_nodes_are_radau_points(self):
+        sqrt6 = np.sqrt(6.0)
+        assert np.allclose(RADAU_C, [(4 - sqrt6) / 10, (4 + sqrt6) / 10, 1])
+
+    def test_stage_matrix_row_sums_are_nodes(self):
+        assert np.allclose(RADAU_A.sum(axis=1), RADAU_C)
+
+    def test_transformation_block_diagonalizes(self):
+        a_inv = np.linalg.inv(RADAU_A)
+        lam = RADAU_TI @ a_inv @ RADAU_T
+        assert lam[0, 0] == pytest.approx(MU_REAL)
+        assert abs(lam[0, 1]) < 1e-10 and abs(lam[0, 2]) < 1e-10
+        assert abs(lam[1, 0]) < 1e-10 and abs(lam[2, 0]) < 1e-10
+        # 2x2 rotation block [[alpha, beta], [-beta, alpha]].
+        assert lam[1, 1] == pytest.approx(MU_COMPLEX.real)
+        assert lam[2, 2] == pytest.approx(MU_COMPLEX.real)
+        assert lam[1, 2] == pytest.approx(-MU_COMPLEX.imag)
+        assert lam[2, 1] == pytest.approx(MU_COMPLEX.imag)
+
+    def test_method_is_stiffly_accurate(self):
+        """b equals the last row of A."""
+        assert np.allclose(RADAU_A[-1], [(16 - np.sqrt(6)) / 36,
+                                         (16 + np.sqrt(6)) / 36, 1 / 9])
+
+
+class TestAccuracy:
+    def test_linear_decay(self):
+        solver = Radau5(SolverOptions(rtol=1e-9, atol=1e-12))
+        grid = np.linspace(0, 5, 6)
+        result = solver.solve(lambda t, y: -y, (0, 5), np.array([1.0]), grid)
+        assert result.success
+        assert np.allclose(result.y[:, 0], np.exp(-grid), atol=1e-8)
+
+    def test_robertson_against_scipy_radau(self):
+        grid = np.array([0.0, 1e-2, 1.0, 1e2, 1e4])
+        solver = Radau5(SolverOptions(rtol=1e-6, atol=1e-10,
+                                      max_steps=100_000))
+        result = solver.solve(robertson_rhs, (0, 1e4), np.array([1.0, 0, 0]),
+                              grid, jac=robertson_jac)
+        assert result.success
+        reference = solve_ivp(robertson_rhs, (0, 1e4), [1.0, 0, 0],
+                              method="Radau", t_eval=grid, rtol=1e-10,
+                              atol=1e-13, jac=robertson_jac)
+        assert np.allclose(result.y, reference.y.T, rtol=1e-4, atol=1e-10)
+
+    def test_robertson_mass_conservation(self):
+        grid = np.array([0.0, 1e2, 1e4])
+        solver = Radau5(SolverOptions(max_steps=100_000))
+        result = solver.solve(robertson_rhs, (0, 1e4), np.array([1.0, 0, 0]),
+                              grid, jac=robertson_jac)
+        assert np.allclose(result.y.sum(axis=1), 1.0, atol=1e-7)
+
+    def test_finite_difference_jacobian_fallback(self):
+        """Radau works without an analytic Jacobian."""
+        grid = np.array([0.0, 1.0, 100.0])
+        solver = Radau5(SolverOptions(max_steps=100_000))
+        result = solver.solve(robertson_rhs, (0, 100), np.array([1.0, 0, 0]),
+                              grid)
+        assert result.success
+        assert result.stats.n_jacobian_evaluations > 0
+
+    def test_van_der_pol_efficiency(self):
+        """Radau solves stiff VdP in far fewer steps than its step cap."""
+
+        def vdp(t, y, mu=1000.0):
+            return np.array([y[1], mu * (1 - y[0] ** 2) * y[1] - y[0]])
+
+        def vdp_jac(t, y, mu=1000.0):
+            return np.array([[0.0, 1.0],
+                             [-2 * mu * y[0] * y[1] - 1.0,
+                              mu * (1 - y[0] ** 2)]])
+
+        solver = Radau5(SolverOptions(max_steps=20_000))
+        result = solver.solve(vdp, (0, 3), np.array([2.0, 0.0]),
+                              np.array([0.0, 3.0]), jac=vdp_jac)
+        assert result.success
+        assert result.stats.n_steps < 2_000
+
+
+class TestBehaviour:
+    def test_stats_accumulate(self):
+        solver = Radau5()
+        result = solver.solve(lambda t, y: -y, (0, 1), np.array([1.0]),
+                              np.array([0.0, 1.0]))
+        stats = result.stats
+        assert stats.n_accepted > 0
+        assert stats.n_factorizations > 0
+        assert stats.n_newton_iterations >= stats.n_accepted
+
+    def test_jacobian_reuse_reduces_evaluations(self):
+        grid = np.array([0.0, 1e2])
+        evaluations = {}
+        for reuse in (True, False):
+            solver = Radau5(SolverOptions(max_steps=100_000),
+                            reuse_jacobian=reuse)
+            result = solver.solve(robertson_rhs, (0, 1e2),
+                                  np.array([1.0, 0, 0]), grid,
+                                  jac=robertson_jac)
+            assert result.success
+            evaluations[reuse] = result.stats.n_jacobian_evaluations
+        assert evaluations[True] < evaluations[False]
+
+    def test_max_steps_status(self):
+        solver = Radau5(SolverOptions(max_steps=3))
+        result = solver.solve(robertson_rhs, (0, 1e4),
+                              np.array([1.0, 0, 0]), np.array([0.0, 1e4]))
+        assert result.status == "max_steps"
+
+    def test_save_grid_hit_exactly(self):
+        solver = Radau5()
+        grid = np.array([0.0, 0.21, 0.9, 1.0])
+        result = solver.solve(lambda t, y: -y, (0, 1), np.array([1.0]), grid)
+        assert np.array_equal(result.t, grid)
+        assert np.allclose(result.y[:, 0], np.exp(-grid), atol=1e-7)

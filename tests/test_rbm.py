@@ -1,0 +1,89 @@
+"""Unit tests for the ReactionBasedModel container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (MichaelisMenten, ReactionBasedModel, Reaction)
+
+
+class TestConstruction:
+    def test_add_reaction_autoregisters_species(self):
+        model = ReactionBasedModel("auto")
+        model.add("A -> B @ 1")
+        assert model.n_species == 2
+        assert model.species.index_of("B") == 1
+        assert model.species[1].initial_concentration == 0.0
+
+    def test_explicit_species_keep_concentration(self):
+        model = ReactionBasedModel("explicit")
+        model.add_species("A", 5.0)
+        model.add("A -> B @ 1")
+        assert model.initial_state()[0] == 5.0
+
+    def test_size_property(self, toy_model):
+        assert toy_model.size == (4, 5)
+
+    def test_max_order(self, toy_model):
+        assert toy_model.max_order() == 2
+
+    def test_is_mass_action(self, toy_model):
+        assert toy_model.is_mass_action()
+        toy_model.add("C -> D", rate_constant=1.0,
+                      law=MichaelisMenten(km=0.5))
+        assert not toy_model.is_mass_action()
+
+    def test_summary_lists_reactions(self, toy_model):
+        summary = toy_model.summary()
+        assert "N=4" in summary and "M=5" in summary
+        assert summary.count("->") == toy_model.n_reactions
+
+
+class TestValidation:
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelError):
+            ReactionBasedModel("empty").validate()
+
+    def test_model_without_reactions_rejected(self):
+        model = ReactionBasedModel("no-reactions")
+        model.add_species("A", 1.0)
+        with pytest.raises(ModelError):
+            model.validate()
+
+    def test_matrices_require_valid_model(self):
+        model = ReactionBasedModel("bad")
+        model.add_species("A", 1.0)
+        with pytest.raises(ModelError):
+            _ = model.matrices
+
+
+class TestDerivedState:
+    def test_matrices_cached_and_invalidated(self, toy_model):
+        first = toy_model.matrices
+        assert toy_model.matrices is first
+        toy_model.add("D -> C @ 1.0")
+        second = toy_model.matrices
+        assert second is not first
+        assert second.n_reactions == first.n_reactions + 1
+
+    def test_nominal_parameterization_matches_definition(self, toy_model):
+        nominal = toy_model.nominal_parameterization()
+        assert np.allclose(nominal.rate_constants,
+                           [0.5, 0.2, 0.1, 0.01, 0.3])
+        assert np.allclose(nominal.initial_state, [1.0, 2.0, 0.0, 0.0])
+
+    def test_batch_replicates_nominal(self, toy_model):
+        batch = toy_model.batch(3)
+        assert batch.size == 3
+        assert np.allclose(batch.rate_constants,
+                           toy_model.rate_constants()[None, :])
+
+    def test_check_parameterization_shape_mismatch(self, toy_model,
+                                                   chain_model):
+        wrong = chain_model.nominal_parameterization()
+        with pytest.raises(ModelError):
+            toy_model.check_parameterization(wrong)
+
+    def test_conservation_basis_shape(self, toy_model):
+        laws = toy_model.conservation_law_basis()
+        assert laws.shape[1] == toy_model.n_species

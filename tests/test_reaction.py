@@ -1,0 +1,110 @@
+"""Unit tests for reactions and the reaction-string parser."""
+
+import pytest
+
+from repro.errors import ModelError, ParseError
+from repro.model import MichaelisMenten, Reaction, parse_reaction
+
+
+class TestReaction:
+    def test_basic_construction(self):
+        reaction = Reaction({"A": 1, "B": 1}, {"C": 1}, 0.5)
+        assert reaction.order == 2
+        assert reaction.rate_constant == 0.5
+
+    def test_order_counts_molecules_not_species(self):
+        assert Reaction({"A": 2}, {"B": 1}, 1.0).order == 2
+        assert Reaction({}, {"A": 1}, 1.0).order == 0
+
+    def test_net_change(self):
+        reaction = Reaction({"A": 2}, {"A": 3}, 1.0)
+        assert reaction.net_change("A") == 1
+        assert reaction.net_change("Z") == 0
+
+    def test_species_names_union(self):
+        reaction = Reaction({"A": 1}, {"B": 1, "C": 2}, 1.0)
+        assert reaction.species_names() == {"A", "B", "C"}
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_nonpositive_rate_rejected(self, rate):
+        with pytest.raises(ModelError):
+            Reaction({"A": 1}, {"B": 1}, rate)
+
+    def test_zero_coefficient_rejected(self):
+        with pytest.raises(ModelError):
+            Reaction({"A": 0}, {"B": 1}, 1.0)
+
+    def test_fully_empty_reaction_rejected(self):
+        with pytest.raises(ModelError):
+            Reaction({}, {}, 1.0)
+
+    def test_with_rate_constant_copies(self):
+        original = Reaction({"A": 1}, {"B": 1}, 1.0)
+        changed = original.with_rate_constant(2.0)
+        assert changed.rate_constant == 2.0
+        assert original.rate_constant == 1.0
+
+    def test_michaelis_menten_requires_single_substrate(self):
+        with pytest.raises(ModelError):
+            Reaction({"A": 1, "B": 1}, {"C": 1}, 1.0,
+                     law=MichaelisMenten(km=0.5))
+        with pytest.raises(ModelError):
+            Reaction({"A": 2}, {"C": 1}, 1.0, law=MichaelisMenten(km=0.5))
+
+    def test_text_round_trips_through_parser(self):
+        reaction = Reaction({"A": 2, "B": 1}, {"C": 1}, 0.75)
+        parsed = parse_reaction(reaction.text())
+        assert parsed.reactants == reaction.reactants
+        assert parsed.products == reaction.products
+        assert parsed.rate_constant == pytest.approx(0.75)
+
+
+class TestParser:
+    def test_simple_reaction(self):
+        reaction = parse_reaction("A + B -> C @ 0.5")
+        assert reaction.reactants == {"A": 1, "B": 1}
+        assert reaction.products == {"C": 1}
+        assert reaction.rate_constant == 0.5
+
+    def test_coefficients(self):
+        reaction = parse_reaction("2 A -> 3 B @ 1")
+        assert reaction.reactants == {"A": 2}
+        assert reaction.products == {"B": 3}
+
+    def test_coefficient_with_star(self):
+        reaction = parse_reaction("2*A -> B @ 1")
+        assert reaction.reactants == {"A": 2}
+
+    def test_repeated_species_accumulate(self):
+        reaction = parse_reaction("A + A -> B @ 1")
+        assert reaction.reactants == {"A": 2}
+
+    @pytest.mark.parametrize("empty", ["0", "", "_"])
+    def test_empty_side_tokens(self, empty):
+        synthesis = parse_reaction(f"{empty} -> A @ 1")
+        assert synthesis.reactants == {}
+        degradation = parse_reaction(f"A -> {empty} @ 1")
+        assert degradation.products == {}
+
+    def test_explicit_rate_argument_overrides_suffix(self):
+        reaction = parse_reaction("A -> B @ 1.0", rate_constant=3.0)
+        assert reaction.rate_constant == 3.0
+
+    def test_missing_rate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_reaction("A -> B")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_reaction("A + B @ 1")
+
+    def test_malformed_term_rejected(self):
+        with pytest.raises(ParseError):
+            parse_reaction("A + -> B @ 1")
+
+    def test_malformed_rate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_reaction("A -> B @ fast")
+
+    def test_scientific_notation_rate(self):
+        assert parse_reaction("A -> B @ 3e7").rate_constant == 3e7

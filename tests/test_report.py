@@ -1,0 +1,61 @@
+"""Tests for the model-analysis report."""
+
+import pytest
+
+from repro.core import analyze_model
+from repro.models import brusselator, dimerization, robertson
+from repro.solvers import SolverOptions
+
+OPTIONS = SolverOptions(max_steps=200_000)
+
+
+class TestAnalyzeModel:
+    def test_brusselator_report(self):
+        report = analyze_model(brusselator(), probe_horizon=60.0,
+                               options=OPTIONS)
+        assert report.n_conservation_laws == 0
+        assert not report.classified_stiff
+        assert report.steady_state is not None
+        assert report.steady_state.converged
+        assert report.steady_state.stable is False   # above the Hopf
+        assert set(report.oscillating_species) == {"X", "Y"}
+        assert report.probe_status == "success"
+
+    def test_dimerization_report(self):
+        report = analyze_model(dimerization(), probe_horizon=20.0,
+                               options=OPTIONS)
+        assert report.n_conservation_laws == 1
+        assert report.steady_state.converged
+        assert report.steady_state.stable
+        assert report.oscillating_species == []
+
+    def test_robertson_report(self):
+        report = analyze_model(robertson(), probe_horizon=50.0,
+                               options=OPTIONS)
+        assert report.n_conservation_laws == 1
+        # At t=0 (B = C = 0) Robertson looks non-stiff; stiffness
+        # develops later — the report captures the t=0 view.
+        assert not report.classified_stiff
+        assert report.probe_status == "success"
+
+    def test_render_mentions_everything(self):
+        report = analyze_model(brusselator(), probe_horizon=60.0,
+                               options=OPTIONS)
+        rendered = report.render()
+        assert "conservation laws" in rendered
+        assert "spectral radius" in rendered
+        assert "steady state" in rendered
+        assert "oscillations" in rendered
+        assert "X" in rendered
+
+
+class TestCLIAnalyze:
+    def test_analyze_command(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import write_model
+        folder = tmp_path / "dimer"
+        write_model(dimerization(), folder)
+        assert main(["analyze", str(folder), "--horizon", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "conservation laws       : 1" in out
+        assert "steady state" in out

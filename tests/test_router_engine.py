@@ -1,0 +1,149 @@
+"""Tests for the stiffness router and the batch engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.gpu import (BatchSimulator, BatchedODEProblem, StiffnessRouter,
+                       classify_batch)
+from repro.model import ODESystem, ParameterizationBatch, perturbed_batch
+from repro.models import decay_chain, robertson
+from repro.solvers import SolverOptions
+
+
+def make_problem(model, batch_size=4, seed=0):
+    system = ODESystem.from_model(model)
+    batch = perturbed_batch(model.nominal_parameterization(), batch_size,
+                            np.random.default_rng(seed))
+    return BatchedODEProblem(system, batch)
+
+
+class TestClassification:
+    def test_mixed_batch_split(self):
+        """Stiff and benign parameterizations of one model separate."""
+        model = robertson()
+        nominal = model.nominal_parameterization()
+        soft = nominal.with_rate_constant(1, 1.0).with_rate_constant(2, 1.0)
+        batch = ParameterizationBatch.from_parameterizations(
+            [nominal, soft])
+        # Start with some B so the Jacobian sees the fast reactions.
+        states = batch.initial_states.copy()
+        states[:, 1] = 1e-3
+        problem = BatchedODEProblem(ODESystem.from_model(model),
+                                    ParameterizationBatch(
+                                        batch.rate_constants, states))
+        decision = classify_batch(problem, 0.0, threshold=500.0)
+        assert decision.stiff_mask.tolist() == [True, False]
+        assert decision.n_stiff == 1
+
+    def test_threshold_is_respected(self):
+        problem = make_problem(decay_chain(3))
+        decision = classify_batch(problem, 0.0, threshold=1e-9)
+        assert decision.n_stiff == problem.batch_size
+
+
+class TestRouter:
+    def test_stiff_batch_lands_on_radau(self):
+        problem = make_problem(robertson(), 4)
+        router = StiffnessRouter(SolverOptions(max_steps=100_000))
+        result, decision = router.solve(problem, (0, 1e3),
+                                        np.array([0.0, 1e3]))
+        assert result.all_success
+        assert set(result.methods()) == {"radau5"}
+
+    def test_nonstiff_batch_lands_on_dopri5(self):
+        problem = make_problem(decay_chain(3), 4)
+        router = StiffnessRouter()
+        result, decision = router.solve(problem, (0, 2),
+                                        np.linspace(0, 2, 5))
+        assert result.all_success
+        assert set(result.methods()) == {"dopri5"}
+        assert decision.n_stiff == 0
+
+    def test_retry_disabled_leaves_failures(self):
+        problem = make_problem(robertson(), 2)
+        # Undetectable at t=0 (B=C=0), budget too small for explicit.
+        router = StiffnessRouter(SolverOptions(max_steps=300),
+                                 retry_failed_with_radau=False)
+        result, _ = router.solve(problem, (0, 1e3), np.array([0.0, 1e3]))
+        assert not result.all_success
+
+
+class TestEngine:
+    def test_auto_method_on_developing_stiffness(self):
+        """Robertson is non-stiff at t=0 but the engine still solves it
+        (stiffness abort + Radau re-execution)."""
+        model = robertson()
+        engine = BatchSimulator(model, SolverOptions(max_steps=100_000))
+        batch = perturbed_batch(model.nominal_parameterization(), 8,
+                                np.random.default_rng(1))
+        result = engine.simulate((0, 1e4),
+                                 np.array([0.0, 1.0, 1e2, 1e4]), batch)
+        assert result.all_success
+        assert set(result.methods()) == {"radau5"}
+
+    def test_launch_chunking(self):
+        model = decay_chain(2)
+        engine = BatchSimulator(model, max_batch_per_launch=3)
+        batch = model.batch(10)
+        result = engine.simulate((0, 1), np.array([0.0, 1.0]), batch)
+        assert result.batch_size == 10
+        assert result.all_success
+        assert engine.last_report.n_launches == 4
+
+    def test_chunked_results_identical_to_single_launch(self):
+        model = decay_chain(3)
+        batch = perturbed_batch(model.nominal_parameterization(), 9,
+                                np.random.default_rng(2))
+        grid = np.linspace(0, 2, 5)
+        single = BatchSimulator(model, max_batch_per_launch=512).simulate(
+            (0, 2), grid, batch)
+        chunked = BatchSimulator(model, max_batch_per_launch=2).simulate(
+            (0, 2), grid, batch)
+        assert np.allclose(single.y, chunked.y, rtol=1e-12, atol=1e-15)
+
+    def test_forced_methods(self):
+        model = decay_chain(2)
+        batch = model.batch(3)
+        grid = np.array([0.0, 1.0])
+        explicit = BatchSimulator(model, method="dopri5").simulate(
+            (0, 1), grid, batch)
+        implicit = BatchSimulator(model, method="radau5").simulate(
+            (0, 1), grid, batch)
+        assert set(explicit.methods()) == {"dopri5"}
+        assert set(implicit.methods()) == {"radau5"}
+        assert np.allclose(explicit.y, implicit.y, rtol=1e-5, atol=1e-8)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SolverError):
+            BatchSimulator(decay_chain(2), method="cranknicolson")
+
+    def test_report_contents(self):
+        model = decay_chain(2)
+        engine = BatchSimulator(model)
+        engine.simulate((0, 1), np.array([0.0, 1.0]), model.batch(4))
+        report = engine.last_report
+        assert report.elapsed_seconds > 0
+        assert report.n_launches == 1
+        assert len(report.routing) == 1
+        assert report.modeled_device_time is not None
+        assert report.modeled_device_time.total_seconds > 0
+
+    def test_single_parameterization_accepted(self):
+        model = decay_chain(2)
+        engine = BatchSimulator(model)
+        result = engine.simulate((0, 1), np.array([0.0, 1.0]),
+                                 model.nominal_parameterization())
+        assert result.batch_size == 1
+
+    @pytest.mark.parametrize("policy", ["hybrid", "coarse", "fine"])
+    def test_policies_give_same_dynamics(self, policy):
+        model = decay_chain(3)
+        batch = perturbed_batch(model.nominal_parameterization(), 4,
+                                np.random.default_rng(3))
+        grid = np.linspace(0, 2, 5)
+        result = BatchSimulator(model, policy=policy).simulate(
+            (0, 2), grid, batch)
+        reference = BatchSimulator(model, policy="hybrid").simulate(
+            (0, 2), grid, batch)
+        assert np.allclose(result.y, reference.y, rtol=1e-12, atol=1e-15)

@@ -1,0 +1,149 @@
+"""Tests for rule-based modeling and network expansion."""
+
+import numpy as np
+import pytest
+
+from repro.core import simulate
+from repro.errors import ModelError
+from repro.rules import (MoleculeType, Pattern, Rule, RuleBasedModel,
+                         multisite_cascade, two_state_receptor)
+from repro.solvers import SolverOptions
+
+
+@pytest.fixture
+def phosphosite():
+    return MoleculeType("A", (("p", ("u", "p")),))
+
+
+class TestMoleculeType:
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ModelError):
+            MoleculeType("A", (("p", ("u", "p")), ("p", ("0", "1"))))
+
+    def test_empty_state_set_rejected(self):
+        with pytest.raises(ModelError):
+            MoleculeType("A", (("p", ()),))
+
+    def test_default_state_uses_first_states(self, phosphosite):
+        assert phosphosite.default_state().states == ("u",)
+
+    def test_species_factory_validates(self, phosphosite):
+        species = phosphosite.species(p="p")
+        assert species.state_of("p") == "p"
+        with pytest.raises(ModelError):
+            phosphosite.species(p="x")
+        with pytest.raises(ModelError):
+            phosphosite.species(q="u")
+
+    def test_all_species_enumerates_product(self):
+        molecule = MoleculeType("B", (("x", ("0", "1")),
+                                      ("y", ("a", "b", "c"))))
+        assert molecule.n_states() == 6
+        assert len(molecule.all_species()) == 6
+
+    def test_species_names_are_unique_and_valid(self):
+        molecule = MoleculeType("B", (("x", ("0", "1")),))
+        names = {s.name() for s in molecule.all_species()}
+        assert names == {"B_x0", "B_x1"}
+
+
+class TestPatternsAndRules:
+    def test_pattern_matching(self, phosphosite):
+        pattern = Pattern(phosphosite, {"p": "u"})
+        assert pattern.matches(phosphosite.species(p="u"))
+        assert not pattern.matches(phosphosite.species(p="p"))
+
+    def test_pattern_invalid_state_rejected(self, phosphosite):
+        with pytest.raises(ModelError):
+            Pattern(phosphosite, {"p": "zz"})
+
+    def test_rule_without_changes_rejected(self, phosphosite):
+        with pytest.raises(ModelError):
+            Rule("noop", Pattern(phosphosite), {}, 1.0)
+
+    def test_rule_invalid_rate_rejected(self, phosphosite):
+        with pytest.raises(ModelError):
+            Rule("bad", Pattern(phosphosite), {"p": "p"}, 0.0)
+
+
+class TestExpansion:
+    def test_receptor_expansion_shape(self):
+        model = two_state_receptor().expand()
+        # 2x2 receptor states + the ligand.
+        assert model.n_species == 5
+        assert model.n_reactions == 7
+
+    def test_only_reachable_species_generated(self):
+        """The ordered cascade reaches only the staircase states."""
+        model = multisite_cascade(6, ordered=True).expand()
+        assert model.n_species == 7 + 2   # n+1 substrate states + K + P
+
+    def test_distributive_combinatorial_blowup(self):
+        """Distributive rules derive a network exponentially larger
+        than the rule set (the paper's 29-rule -> 6581-reaction
+        phenomenon)."""
+        rule_model = multisite_cascade(8)
+        assert len(rule_model.rules) == 16
+        model = rule_model.expand()
+        assert model.n_species == 2 ** 8 + 2
+        assert model.n_reactions == 2 * 8 * 2 ** 7   # 2048
+
+    def test_modifier_appears_on_both_sides(self):
+        model = two_state_receptor().expand()
+        activation = next(r for r in model.reactions
+                          if r.name == "activate")
+        assert activation.reactants.get("L") == 1
+        assert activation.products.get("L") == 1
+
+    def test_expansion_limit_enforced(self):
+        with pytest.raises(ModelError):
+            multisite_cascade(8).expand(max_species=10)
+
+    def test_empty_model_rejected(self):
+        empty = RuleBasedModel("empty")
+        with pytest.raises(ModelError):
+            empty.expand()
+
+    def test_seed_concentrations_preserved(self):
+        model = multisite_cascade(
+            2, substrate_concentration=3.0,
+            kinase_concentration=0.25).expand()
+        index = model.species.index_of("S_s0u_s1u")
+        assert model.initial_state()[index] == 3.0
+        assert model.initial_state()[model.species.index_of("K")] == 0.25
+
+
+class TestExpandedDynamics:
+    def test_expanded_model_simulates_and_conserves(self):
+        model = multisite_cascade(4).expand()
+        grid = np.linspace(0, 5, 6)
+        result = simulate(model, (0, 5), grid,
+                          options=SolverOptions(max_steps=100_000))
+        assert result.all_success
+        substrate_columns = [i for i, name in
+                             enumerate(model.species.names)
+                             if name.startswith("S_")]
+        totals = result.y[0][:, substrate_columns].sum(axis=1)
+        assert np.allclose(totals, totals[0], rtol=1e-8)
+
+    def test_kinase_balance_shifts_phosphorylation(self):
+        """More kinase pushes the steady distribution toward the fully
+        phosphorylated species."""
+        grid = np.array([0.0, 50.0])
+        options = SolverOptions(max_steps=200_000)
+        low = multisite_cascade(3, kinase_concentration=0.01).expand()
+        high = multisite_cascade(3, kinase_concentration=1.0).expand()
+        top = "S_s0p_s1p_s2p"
+        low_result = simulate(low, (0, 50), grid, options=options)
+        high_result = simulate(high, (0, 50), grid, options=options)
+        low_value = low_result.y[0, -1, low.species.index_of(top)]
+        high_value = high_result.y[0, -1, high.species.index_of(top)]
+        assert high_value > 10 * low_value
+
+    def test_ordered_and_distributive_share_endpoints_for_one_site(self):
+        ordered = multisite_cascade(1, ordered=True).expand()
+        distributive = multisite_cascade(1, ordered=False).expand()
+        grid = np.array([0.0, 10.0])
+        first = simulate(ordered, (0, 10), grid)
+        second = simulate(distributive, (0, 10), grid)
+        assert np.allclose(first.y, second.y, rtol=1e-8)

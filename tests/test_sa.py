@@ -1,0 +1,164 @@
+"""Tests for the Sobol sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParameterRange, run_sobol_sa
+from repro.core.sa import _estimate_indices, _split_blocks
+from repro.core.sampling import saltelli_sample
+from repro.errors import AnalysisError
+from repro.models import SA_OUTPUT_SPECIES, SA_TARGET_SPECIES, decay_chain
+
+
+class TestEstimators:
+    """Validate the index estimators on functions with known indices."""
+
+    def run_on_function(self, function, ranges, base=2048, seed=0):
+        design = saltelli_sample(ranges, base, seed)
+        outputs = function(design)
+        a_block, ab_blocks, _, b_block = _split_blocks(
+            outputs, base, len(ranges))
+        return _estimate_indices(a_block, ab_blocks, b_block)
+
+    def test_additive_linear_function(self):
+        """Y = 2 X1 + X2 with X ~ U(0,1): S1 = [0.8, 0.2], ST = S1."""
+        ranges = [ParameterRange(0.0, 1.0)] * 2
+        first, total = self.run_on_function(
+            lambda x: 2.0 * x[:, 0] + x[:, 1], ranges)
+        assert first == pytest.approx([0.8, 0.2], abs=0.03)
+        assert total == pytest.approx([0.8, 0.2], abs=0.03)
+
+    def test_pure_interaction_function(self):
+        """Y = X1 * X2 centered: first-order ~ 1/7 of variance each
+        wait - use (X1-.5)(X2-.5): S1 = S2 = 0, ST1 = ST2 = 1."""
+        ranges = [ParameterRange(0.0, 1.0)] * 2
+        first, total = self.run_on_function(
+            lambda x: (x[:, 0] - 0.5) * (x[:, 1] - 0.5), ranges)
+        assert first == pytest.approx([0.0, 0.0], abs=0.05)
+        assert total == pytest.approx([1.0, 1.0], abs=0.05)
+
+    def test_inert_input_scores_zero(self):
+        ranges = [ParameterRange(0.0, 1.0)] * 3
+        first, total = self.run_on_function(
+            lambda x: np.sin(x[:, 0]) + x[:, 1] ** 2, ranges)
+        assert abs(first[2]) < 0.05
+        assert abs(total[2]) < 0.05
+
+    def test_constant_output_gives_zero_indices(self):
+        ranges = [ParameterRange(0.0, 1.0)] * 2
+        first, total = self.run_on_function(
+            lambda x: np.full(x.shape[0], 3.0), ranges, base=64)
+        assert np.allclose(first, 0.0)
+        assert np.allclose(total, 0.0)
+
+    def test_block_split_validates_length(self):
+        with pytest.raises(AnalysisError):
+            _split_blocks(np.zeros(10), base=4, dimension=2)
+
+    def test_second_order_estimator_on_interaction_function(self):
+        """Y = X1 X2 + X3 (centered factors): S2_{12} carries all the
+        interaction variance, other pairs none."""
+        from repro.core.sa import _estimate_second_order
+        ranges = [ParameterRange(0.0, 1.0)] * 3
+        base = 4096
+        design = saltelli_sample(ranges, base, seed=0, second_order=True)
+        centered = design - 0.5
+        outputs = centered[:, 0] * centered[:, 1] + centered[:, 2]
+        a_block, ab_blocks, ba_blocks, b_block = _split_blocks(
+            outputs, base, 3, second_order=True)
+        first, _ = _estimate_indices(a_block, ab_blocks, b_block)
+        interactions = _estimate_second_order(a_block, ab_blocks,
+                                              ba_blocks, b_block, first)
+        # Var = 1/144 (product) + 1/12 (X3): S2_12 = (1/144)/(13/144).
+        assert interactions[0, 1] == pytest.approx(1.0 / 13.0, abs=0.03)
+        assert interactions[1, 0] == pytest.approx(1.0 / 13.0, abs=0.03)
+        assert abs(interactions[0, 2]) < 0.03
+        assert abs(interactions[1, 2]) < 0.03
+        assert np.isnan(interactions[0, 0])
+
+
+class TestEndToEnd:
+    def test_decay_chain_rate_dominates(self):
+        """Sweeping X0(0) dominates the X3 endpoint; an inert species'
+        initial value has no influence."""
+        model = decay_chain(3)
+        result = run_sobol_sa(
+            model,
+            species=["X0", "X2"],
+            ranges=[ParameterRange(5.0, 15.0), ParameterRange(0.0, 0.01)],
+            output_species="X3",
+            base_samples=64,
+            t_span=(0.0, 2.0),
+            t_eval=np.array([0.0, 2.0]),
+            bootstrap=30,
+        )
+        assert result.n_simulations == 64 * 4
+        assert result.simulation.all_success
+        # X0 is the dominant driver of X3's endpoint.
+        assert result.total_order[0] > 0.5
+        assert result.total_order[0] > result.total_order[1]
+        ranking = result.ranking()
+        assert ranking[0][0] == "X0(0)"
+
+    def test_table_renders(self):
+        model = decay_chain(2)
+        result = run_sobol_sa(
+            model, species=["X0"], ranges=[ParameterRange(5.0, 15.0)],
+            output_species="X2", base_samples=16,
+            t_span=(0.0, 1.0), t_eval=np.array([0.0, 1.0]), bootstrap=10)
+        table = result.table()
+        assert "S1" in table and "ST" in table and "X0(0)" in table
+
+    def test_missing_output_spec_rejected(self):
+        model = decay_chain(2)
+        with pytest.raises(AnalysisError):
+            run_sobol_sa(model, species=["X0"],
+                         ranges=[ParameterRange(1.0, 2.0)],
+                         base_samples=8)
+
+    def test_species_ranges_mismatch_rejected(self):
+        model = decay_chain(2)
+        with pytest.raises(AnalysisError):
+            run_sobol_sa(model, species=["X0", "X1"],
+                         ranges=[ParameterRange(1.0, 2.0)],
+                         output_species="X2", base_samples=8)
+
+    def test_second_order_end_to_end(self):
+        model = decay_chain(2)
+        result = run_sobol_sa(
+            model, species=["X0", "X1"],
+            ranges=[ParameterRange(5.0, 15.0), ParameterRange(0.0, 5.0)],
+            output_species="X2", base_samples=32,
+            t_span=(0.0, 1.0), t_eval=np.array([0.0, 1.0]),
+            bootstrap=10, second_order=True)
+        assert result.second_order is not None
+        assert result.second_order.shape == (2, 2)
+        assert result.n_simulations == 32 * 6   # 2D+2 blocks
+        # The chain output is additive in the two initial values:
+        # no interaction.
+        assert abs(result.second_order[0, 1]) < 0.15
+
+    def test_memory_model_flags_oversized_radau_batches(self):
+        from repro.gpu import fits_device, memory_footprint_doubles
+        assert fits_device(512, 100, 100, 100)
+        # 2048 sims x 2000^2 Jacobian quadruple: far beyond 12 GB.
+        assert not fits_device(2048, 2000, 2000, 100)
+        small = memory_footprint_doubles(16, 10, 10, 5)
+        big = memory_footprint_doubles(16, 100, 10, 5)
+        assert big > small
+
+    def test_metabolic_sa_smoke(self, metabolic_model):
+        """The paper-style SA workload runs end to end."""
+        result = run_sobol_sa(
+            metabolic_model,
+            species=SA_TARGET_SPECIES,
+            ranges=[ParameterRange(1e-6, 2e-4, log=True)] * 3,
+            output_species=SA_OUTPUT_SPECIES,
+            base_samples=16,
+            t_span=(0.0, 2.0),
+            t_eval=np.array([0.0, 2.0]),
+            bootstrap=10,
+            options=__import__("repro").SolverOptions(max_steps=100_000),
+        )
+        assert len(result.labels) == 3
+        assert np.all(result.total_order_ci >= 0.0)

@@ -1,0 +1,112 @@
+"""Tests for the parameter-space samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (ParameterRange, saltelli_block_count,
+                        saltelli_sample, sample_grid,
+                        sample_latin_hypercube, sample_sobol,
+                        sample_uniform)
+from repro.errors import AnalysisError
+
+
+class TestParameterRange:
+    def test_linear_grid(self):
+        grid = ParameterRange(0.0, 10.0).grid(11)
+        assert np.allclose(grid, np.arange(11.0))
+
+    def test_log_grid(self):
+        grid = ParameterRange(1e-3, 1e3, log=True).grid(7)
+        assert np.allclose(np.log10(grid), np.arange(-3, 4))
+
+    def test_from_unit_endpoints(self):
+        linear = ParameterRange(2.0, 4.0)
+        assert np.allclose(linear.from_unit(np.array([0.0, 1.0])),
+                           [2.0, 4.0])
+        logarithmic = ParameterRange(1e-2, 1e2, log=True)
+        assert np.allclose(logarithmic.from_unit(np.array([0.5])), [1.0])
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(AnalysisError):
+            ParameterRange(1.0, 1.0)
+
+    def test_log_range_requires_positive_low(self):
+        with pytest.raises(AnalysisError):
+            ParameterRange(0.0, 1.0, log=True)
+
+    def test_grid_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            ParameterRange(0, 1).grid(1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(low=st.floats(1e-6, 1.0), span=st.floats(0.1, 100.0),
+           unit=st.floats(0.0, 1.0))
+    def test_from_unit_stays_in_range(self, low, span, unit):
+        prange = ParameterRange(low, low + span)
+        value = prange.from_unit(np.array([unit]))[0]
+        assert low - 1e-12 <= value <= low + span + 1e-12
+
+
+RANGES = [ParameterRange(0.0, 1.0), ParameterRange(1e-2, 1e2, log=True)]
+
+
+class TestSamplers:
+    def test_uniform_shape_and_bounds(self):
+        samples = sample_uniform(RANGES, 100, np.random.default_rng(0))
+        assert samples.shape == (100, 2)
+        assert np.all(samples[:, 0] >= 0.0) and np.all(samples[:, 0] <= 1.0)
+        assert np.all(samples[:, 1] >= 1e-2) and np.all(samples[:, 1] <= 1e2)
+
+    def test_grid_is_full_factorial(self):
+        samples = sample_grid(RANGES, 4)
+        assert samples.shape == (16, 2)
+        assert len(np.unique(samples[:, 0])) == 4
+
+    def test_latin_hypercube_stratification(self):
+        """Each axis has exactly one sample per stratum."""
+        count = 32
+        samples = sample_latin_hypercube([ParameterRange(0, 1)] * 2, count,
+                                         np.random.default_rng(1))
+        for axis in range(2):
+            strata = np.floor(samples[:, axis] * count).astype(int)
+            assert len(np.unique(strata)) == count
+
+    def test_sobol_deterministic_per_seed(self):
+        first = sample_sobol(RANGES, 16, seed=3)
+        second = sample_sobol(RANGES, 16, seed=3)
+        assert np.array_equal(first, second)
+        third = sample_sobol(RANGES, 16, seed=4)
+        assert not np.array_equal(first, third)
+
+    def test_sobol_non_power_of_two(self):
+        samples = sample_sobol(RANGES, 10, seed=0)
+        assert samples.shape == (10, 2)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            from repro.core.sampling import _map_unit
+            _map_unit(np.zeros((3, 3)), RANGES)
+
+
+class TestSaltelli:
+    def test_block_layout(self):
+        base = 8
+        design = saltelli_sample(RANGES, base, seed=0)
+        assert design.shape == (base * saltelli_block_count(2), 2)
+        a_block = design[:base]
+        b_block = design[-base:]
+        ab_first = design[base:2 * base]
+        # AB_0 takes column 0 from B and column 1 from A.
+        assert np.allclose(ab_first[:, 0], b_block[:, 0])
+        assert np.allclose(ab_first[:, 1], a_block[:, 1])
+
+    def test_second_order_layout(self):
+        base = 4
+        design = saltelli_sample(RANGES, base, seed=0, second_order=True)
+        assert design.shape == (base * saltelli_block_count(2, True), 2)
+
+    def test_block_count(self):
+        assert saltelli_block_count(3) == 5
+        assert saltelli_block_count(3, second_order=True) == 8

@@ -1,0 +1,145 @@
+"""Unit tests for shared solver definitions (options, norms, grids,
+step controller, starting-step heuristic)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solvers import (DEFAULT_OPTIONS, SolveResult, SolverOptions,
+                           SolverStats, StepController, error_norm,
+                           initial_step_size, validate_time_grid)
+
+
+class TestSolverOptions:
+    def test_paper_defaults(self):
+        assert DEFAULT_OPTIONS.rtol == 1e-6
+        assert DEFAULT_OPTIONS.atol == 1e-12
+        assert DEFAULT_OPTIONS.max_steps == 10_000
+        assert DEFAULT_OPTIONS.stiffness_threshold == 500.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rtol": 0.0},
+        {"atol": -1.0},
+        {"max_steps": 0},
+        {"first_step": 0.0},
+        {"min_step_factor": 1.5},
+        {"max_step_factor": 0.5},
+    ])
+    def test_invalid_options_rejected(self, kwargs):
+        with pytest.raises(SolverError):
+            SolverOptions(**kwargs)
+
+    def test_replace_creates_modified_copy(self):
+        modified = DEFAULT_OPTIONS.replace(rtol=1e-3)
+        assert modified.rtol == 1e-3
+        assert DEFAULT_OPTIONS.rtol == 1e-6
+        assert modified.atol == DEFAULT_OPTIONS.atol
+
+
+class TestErrorNorm:
+    def test_zero_error(self):
+        y = np.array([1.0, 2.0])
+        assert error_norm(np.zeros(2), y, y, DEFAULT_OPTIONS) == 0.0
+
+    def test_norm_is_scaled_rms(self):
+        options = SolverOptions(rtol=0.1, atol=0.0)
+        y = np.array([1.0, 1.0])
+        error = np.array([0.1, 0.1])
+        # scale = 0.1 * 1 => error/scale = 1 => rms = 1.
+        assert error_norm(error, y, y, options) == pytest.approx(1.0)
+
+    def test_uses_larger_of_old_and_new_state(self):
+        options = SolverOptions(rtol=0.1, atol=0.0)
+        old = np.array([1.0])
+        new = np.array([10.0])
+        value = error_norm(np.array([0.1]), old, new, options)
+        assert value == pytest.approx(0.1)   # scale from the new state
+
+
+class TestTimeGrid:
+    def test_default_grid_is_span(self):
+        grid = validate_time_grid((0.0, 2.0), None)
+        assert np.allclose(grid, [0.0, 2.0])
+
+    def test_decreasing_span_rejected(self):
+        with pytest.raises(SolverError):
+            validate_time_grid((1.0, 0.0), None)
+
+    def test_non_monotone_grid_rejected(self):
+        with pytest.raises(SolverError):
+            validate_time_grid((0.0, 1.0), np.array([0.0, 0.5, 0.4]))
+
+    def test_grid_outside_span_rejected(self):
+        with pytest.raises(SolverError):
+            validate_time_grid((0.0, 1.0), np.array([0.0, 2.0]))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SolverError):
+            validate_time_grid((0.0, 1.0), np.array([]))
+
+
+class TestInitialStep:
+    def test_reasonable_for_decay(self):
+        fun = lambda t, y: -y
+        y0 = np.array([1.0])
+        h = initial_step_size(fun, 0.0, y0, fun(0.0, y0), order=5,
+                              options=DEFAULT_OPTIONS)
+        assert 1e-4 < h < 1.0
+
+    def test_respects_max_step(self):
+        options = SolverOptions(max_step=1e-5)
+        fun = lambda t, y: -y
+        y0 = np.array([1.0])
+        h = initial_step_size(fun, 0.0, y0, fun(0.0, y0), order=5,
+                              options=options)
+        assert h <= 1e-5
+
+    def test_degenerate_zero_state(self):
+        fun = lambda t, y: np.zeros_like(y)
+        y0 = np.zeros(2)
+        h = initial_step_size(fun, 0.0, y0, fun(0.0, y0), order=5,
+                              options=DEFAULT_OPTIONS)
+        assert h > 0.0
+
+
+class TestStepController:
+    def test_zero_error_gives_max_growth(self):
+        controller = StepController(4, DEFAULT_OPTIONS)
+        assert controller.factor(0.0) == DEFAULT_OPTIONS.max_step_factor
+
+    def test_large_error_gives_min_factor(self):
+        controller = StepController(4, DEFAULT_OPTIONS)
+        assert controller.factor(1e12) == \
+            pytest.approx(DEFAULT_OPTIONS.min_step_factor)
+
+    def test_unit_error_shrinks_by_safety(self):
+        controller = StepController(4, DEFAULT_OPTIONS, use_pi=False)
+        assert controller.factor(1.0) == \
+            pytest.approx(DEFAULT_OPTIONS.safety)
+
+    def test_pi_memory_damps_growth(self):
+        plain = StepController(4, DEFAULT_OPTIONS, use_pi=False)
+        pi = StepController(4, DEFAULT_OPTIONS, use_pi=True)
+        pi.record_accepted(0.9)       # previous step was near the limit
+        assert pi.factor(0.01) <= plain.factor(0.01) * 1.3
+
+
+class TestStats:
+    def test_merge_accumulates(self):
+        first = SolverStats(n_steps=3, n_accepted=2, n_rejected=1,
+                            n_rhs_evaluations=20)
+        second = SolverStats(n_steps=5, n_accepted=5,
+                             n_jacobian_evaluations=2, n_factorizations=4)
+        first.merge(second)
+        assert first.n_steps == 8
+        assert first.n_accepted == 7
+        assert first.n_rejected == 1
+        assert first.n_rhs_evaluations == 20
+        assert first.n_jacobian_evaluations == 2
+        assert first.n_factorizations == 4
+
+    def test_result_helpers(self):
+        result = SolveResult(np.array([0.0, 1.0]),
+                             np.array([[1.0], [0.5]]), "success")
+        assert result.success
+        assert result.final_state()[0] == 0.5

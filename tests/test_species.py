@@ -1,0 +1,88 @@
+"""Unit tests for species and the species registry."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import Species, SpeciesRegistry
+
+
+class TestSpecies:
+    def test_valid_species(self):
+        species = Species("ATP", 1.5)
+        assert species.name == "ATP"
+        assert species.initial_concentration == 1.5
+
+    def test_default_concentration_is_zero(self):
+        assert Species("X").initial_concentration == 0.0
+
+    @pytest.mark.parametrize("bad_name", ["2X", "A-B", "A B", "", "A+", "é"])
+    def test_invalid_names_rejected(self, bad_name):
+        with pytest.raises(ModelError):
+            Species(bad_name)
+
+    @pytest.mark.parametrize("good_name", ["X", "_x", "hkEGLCGSH2", "S0"])
+    def test_identifier_names_accepted(self, good_name):
+        assert Species(good_name).name == good_name
+
+    def test_negative_concentration_rejected(self):
+        with pytest.raises(ModelError):
+            Species("X", -0.1)
+
+    def test_nan_concentration_rejected(self):
+        with pytest.raises(ModelError):
+            Species("X", float("nan"))
+
+    def test_with_concentration_returns_copy(self):
+        original = Species("X", 1.0)
+        changed = original.with_concentration(2.0)
+        assert changed.initial_concentration == 2.0
+        assert original.initial_concentration == 1.0
+
+    def test_species_equality_is_by_value(self):
+        assert Species("X", 1.0) == Species("X", 1.0)
+        assert Species("X", 1.0) != Species("X", 2.0)
+
+
+class TestSpeciesRegistry:
+    def test_add_assigns_sequential_indices(self):
+        registry = SpeciesRegistry()
+        assert registry.add(Species("A")) == 0
+        assert registry.add(Species("B")) == 1
+        assert registry.add(Species("C")) == 2
+
+    def test_readd_identical_is_idempotent(self):
+        registry = SpeciesRegistry()
+        registry.add(Species("A", 1.0))
+        assert registry.add(Species("A", 1.0)) == 0
+        assert len(registry) == 1
+
+    def test_readd_conflicting_concentration_rejected(self):
+        registry = SpeciesRegistry()
+        registry.add(Species("A", 1.0))
+        with pytest.raises(ModelError):
+            registry.add(Species("A", 2.0))
+
+    def test_index_of_unknown_species_raises(self):
+        registry = SpeciesRegistry()
+        with pytest.raises(ModelError):
+            registry.index_of("missing")
+
+    def test_contains_and_iteration(self):
+        registry = SpeciesRegistry()
+        registry.add(Species("A", 1.0))
+        registry.add(Species("B", 2.0))
+        assert "A" in registry
+        assert "Z" not in registry
+        assert [s.name for s in registry] == ["A", "B"]
+
+    def test_names_and_initial_concentrations_ordered(self):
+        registry = SpeciesRegistry()
+        registry.add(Species("B", 2.0))
+        registry.add(Species("A", 1.0))
+        assert registry.names == ["B", "A"]
+        assert registry.initial_concentrations() == [2.0, 1.0]
+
+    def test_getitem_by_index(self):
+        registry = SpeciesRegistry()
+        registry.add(Species("A", 1.0))
+        assert registry[0].name == "A"

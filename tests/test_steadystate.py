@@ -1,0 +1,80 @@
+"""Tests for the steady-state solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import find_steady_state, simulate
+from repro.model import ReactionBasedModel
+from repro.models import cascade, dimerization, michaelis_menten_cycle
+from repro.solvers import SolverOptions
+
+
+class TestAnalyticCases:
+    def test_open_synthesis_degradation(self):
+        """0 -> A (k1), A -> 0 (k2): steady state A* = k1/k2."""
+        model = ReactionBasedModel("open")
+        model.add_species("A", 0.0)
+        model.add("0 -> A @ 3.0")
+        model.add("A -> 0 @ 1.5")
+        result = find_steady_state(model)
+        assert result.converged
+        assert result.state[0] == pytest.approx(2.0, rel=1e-8)
+        assert result.stable
+
+    def test_dimerization_equilibrium(self):
+        """2A <-> D equilibrium satisfies k_b A^2 = k_u D on the
+        conservation manifold A + 2D = A0."""
+        model = dimerization(bind=2.0, unbind=1.0, initial=1.0)
+        result = find_steady_state(model)
+        assert result.converged
+        a, d = result.state
+        assert 2.0 * a ** 2 == pytest.approx(1.0 * d, rel=1e-6)
+        assert a + 2 * d == pytest.approx(1.0, rel=1e-8)
+
+    def test_matches_long_time_integration(self):
+        model = cascade()
+        result = find_steady_state(model)
+        assert result.converged
+        options = SolverOptions(max_steps=200_000)
+        trajectory = simulate(model, (0, 500), np.array([0.0, 500.0]),
+                              options=options)
+        assert np.allclose(result.state, trajectory.y[0, -1], rtol=1e-4,
+                           atol=1e-8)
+
+    def test_saturating_kinetics(self):
+        model = michaelis_menten_cycle()
+        result = find_steady_state(model)
+        assert result.converged
+        assert result.state.sum() == pytest.approx(1.0, rel=1e-8)
+        assert np.all(result.state > 0)
+
+
+class TestBehaviour:
+    def test_nonnegative_states(self):
+        model = cascade()
+        result = find_steady_state(model)
+        assert np.all(result.state >= 0)
+
+    def test_custom_initial_guess(self):
+        model = dimerization()
+        guess = np.array([0.5, 0.25])
+        result = find_steady_state(model, initial_guess=guess)
+        assert result.converged
+        # Pinned to the guess's manifold: A + 2D = 1.0.
+        assert result.state[0] + 2 * result.state[1] == \
+            pytest.approx(1.0, rel=1e-8)
+
+    def test_iteration_budget_respected(self):
+        model = cascade()
+        result = find_steady_state(model, max_iterations=1, tol=1e-14)
+        assert result.n_iterations <= 1
+
+    def test_residual_norm_reported(self):
+        model = dimerization()
+        result = find_steady_state(model)
+        assert result.residual_norm <= 1e-10
+
+    def test_stability_check_optional(self):
+        model = dimerization()
+        result = find_steady_state(model, check_stability=False)
+        assert result.stable is None

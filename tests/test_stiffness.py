@@ -1,0 +1,66 @@
+"""Tests for spectral-radius estimation and stiffness classification."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (classify_stiffness, power_iteration,
+                           spectral_radius, stiffness_ratio)
+
+
+def random_matrix_with_radius(n, radius, rng):
+    """Matrix with a controlled dominant eigenvalue magnitude."""
+    eigenvalues = rng.uniform(-0.5, 0.5, n)
+    eigenvalues[0] = radius
+    basis = rng.standard_normal((n, n))
+    return basis @ np.diag(eigenvalues) @ np.linalg.inv(basis)
+
+
+class TestPowerIteration:
+    def test_matches_dense_eigendecomposition(self):
+        rng = np.random.default_rng(0)
+        matrix = random_matrix_with_radius(6, 12.5, rng)
+        estimate = spectral_radius(matrix, max_iterations=200, tol=1e-8)
+        exact = np.max(np.abs(np.linalg.eigvals(matrix)))
+        assert estimate == pytest.approx(exact, rel=1e-3)
+
+    def test_batched_estimates(self):
+        rng = np.random.default_rng(1)
+        radii = [3.0, 300.0, 3000.0]
+        matrices = np.stack([random_matrix_with_radius(5, r, rng)
+                             for r in radii])
+        estimate = power_iteration(matrices, max_iterations=200, tol=1e-6)
+        assert estimate.spectral_radius == pytest.approx(radii, rel=1e-2)
+
+    def test_zero_matrix_has_zero_radius(self):
+        estimate = power_iteration(np.zeros((1, 4, 4)))
+        assert estimate.spectral_radius[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_complex_pair_dominance_converges_in_magnitude(self):
+        """Rotation-like matrices (conjugate dominant pair) still yield
+        the right magnitude."""
+        omega = 50.0
+        matrix = np.array([[0.0, omega], [-omega, 0.0]])
+        estimate = spectral_radius(matrix, max_iterations=100)
+        assert estimate == pytest.approx(omega, rel=1e-2)
+
+
+class TestClassification:
+    def test_threshold_splits_batch(self):
+        rng = np.random.default_rng(2)
+        matrices = np.stack([
+            random_matrix_with_radius(4, 5.0, rng),
+            random_matrix_with_radius(4, 5e4, rng),
+        ])
+        mask = classify_stiffness(matrices, threshold=500.0,
+                                  max_iterations=100)
+        assert mask.tolist() == [False, True]
+
+
+class TestStiffnessRatio:
+    def test_diagonal_ratio(self):
+        matrix = np.diag([-1.0, -1000.0])
+        assert stiffness_ratio(matrix) == pytest.approx(1000.0)
+
+    def test_pure_rotation_reports_unit_ratio(self):
+        matrix = np.array([[0.0, 1.0], [-1.0, 0.0]])
+        assert stiffness_ratio(matrix) == pytest.approx(1.0)

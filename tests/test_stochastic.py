@@ -1,0 +1,221 @@
+"""Tests for the stochastic substrate: propensities, SSA, tau-leaping."""
+
+import numpy as np
+import pytest
+
+from repro.core import simulate
+from repro.errors import ModelError, SolverError
+from repro.model import MichaelisMenten, ReactionBasedModel, perturbed_batch
+from repro.models import decay_chain, dimerization
+from repro.solvers import SolverOptions
+from repro.stochastic import (BatchSSA, BatchTauLeaping,
+                              StochasticSimulator, build_network,
+                              concentrations_to_counts,
+                              counts_to_concentrations)
+
+
+class TestNetworkBuilding:
+    def test_constant_conversion_orders(self):
+        model = ReactionBasedModel("orders")
+        model.add_species("A", 1.0)
+        model.add_species("B", 1.0)
+        model.add("0 -> A @ 2.0")        # order 0
+        model.add("A -> B @ 3.0")        # order 1
+        model.add("A + B -> A @ 4.0")    # order 2 distinct
+        model.add("2 A -> B @ 5.0")      # order 2 same
+        network = build_network(model, volume=10.0)
+        # Slot-product convention: c = k * Omega^(1 - order); the
+        # 2A combinatorics live in the n (n - 1) slot product.
+        assert network.rate_constants_counts == pytest.approx(
+            [2.0 * 10.0, 3.0, 4.0 / 10.0, 5.0 / 10.0])
+
+    def test_propensity_values(self):
+        model = ReactionBasedModel("prop")
+        model.add_species("A", 1.0)
+        model.add("2 A -> 0 @ 1.0")
+        network = build_network(model, volume=1.0)
+        counts = np.array([[5.0]])
+        # c = 2k/Omega = 2; a = c * n(n-1)/2 = 2 * 10 = 20.
+        assert network.propensities(counts)[0, 0] == pytest.approx(20.0)
+
+    def test_zero_counts_zero_propensity(self):
+        model = decay_chain(1)
+        network = build_network(model, volume=1.0)
+        assert np.all(network.propensities(np.zeros((1, 2))) == 0.0)
+
+    def test_rejects_non_mass_action(self):
+        model = ReactionBasedModel("mm")
+        model.add_species("S", 1.0)
+        model.add("S -> P", rate_constant=1.0, law=MichaelisMenten(km=0.5))
+        with pytest.raises(ModelError):
+            build_network(model, volume=1.0)
+
+    def test_third_order_supported(self):
+        """Schlögl-style 3 X -> 2 X: a = c n (n-1) (n-2)."""
+        model = ReactionBasedModel("cubic")
+        model.add_species("X", 1.0)
+        model.add("3 X -> 2 X @ 1.0")
+        network = build_network(model, volume=2.0)
+        # c = k * Omega^(1-3) = 0.25.
+        assert network.rate_constants_counts[0] == pytest.approx(0.25)
+        assert network.propensities(np.array([[5.0]]))[0, 0] == \
+            pytest.approx(0.25 * 5 * 4 * 3)
+
+    def test_rejects_order_above_three(self):
+        model = ReactionBasedModel("quartic")
+        model.add_species("X", 1.0)
+        model.add("2 X + 2 X -> X @ 1.0")
+        with pytest.raises(ModelError):
+            build_network(model, volume=1.0)
+
+    def test_rejects_bad_volume(self):
+        with pytest.raises(ModelError):
+            build_network(decay_chain(1), volume=0.0)
+
+    def test_unit_round_trip(self):
+        concentrations = np.array([0.5, 1.25])
+        counts = concentrations_to_counts(concentrations, 100.0)
+        assert np.array_equal(counts, [50.0, 125.0])
+        assert np.allclose(counts_to_concentrations(counts, 100.0),
+                           concentrations)
+
+
+class TestSSA:
+    def test_mean_matches_ode_on_linear_chain(self):
+        """For linear kinetics the SSA mean equals the ODE solution."""
+        model = decay_chain(2, rate=1.0, initial=10.0)
+        grid = np.linspace(0, 3, 7)
+        simulator = StochasticSimulator(model, volume=200.0, method="ssa",
+                                        seed=1)
+        stochastic = simulator.simulate((0, 3), grid, n_replicates=300)
+        assert stochastic.all_success
+        deterministic = simulate(model, (0, 3), grid)
+        error = np.max(np.abs(stochastic.ensemble_mean()
+                              - deterministic.y[0])
+                       / (np.abs(deterministic.y[0]) + 0.1))
+        assert error < 0.03
+
+    def test_counts_are_integers_and_nonnegative(self):
+        model = decay_chain(2)
+        simulator = StochasticSimulator(model, volume=50.0, seed=0)
+        result = simulator.simulate((0, 2), np.linspace(0, 2, 5),
+                                    n_replicates=20)
+        assert np.all(result.counts >= 0)
+        assert np.allclose(result.counts, np.rint(result.counts))
+
+    def test_conservation_exact_in_count_space(self):
+        model = dimerization()
+        simulator = StochasticSimulator(model, volume=300.0, seed=2)
+        result = simulator.simulate((0, 2), np.linspace(0, 2, 5),
+                                    n_replicates=30)
+        totals = result.counts[..., 0] + 2 * result.counts[..., 1]
+        assert np.all(totals == totals[:, :1])
+
+    def test_deterministic_per_seed(self):
+        model = decay_chain(1)
+        grid = np.linspace(0, 1, 4)
+        first = StochasticSimulator(model, volume=100.0, seed=9).simulate(
+            (0, 1), grid, n_replicates=5)
+        second = StochasticSimulator(model, volume=100.0, seed=9).simulate(
+            (0, 1), grid, n_replicates=5)
+        assert np.array_equal(first.counts, second.counts)
+        third = StochasticSimulator(model, volume=100.0, seed=10).simulate(
+            (0, 1), grid, n_replicates=5)
+        assert not np.array_equal(first.counts, third.counts)
+
+    def test_extinction_freezes_state(self):
+        """Pure decay reaches zero and stays there on the grid."""
+        model = decay_chain(1, rate=5.0, initial=1.0)
+        simulator = StochasticSimulator(model, volume=5.0, seed=3)
+        result = simulator.simulate((0, 50), np.linspace(0, 50, 6),
+                                    n_replicates=10)
+        assert result.all_success
+        assert np.all(result.counts[:, -1, 0] == 0)
+
+    def test_event_budget_enforced(self):
+        model = decay_chain(1, rate=1.0, initial=10.0)
+        simulator = StochasticSimulator(model, volume=10_000.0, seed=0,
+                                        max_events=10)
+        result = simulator.simulate((0, 10), np.array([0.0, 10.0]),
+                                    n_replicates=3)
+        assert set(result.statuses()) == {"max_events"}
+
+    def test_variance_scales_inversely_with_volume(self):
+        """Intrinsic noise shrinks as 1/sqrt(Omega)."""
+        model = decay_chain(1, rate=1.0, initial=10.0)
+        grid = np.array([0.0, 0.5])
+        spreads = {}
+        for volume in (20.0, 2000.0):
+            simulator = StochasticSimulator(model, volume=volume, seed=4)
+            result = simulator.simulate((0, 0.5), grid, n_replicates=150)
+            spreads[volume] = result.ensemble_std()[-1, 0]
+        assert spreads[2000.0] < spreads[20.0] / 3.0
+
+
+class TestTauLeaping:
+    def test_mean_matches_ode(self):
+        model = decay_chain(2, rate=1.0, initial=10.0)
+        grid = np.linspace(0, 3, 7)
+        simulator = StochasticSimulator(model, volume=2000.0,
+                                        method="tau-leaping", seed=5)
+        stochastic = simulator.simulate((0, 3), grid, n_replicates=100)
+        assert stochastic.all_success
+        deterministic = simulate(model, (0, 3), grid)
+        error = np.max(np.abs(stochastic.ensemble_mean()
+                              - deterministic.y[0])
+                       / (np.abs(deterministic.y[0]) + 0.1))
+        assert error < 0.05
+
+    def test_fewer_steps_than_ssa_events(self):
+        """Leaping compresses many events into few steps at large
+        populations."""
+        model = decay_chain(1, rate=1.0, initial=10.0)
+        grid = np.array([0.0, 1.0])
+        ssa = StochasticSimulator(model, volume=5000.0, method="ssa",
+                                  seed=6).simulate((0, 1), grid,
+                                                   n_replicates=3)
+        tau = StochasticSimulator(model, volume=5000.0,
+                                  method="tau-leaping",
+                                  seed=6).simulate((0, 1), grid,
+                                                   n_replicates=3)
+        ssa_work = ssa.n_events.mean()
+        tau_work = (tau.n_leaps + tau.n_events).mean()
+        assert tau_work < ssa_work / 5.0
+
+    def test_no_negative_populations(self):
+        model = dimerization(bind=5.0, unbind=0.1)
+        simulator = StochasticSimulator(model, volume=30.0,
+                                        method="tau-leaping", seed=7)
+        result = simulator.simulate((0, 5), np.linspace(0, 5, 6),
+                                    n_replicates=25)
+        assert np.all(result.counts >= 0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(SolverError):
+            BatchTauLeaping(epsilon=1.5)
+
+
+class TestEngine:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SolverError):
+            StochasticSimulator(decay_chain(1), method="cle")
+
+    def test_parameter_batch_rows_use_own_constants(self):
+        model = decay_chain(1, rate=1.0, initial=10.0)
+        batch = perturbed_batch(model.nominal_parameterization(), 4,
+                                np.random.default_rng(0), spread=0.25)
+        simulator = StochasticSimulator(model, volume=500.0, seed=8)
+        result = simulator.simulate((0, 1), np.array([0.0, 1.0]), batch)
+        assert result.batch_size == 4
+        assert result.all_success
+
+    def test_replicates_with_batch_rejected(self):
+        model = decay_chain(1)
+        batch = model.batch(2)
+        simulator = StochasticSimulator(model)
+        with pytest.raises(SolverError):
+            simulator.simulate((0, 1), None, batch, n_replicates=5)
+
+    def test_invalid_max_events_rejected(self):
+        with pytest.raises(SolverError):
+            BatchSSA(max_events=0)

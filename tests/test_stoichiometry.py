@@ -1,0 +1,99 @@
+"""Unit tests for stoichiometric matrices and structural analysis."""
+
+import numpy as np
+import pytest
+
+from repro.model import (ReactionBasedModel, build_matrices,
+                         conservation_laws, invariant_totals,
+                         reaction_graph_edges)
+
+
+@pytest.fixture
+def matrices(toy_model):
+    return toy_model.matrices
+
+
+class TestMatrices:
+    def test_shapes(self, toy_model, matrices):
+        n, m = toy_model.n_species, toy_model.n_reactions
+        assert matrices.reactants.shape == (m, n)
+        assert matrices.products.shape == (m, n)
+        assert matrices.net.shape == (m, n)
+        assert matrices.n_reactions == m
+        assert matrices.n_species == n
+
+    def test_net_is_products_minus_reactants(self, matrices):
+        assert np.array_equal(matrices.net,
+                              matrices.products - matrices.reactants)
+
+    def test_entries_match_reaction_definitions(self, toy_model, matrices):
+        index = toy_model.species.index_of
+        # A + B -> C is the first reaction.
+        assert matrices.reactants[0, index("A")] == 1
+        assert matrices.reactants[0, index("B")] == 1
+        assert matrices.products[0, index("C")] == 1
+        # 2 A -> D is the third reaction.
+        assert matrices.reactants[2, index("A")] == 2
+        assert matrices.products[2, index("D")] == 1
+
+    def test_sparse_copy_matches_dense(self, matrices):
+        assert np.array_equal(matrices.net_csr.toarray(), matrices.net)
+
+    def test_build_matrices_directly(self, toy_model):
+        rebuilt = build_matrices(toy_model.species, toy_model.reactions)
+        assert np.array_equal(rebuilt.net, toy_model.matrices.net)
+
+
+class TestConservationLaws:
+    def test_decay_chain_conserves_total(self, chain_model):
+        laws = conservation_laws(chain_model.matrices.net)
+        assert laws.shape[0] == 1
+        # The law must be proportional to the all-ones vector.
+        normalized = laws[0] / laws[0][0]
+        assert np.allclose(normalized, 1.0)
+
+    def test_dimerization_conserves_monomer_count(self, dimer_model):
+        laws = conservation_laws(dimer_model.matrices.net)
+        assert laws.shape[0] == 1
+        ratio = laws[0][1] / laws[0][0]
+        assert ratio == pytest.approx(2.0)   # A + 2 D conserved
+
+    def test_open_system_has_no_laws(self):
+        model = ReactionBasedModel("open")
+        model.add_species("A", 1.0)
+        model.add("0 -> A @ 1")
+        model.add("A -> 0 @ 1")
+        laws = conservation_laws(model.matrices.net)
+        assert laws.shape[0] == 0
+
+    def test_invariant_totals_single_and_batch(self, chain_model):
+        laws = conservation_laws(chain_model.matrices.net)
+        state = chain_model.initial_state()
+        single = invariant_totals(laws, state)
+        assert single.shape == (1,)
+        batch = invariant_totals(laws, np.tile(state, (4, 1)))
+        assert batch.shape == (4, 1)
+        assert np.allclose(batch, single)
+
+    def test_laws_are_orthonormal(self, toy_model):
+        laws = conservation_laws(toy_model.matrices.net)
+        gram = laws @ laws.T
+        assert np.allclose(gram, np.eye(laws.shape[0]), atol=1e-10)
+
+
+class TestReactionGraph:
+    def test_chain_edges(self, chain_model):
+        edges = reaction_graph_edges(chain_model.matrices.reactants,
+                                     chain_model.matrices.products)
+        # X0 -> X1 means edges (0,0) and (0,1); etc.
+        assert (0, 1) in edges
+        assert (1, 2) in edges
+        assert (2, 3) in edges
+        assert (3, 0) not in edges
+
+    def test_catalyst_reads_create_edges(self, cascade_model):
+        matrices = cascade_model.matrices
+        edges = reaction_graph_edges(matrices.reactants, matrices.products)
+        index = cascade_model.species.index_of
+        # The enzyme E is read by the first activation and influences X1.
+        assert (index("E"), index("X1")) in edges

@@ -1,0 +1,120 @@
+"""Tests for the synthetic RBM generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.synth import (SyntheticModelSpec, generate_asymmetric,
+                         generate_model, generate_symmetric, log_uniform)
+
+
+class TestSpec:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ModelError):
+            SyntheticModelSpec(0, 5)
+        with pytest.raises(ModelError):
+            SyntheticModelSpec(5, 0)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ModelError):
+            SyntheticModelSpec(4, 4, concentration_range=(1.0, 0.5))
+        with pytest.raises(ModelError):
+            SyntheticModelSpec(4, 4, rate_range=(0.0, 1.0))
+
+
+class TestLogUniform:
+    def test_range_respected(self):
+        rng = np.random.default_rng(0)
+        samples = log_uniform(rng, 1e-4, 1.0, 10_000)
+        assert np.all(samples >= 1e-4) and np.all(samples < 1.0)
+
+    def test_log_scale_spread(self):
+        """Log-uniform sampling gives ~uniform density per decade."""
+        rng = np.random.default_rng(1)
+        samples = log_uniform(rng, 1e-4, 1.0, 40_000)
+        decades = np.floor(np.log10(samples)).astype(int)
+        counts = np.bincount(decades + 4, minlength=4)
+        assert np.all(counts > 8_000)   # 4 decades, ~10k each
+
+
+class TestGeneration:
+    def test_exact_shape(self):
+        model = generate_symmetric(16, seed=0)
+        assert model.size == (16, 16)
+        model = generate_asymmetric(8, 24, seed=0)
+        assert model.size == (8, 24)
+
+    def test_deterministic_per_seed(self):
+        first = generate_symmetric(12, seed=3)
+        second = generate_symmetric(12, seed=3)
+        assert first.summary() == second.summary()
+        assert np.allclose(first.initial_state(), second.initial_state())
+
+    def test_different_seeds_differ(self):
+        first = generate_symmetric(12, seed=3)
+        second = generate_symmetric(12, seed=4)
+        assert first.summary() != second.summary()
+
+    def test_order_bounded_by_two(self):
+        model = generate_symmetric(32, seed=5)
+        assert model.max_order() <= 2
+
+    def test_products_bounded_by_two(self):
+        model = generate_symmetric(32, seed=6)
+        for reaction in model.reactions:
+            assert sum(reaction.products.values()) <= 2
+
+    def test_every_species_participates_when_feasible(self):
+        """With M >= N the backbone consumes every species, so no
+        species can be inert."""
+        for seed in range(5):
+            model = generate_asymmetric(10, 24, seed=seed)
+            touched = set()
+            for reaction in model.reactions:
+                touched.update(reaction.species_names())
+            assert touched == set(model.species.names)
+
+    def test_wide_models_cover_backbone_species(self):
+        """With N > M at least the M backbone species participate."""
+        model = generate_asymmetric(24, 10, seed=0)
+        touched = set()
+        for reaction in model.reactions:
+            touched.update(reaction.species_names())
+        assert {f"S{i}" for i in range(10)} <= touched
+
+    def test_concentration_statistics(self):
+        model = generate_symmetric(64, seed=7)
+        state = model.initial_state()
+        assert np.all(state >= 1e-4) and np.all(state < 1.0)
+
+    def test_rate_statistics(self):
+        model = generate_symmetric(64, seed=8)
+        constants = model.rate_constants()
+        assert np.all(constants >= 1e-6) and np.all(constants <= 10.0)
+
+    def test_generated_model_is_simulable(self):
+        from repro.core import simulate
+        from repro.solvers import SolverOptions
+        model = generate_symmetric(12, seed=1)
+        result = simulate(model, (0, 1), np.array([0.0, 1.0]),
+                          options=SolverOptions(max_steps=50_000))
+        assert result.all_success
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(2, 20), m=st.integers(2, 30),
+           seed=st.integers(0, 1000))
+    def test_generator_properties(self, n, m, seed):
+        """Any (N, M, seed) produces a structurally valid model of the
+        requested shape with in-range parameters."""
+        model = generate_model(SyntheticModelSpec(n, m, seed))
+        assert model.size == (n, m)
+        model.validate()
+        assert model.max_order() <= 2
+        assert np.all(model.rate_constants() > 0)
+        if m >= n:
+            touched = set()
+            for reaction in model.reactions:
+                touched.update(reaction.species_names())
+            assert touched == set(model.species.names)

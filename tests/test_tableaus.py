@@ -1,0 +1,57 @@
+"""Structural and order-condition tests for the Butcher tableaus."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (BOGACKI_SHAMPINE_23, CASH_KARP_45, DOPRI5,
+                           FEHLBERG_45, TABLEAUS)
+
+ALL = [BOGACKI_SHAMPINE_23, FEHLBERG_45, CASH_KARP_45, DOPRI5]
+
+
+@pytest.mark.parametrize("tableau", ALL, ids=lambda t: t.name)
+class TestStructure:
+    def test_structural_validation(self, tableau):
+        tableau.validate()
+
+    def test_registry_contains_tableau(self, tableau):
+        assert TABLEAUS[tableau.name] is tableau
+
+    def test_error_weights_sum_to_zero(self, tableau):
+        assert abs(tableau.e.sum()) < 1e-12
+
+
+@pytest.mark.parametrize("tableau", ALL, ids=lambda t: t.name)
+class TestOrderConditions:
+    """Classic rooted-tree order conditions up to order 3."""
+
+    def test_order_1(self, tableau):
+        assert tableau.b.sum() == pytest.approx(1.0)
+
+    def test_order_2(self, tableau):
+        assert tableau.b.dot(tableau.c) == pytest.approx(0.5)
+
+    def test_order_3(self, tableau):
+        assert tableau.b.dot(tableau.c ** 2) == pytest.approx(1.0 / 3.0)
+        ac = tableau.a.dot(tableau.c)
+        assert tableau.b.dot(ac) == pytest.approx(1.0 / 6.0)
+
+
+class TestHighOrderConditions:
+    @pytest.mark.parametrize("tableau", [FEHLBERG_45, CASH_KARP_45, DOPRI5],
+                             ids=lambda t: t.name)
+    def test_order_4_quadrature(self, tableau):
+        assert tableau.b.dot(tableau.c ** 3) == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("tableau", [FEHLBERG_45, CASH_KARP_45, DOPRI5],
+                             ids=lambda t: t.name)
+    def test_order_5_quadrature(self, tableau):
+        assert tableau.b.dot(tableau.c ** 4) == pytest.approx(0.2)
+
+    def test_dopri5_fsal_row(self):
+        """FSAL: the last a-row equals b (the final stage is f(t+h, y1))."""
+        assert np.allclose(DOPRI5.a[-1], DOPRI5.b)
+        assert DOPRI5.first_same_as_last
+
+    def test_bs23_fsal_row(self):
+        assert np.allclose(BOGACKI_SHAMPINE_23.a[-1], BOGACKI_SHAMPINE_23.b)
