@@ -30,6 +30,8 @@ from .core import (FreeParameter, ParameterEstimation, ParameterRange,
                    run_comparison_map, run_morris_screening, run_psa_1d,
                    run_psa_2d, run_sobol_sa, simulate, synthetic_target)
 from .gpu import BatchSimulator, TITAN_X, VirtualDevice
+from .lint import (ALL_RULES, LintFinding, LintReport, lint_gate,
+                   lint_kernels, lint_model, stiffness_risk_score)
 from .stochastic import StochasticSimulator
 from .model import (Hill, MassAction, MichaelisMenten, ODESystem,
                     Parameterization, ParameterizationBatch,
@@ -47,6 +49,8 @@ __all__ = [
     "run_morris_screening", "run_psa_1d", "run_psa_2d", "run_sobol_sa",
     "simulate", "synthetic_target",
     "BatchSimulator", "TITAN_X", "VirtualDevice", "StochasticSimulator",
+    "ALL_RULES", "LintFinding", "LintReport", "lint_gate", "lint_kernels",
+    "lint_model", "stiffness_risk_score",
     "Hill", "MassAction", "MichaelisMenten", "ODESystem",
     "Parameterization", "ParameterizationBatch", "ReactionBasedModel",
     "Reaction", "Species", "parse_reaction", "perturbed_batch",

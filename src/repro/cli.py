@@ -5,6 +5,8 @@ model folders; this module reproduces that UX::
 
     python -m repro info      MODEL
     python -m repro simulate  MODEL --t-end 10 --points 51 --out dyn.csv
+    python -m repro lint      MODEL --format json --fail-on warning
+    python -m repro lint      --self
     python -m repro convert   SRC DST
     python -m repro generate  DST --species 32 --reactions 32 --seed 0
 
@@ -105,6 +107,27 @@ def _command_analyze(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    from .lint import lint_file, lint_kernels, lint_model
+
+    if args.self:
+        report = lint_kernels()
+    elif args.model is None:
+        raise ReproError("lint needs a MODEL argument or --self")
+    else:
+        path = Path(args.model)
+        if path.suffix == ".py":
+            report = lint_file(path)
+        else:
+            report = lint_model(_load_model(path))
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 1 if report.exceeds(args.fail_on) else 0
+
+
 def _command_convert(args) -> int:
     source = Path(args.source)
     destination = Path(args.destination)
@@ -171,6 +194,19 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--horizon", type=float, default=50.0)
     analyze.add_argument("--max-steps", type=int, default=100_000)
     analyze.set_defaults(handler=_command_analyze)
+
+    lint = commands.add_parser(
+        "lint", help="static analysis of a model or a batch kernel")
+    lint.add_argument("model", nargs="?",
+                      help="model folder, SBML file, or a .py kernel file")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--fail-on", choices=("info", "warning", "error"),
+                      default="error", metavar="SEVERITY",
+                      help="exit 1 when any finding is at or above this "
+                           "severity (default: error)")
+    lint.add_argument("--self", action="store_true",
+                      help="lint the package's own shipped batch kernels")
+    lint.set_defaults(handler=_command_lint)
 
     convert = commands.add_parser("convert",
                                   help="convert between SBML and folder")

@@ -95,7 +95,11 @@ class ParameterEstimation:
                  target_dynamics: np.ndarray,
                  engine: str = "batched",
                  options: SolverOptions = DEFAULT_OPTIONS,
+                 lint: bool = False,
                  **engine_kwargs) -> None:
+        if lint:
+            from ..lint import lint_gate
+            lint_gate(model)
         if not free_parameters:
             raise AnalysisError("parameter estimation needs >= 1 "
                                 "free parameter")

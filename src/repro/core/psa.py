@@ -206,8 +206,17 @@ def run_psa_1d(model: ReactionBasedModel, target: SweepTarget,
                metric: MetricFunction | None = None,
                engine: str = "batched",
                options: SolverOptions = DEFAULT_OPTIONS,
+               lint: bool = False,
                **engine_kwargs) -> PSA1DResult:
-    """Sweep one parameter over a grid of ``n_points`` values."""
+    """Sweep one parameter over a grid of ``n_points`` values.
+
+    With ``lint=True`` the model is statically checked first and a
+    :class:`~repro.errors.LintError` aborts the sweep before any
+    simulation runs (see :func:`repro.lint.lint_gate`).
+    """
+    if lint:
+        from ..lint import lint_gate
+        lint_gate(model)
     values = target.range.grid(n_points)
     batch = build_sweep_batch(model, [target], values[:, None])
     result = simulate(model, t_span, t_eval, batch, engine, options,
@@ -224,8 +233,16 @@ def run_psa_2d(model: ReactionBasedModel, target_x: SweepTarget,
                metric: MetricFunction | None = None,
                engine: str = "batched",
                options: SolverOptions = DEFAULT_OPTIONS,
+               lint: bool = False,
                **engine_kwargs) -> PSA2DResult:
-    """Sweep two parameters over an (n_x, n_y) grid; row-major batch."""
+    """Sweep two parameters over an (n_x, n_y) grid; row-major batch.
+
+    ``lint=True`` statically checks the model first, as in
+    :func:`run_psa_1d`.
+    """
+    if lint:
+        from ..lint import lint_gate
+        lint_gate(model)
     values_x = target_x.range.grid(n_x)
     values_y = target_y.range.grid(n_y)
     mesh_x, mesh_y = np.meshgrid(values_x, values_y, indexing="ij")

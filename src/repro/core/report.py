@@ -34,6 +34,7 @@ class ModelReport:
     probe_horizon: float
     probe_status: str
     oscillating_species: list[str]
+    steady_state_error: str | None = None
 
     def render(self) -> str:
         model = self.model
@@ -57,8 +58,10 @@ class ModelReport:
                 f"residual {self.steady_state.residual_norm:.2e}, "
                 f"{self.steady_state.n_iterations} Newton iterations")
         else:
+            reason = (f" ({self.steady_state_error})"
+                      if self.steady_state_error else "")
             lines.append("steady state            : not found from the "
-                         "initial manifold")
+                         f"initial manifold{reason}")
         lines.append(f"dynamics probe to t={self.probe_horizon:g}: "
                      f"{self.probe_status}")
         if self.oscillating_species:
@@ -82,10 +85,12 @@ def analyze_model(model: ReactionBasedModel,
     stiff = radius > options.stiffness_threshold
 
     steady: SteadyStateResult | None
+    steady_error: str | None = None
     try:
         steady = find_steady_state(model, nominal)
-    except Exception:  # pragma: no cover - diagnostics must not crash
-        steady = None
+    except Exception as error:  # diagnostics must not crash, but the
+        steady = None           # failure reason belongs in the report
+        steady_error = f"{type(error).__name__}: {error}"
 
     grid = np.linspace(0.0, probe_horizon, 501)
     probe = simulate(model, (0.0, probe_horizon), grid, None, engine,
@@ -99,4 +104,4 @@ def analyze_model(model: ReactionBasedModel,
                 oscillating.append(name)
     return ModelReport(model, model.conservation_law_basis().shape[0],
                        radius, stiff, steady, probe_horizon,
-                       probe.statuses()[0], oscillating)
+                       probe.statuses()[0], oscillating, steady_error)

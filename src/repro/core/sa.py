@@ -95,6 +95,7 @@ def run_sobol_sa(model: ReactionBasedModel,
                  bootstrap: int = 200,
                  confidence_level: float = 0.95,
                  second_order: bool = False,
+                 lint: bool = False,
                  **engine_kwargs) -> SobolResult:
     """Run the full Saltelli-sample / simulate / estimate pipeline.
 
@@ -102,8 +103,12 @@ def run_sobol_sa(model: ReactionBasedModel,
     shorthand ``species`` + ``ranges`` (initial concentrations).
     The scalar ``output`` defaults to the deviation of
     ``output_species``' final concentration from its nominal-reference
-    final value.
+    final value. With ``lint=True`` the model is statically checked
+    first (see :func:`repro.lint.lint_gate`).
     """
+    if lint:
+        from ..lint import lint_gate
+        lint_gate(model)
     targets = _resolve_targets(model, targets, species, ranges)
     dimension = len(targets)
     if dimension < 1:

@@ -37,3 +37,8 @@ class AnalysisError(ReproError):
 
 class FormatError(ReproError):
     """A model file (BioSimWare folder, SBML document) is malformed."""
+
+
+class LintError(ReproError):
+    """Static analysis failed or found findings above the configured
+    severity threshold (see :mod:`repro.lint`)."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..lint.model_rules import STIFFNESS_SAFE_DECADES, stiffness_risk_score
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
 from ..solvers.stiffness import power_iteration_matvec
 from .batch_dopri5 import BatchDopri5
@@ -33,14 +34,21 @@ class RoutingDecision:
     stiff_mask:
         Boolean per-simulation stiff/non-stiff classification.
     spectral_radii:
-        Dominant-eigenvalue magnitude estimates, shape (B,).
+        Dominant-eigenvalue magnitude estimates, shape (B,). All zero
+        when the probe was skipped.
     threshold:
         The cutoff the mask was computed against.
+    probe_skipped:
+        True when the static stiffness-risk prefilter (see
+        :func:`repro.lint.model_rules.stiffness_risk_score`) classified
+        the whole batch as safely non-stiff, so the power-iteration
+        probe never ran.
     """
 
     stiff_mask: np.ndarray
     spectral_radii: np.ndarray
     threshold: float
+    probe_skipped: bool = False
 
     @property
     def n_stiff(self) -> int:
@@ -49,15 +57,27 @@ class RoutingDecision:
 
 def classify_batch(problem: BatchedODEProblem, t0: float,
                    threshold: float,
-                   initial_states: np.ndarray | None = None
-                   ) -> RoutingDecision:
+                   initial_states: np.ndarray | None = None,
+                   static_risk: float | None = None) -> RoutingDecision:
     """Stiffness classification of every simulation in a batch.
 
     Uses a matrix-free power iteration on the Jacobian action
     (finite-difference directional derivatives of the batched RHS), so
     the probe costs a handful of RHS kernel launches instead of a full
     (B, N, N) Jacobian assembly.
+
+    ``static_risk`` is the linter's static stiffness-risk score for the
+    batch (decades spanned by the rate constants). When it is below
+    :data:`~repro.lint.model_rules.STIFFNESS_SAFE_DECADES` the whole
+    batch is classified non-stiff without running the probe; this is
+    safe because DOPRI5 detects stiffness at run time and the router
+    re-executes any failed simulation with Radau IIA.
     """
+    if static_risk is not None and static_risk < STIFFNESS_SAFE_DECADES:
+        batch = problem.batch_size
+        return RoutingDecision(np.zeros(batch, dtype=bool),
+                               np.zeros(batch), threshold,
+                               probe_skipped=True)
     states = (problem.initial_states() if initial_states is None
               else np.asarray(initial_states, dtype=np.float64))
     rows = np.arange(problem.batch_size)
@@ -80,18 +100,24 @@ class StiffnessRouter:
     name = "router"
 
     def __init__(self, options: SolverOptions = DEFAULT_OPTIONS,
-                 retry_failed_with_radau: bool = True) -> None:
+                 retry_failed_with_radau: bool = True,
+                 use_static_prefilter: bool = True) -> None:
         self.options = options
         self.retry_failed_with_radau = retry_failed_with_radau
+        self.use_static_prefilter = use_static_prefilter
 
     def solve(self, problem: BatchedODEProblem, t_span: tuple[float, float],
               t_eval: np.ndarray | None = None,
               initial_states: np.ndarray | None = None
               ) -> tuple[BatchSolveResult, RoutingDecision]:
         """Integrate a batch with per-simulation method selection."""
+        static_risk = None
+        if self.use_static_prefilter and self.retry_failed_with_radau:
+            static_risk = stiffness_risk_score(
+                problem.parameters.rate_constants)
         decision = classify_batch(problem, float(t_span[0]),
                                   self.options.stiffness_threshold,
-                                  initial_states)
+                                  initial_states, static_risk)
         states = (problem.initial_states() if initial_states is None
                   else np.asarray(initial_states, dtype=np.float64))
 

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import SolverError
+
 
 @dataclass(frozen=True)
 class ButcherTableau:
@@ -47,15 +49,40 @@ class ButcherTableau:
         return self.b.shape[0]
 
     def validate(self, tol: float = 1e-12) -> None:
-        """Structural consistency checks used by the test suite."""
+        """Structural consistency checks; raises :class:`SolverError`.
+
+        Explicit raises rather than ``assert`` so a corrupt tableau is
+        still rejected under ``python -O`` (asserts are stripped).
+        """
         n = self.n_stages
-        assert self.a.shape == (n, n)
-        assert self.c.shape == (n,)
-        assert self.e.shape == (n,)
-        assert np.allclose(self.a.sum(axis=1), self.c, atol=tol)
-        assert abs(self.b.sum() - 1.0) < tol
-        assert abs(self.e.sum()) < tol
-        assert np.allclose(np.triu(self.a), 0.0, atol=tol)
+        if self.a.shape != (n, n):
+            raise SolverError(
+                f"tableau {self.name!r}: stage matrix has shape "
+                f"{self.a.shape}, expected {(n, n)}")
+        if self.c.shape != (n,):
+            raise SolverError(
+                f"tableau {self.name!r}: nodes have shape {self.c.shape}, "
+                f"expected {(n,)}")
+        if self.e.shape != (n,):
+            raise SolverError(
+                f"tableau {self.name!r}: error weights have shape "
+                f"{self.e.shape}, expected {(n,)}")
+        if not np.allclose(self.a.sum(axis=1), self.c, atol=tol):
+            raise SolverError(
+                f"tableau {self.name!r}: row-sum condition violated "
+                "(a.sum(axis=1) != c)")
+        if not abs(self.b.sum() - 1.0) < tol:
+            raise SolverError(
+                f"tableau {self.name!r}: propagating weights sum to "
+                f"{self.b.sum()!r}, expected 1")
+        if not abs(self.e.sum()) < tol:
+            raise SolverError(
+                f"tableau {self.name!r}: error weights sum to "
+                f"{self.e.sum()!r}, expected 0")
+        if not np.allclose(np.triu(self.a), 0.0, atol=tol):
+            raise SolverError(
+                f"tableau {self.name!r}: stage matrix is not strictly "
+                "lower triangular (method would be implicit)")
 
 
 def _tableau(name, order, error_order, a, b, b_hat, c, fsal=False):

@@ -1,0 +1,93 @@
+"""Tests for the ``repro lint`` CLI subcommand.
+
+Covers the text and JSON output formats, the ``--fail-on`` exit-code
+contract, ``--self`` (shipped-kernel lint), direct ``.py`` file lint
+and the error path for a missing model.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import write_model
+from repro.models import dimerization
+from repro.model import ReactionBasedModel
+
+
+@pytest.fixture
+def clean_model_dir(tmp_path):
+    folder = tmp_path / "dimer"
+    write_model(dimerization(), folder)
+    return folder
+
+
+@pytest.fixture
+def warning_model_dir(tmp_path):
+    model = ReactionBasedModel("ghosted")
+    model.add_species("A", 1.0)
+    model.add_species("B", 0.0)
+    model.add_species("Ghost", 2.0)  # RBM001 warning
+    model.add("A -> B @ 1.0")
+    model.add("B -> A @ 0.5")
+    folder = tmp_path / "ghosted"
+    write_model(model, folder)
+    return folder
+
+
+class TestModelLint:
+    def test_clean_model_exits_zero(self, clean_model_dir, capsys):
+        assert main(["lint", str(clean_model_dir)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warning_model_passes_at_default_threshold(
+            self, warning_model_dir, capsys):
+        assert main(["lint", str(warning_model_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "RBM001" in out and "Ghost" in out
+
+    def test_fail_on_warning_flips_exit_code(self, warning_model_dir):
+        assert main(["lint", str(warning_model_dir),
+                     "--fail-on", "warning"]) == 1
+
+    def test_json_format(self, warning_model_dir, capsys):
+        assert main(["lint", str(warning_model_dir),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["warning"] == 1
+        assert payload["findings"][0]["rule_id"] == "RBM001"
+        assert "stiffness_risk_decades" in payload["metadata"]
+
+
+class TestKernelLint:
+    def test_self_lint_exits_zero(self, capsys):
+        assert main(["lint", "--self"]) == 0
+        assert "waived" in capsys.readouterr().out
+
+    def test_self_lint_json(self, capsys):
+        assert main(["lint", "--self", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metadata"]["waived"] >= 1
+        assert len(payload["metadata"]["files"]) >= 4
+
+    def test_python_file_routes_to_kernel_linter(self, tmp_path, capsys):
+        kernel = tmp_path / "kernel.py"
+        kernel.write_text(
+            "def step(y, batch_size):\n"
+            "    for i in range(batch_size):\n"
+            "        y[i] = 0.0\n")
+        assert main(["lint", str(kernel)]) == 1  # KRN001 is an error
+        assert "KRN001" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    def test_missing_model_argument(self, capsys):
+        assert main(["lint"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_nonexistent_model_path(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+
+    def test_unknown_fail_on_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--self", "--fail-on", "fatal"])

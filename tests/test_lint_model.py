@@ -1,0 +1,279 @@
+"""Tests for the model linter (rules RBM001-RBM009).
+
+Every rule gets one positive fixture (a model built to trip it) and
+one negative (a sound model that must stay silent), plus the curated-
+model sweep the ISSUE requires: every shipped model lints clean at
+warning severity and above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (MODEL_RULES, STIFFNESS_RISK_DECADES, lint_gate,
+                        lint_model, stiffness_risk_score)
+from repro.model import Parameterization, ReactionBasedModel
+from repro.models import (brusselator, cascade, decay_chain, dimerization,
+                          goldbeter_mitotic, hill_switch, lotka_volterra,
+                          metabolic_network, michaelis_menten_cycle,
+                          oregonator, robertson, schloegl, sir_epidemic)
+
+ALL_CURATED = (brusselator, cascade, lambda: decay_chain(4), dimerization,
+               goldbeter_mitotic, hill_switch, lotka_volterra,
+               metabolic_network, michaelis_menten_cycle, oregonator,
+               robertson, schloegl, sir_epidemic)
+
+
+def simple_chain():
+    model = ReactionBasedModel("chain")
+    model.add_species("A", 1.0)
+    model.add_species("B", 0.0)
+    model.add("A -> B @ 1.0")
+    model.add("B -> A @ 0.5")
+    return model
+
+
+class TestRiskScore:
+    def test_uniform_rates_score_zero(self):
+        assert stiffness_risk_score(np.array([2.0, 2.0, 2.0])) == 0.0
+
+    def test_decades_counted(self):
+        score = stiffness_risk_score(np.array([1e-2, 1.0, 1e3]))
+        assert score == pytest.approx(5.0)
+
+    def test_nonpositive_and_nonfinite_ignored(self):
+        score = stiffness_risk_score(np.array([0.0, np.inf, 1.0, 10.0]))
+        assert score == pytest.approx(1.0)
+
+    def test_matrix_input_flattened(self):
+        batch = np.array([[1.0, 10.0], [0.1, 1.0]])
+        assert stiffness_risk_score(batch) == pytest.approx(2.0)
+
+
+class TestDeadSpecies:
+    def test_rbm001_fires_on_orphan(self):
+        model = simple_chain()
+        model.add_species("Ghost", 3.0)
+        report = lint_model(model)
+        findings = report.by_rule("RBM001")
+        assert len(findings) == 1
+        assert "Ghost" in findings[0].message
+        assert findings[0].severity == "warning"
+
+    def test_rbm001_silent_on_wired_network(self):
+        assert not lint_model(simple_chain()).by_rule("RBM001")
+
+
+class TestUnproducible:
+    def test_rbm002_fires_on_empty_unreachable_reactant(self):
+        model = ReactionBasedModel("starved")
+        model.add_species("A", 0.0)
+        model.add_species("B", 0.0)
+        model.add("A -> B @ 1.0")
+        report = lint_model(model)
+        assert any("A" in f.location for f in report.by_rule("RBM002"))
+
+    def test_rbm002_silent_when_producible(self):
+        model = ReactionBasedModel("fed")
+        model.add_species("S", 1.0)
+        model.add_species("A", 0.0)
+        model.add_species("B", 0.0)
+        model.add("S -> A @ 1.0")
+        model.add("A -> B @ 1.0")
+        assert not lint_model(model).by_rule("RBM002")
+
+    def test_parameterization_override_unstarves(self):
+        model = ReactionBasedModel("starved")
+        model.add_species("A", 0.0)
+        model.add_species("B", 0.0)
+        model.add("A -> B @ 1.0")
+        seeded = Parameterization(np.array([1.0]), np.array([1.0, 0.0]))
+        assert not lint_model(model, seeded).by_rule("RBM002")
+
+
+class TestUnboundedAccumulation:
+    def test_rbm003_fires_on_pure_sink(self):
+        model = ReactionBasedModel("sink")
+        model.add_species("A", 1.0)
+        model.add_species("W", 0.0)
+        model.add("A -> A + W @ 1.0")
+        report = lint_model(model)
+        assert any("W" in f.location for f in report.by_rule("RBM003"))
+        assert MODEL_RULES["RBM003"][0] == "info"
+
+    def test_rbm003_silent_when_drained(self):
+        model = ReactionBasedModel("drained")
+        model.add_species("A", 1.0)
+        model.add_species("W", 0.0)
+        model.add("A -> A + W @ 1.0")
+        model.add("W -> @ 0.1")
+        assert not lint_model(model).by_rule("RBM003")
+
+
+class TestDisconnected:
+    def test_rbm004_fires_on_two_islands(self):
+        model = ReactionBasedModel("islands")
+        model.add_species("A", 1.0)
+        model.add_species("B", 0.0)
+        model.add_species("C", 1.0)
+        model.add_species("D", 0.0)
+        model.add("A -> B @ 1.0")
+        model.add("C -> D @ 1.0")
+        findings = lint_model(model).by_rule("RBM004")
+        assert len(findings) == 1
+        assert "2 independent components" in findings[0].message
+
+    def test_rbm004_silent_with_custom_law_coupling(self):
+        # goldbeter's sub-networks touch only through kinetic-law
+        # modifiers; the linter must see those edges.
+        assert not lint_model(goldbeter_mitotic()).by_rule("RBM004")
+
+
+class TestDuplicates:
+    def test_rbm005_fires_on_literal_copy(self):
+        model = simple_chain()
+        model.add("A -> B @ 2.0")
+        findings = lint_model(model).by_rule("RBM005")
+        assert len(findings) == 1
+        assert "silently sum" in findings[0].message
+
+    def test_rbm005_distinguishes_kinetic_laws(self):
+        # Same stoichiometry under different laws is legitimate
+        # (goldbeter has two C -> 0 degradations, basal and enzymatic).
+        assert not lint_model(goldbeter_mitotic()).by_rule("RBM005")
+
+
+class TestZeroFlux:
+    def test_rbm006_fires_and_is_error(self):
+        model = ReactionBasedModel("frozen")
+        model.add_species("A", 0.0)
+        model.add_species("B", 0.0)
+        model.add("A -> B @ 1.0")
+        findings = lint_model(model).by_rule("RBM006")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+
+    def test_rbm006_silent_when_seeded_by_inflow(self):
+        model = ReactionBasedModel("inflow")
+        model.add_species("A", 0.0)
+        model.add_species("B", 0.0)
+        model.add(" -> A @ 1.0")
+        model.add("A -> B @ 1.0")
+        assert not lint_model(model).by_rule("RBM006")
+
+
+class TestDegenerateRates:
+    def test_rbm007_fires_below_double_precision(self):
+        model = ReactionBasedModel("tiny")
+        model.add_species("A", 1.0)
+        model.add_species("B", 0.0)
+        model.add("A -> B @ 1e5")
+        model.add("B -> A @ 1e-30")
+        findings = lint_model(model).by_rule("RBM007")
+        assert len(findings) == 1
+        assert "k[1]" in findings[0].message
+
+    def test_rbm007_silent_on_moderate_spread(self):
+        assert not lint_model(robertson()).by_rule("RBM007")
+
+
+class TestEmptyPool:
+    def test_rbm008_fires_on_zero_total_cycle(self):
+        model = ReactionBasedModel("empty-pool")
+        model.add_species("A", 0.0)
+        model.add_species("B", 0.0)
+        model.add("A -> B @ 1.0")
+        model.add("B -> A @ 1.0")
+        findings = lint_model(model).by_rule("RBM008")
+        assert len(findings) == 1
+        assert "A" in findings[0].message and "B" in findings[0].message
+
+    def test_rbm008_silent_on_seeded_pool(self):
+        model = simple_chain()  # same cycle, A(0) = 1
+        assert not lint_model(model).by_rule("RBM008")
+
+
+class TestStiffnessRisk:
+    def test_rbm009_fires_on_robertson(self):
+        report = lint_model(robertson())
+        findings = report.by_rule("RBM009")
+        assert len(findings) == 1
+        assert findings[0].severity == "info"
+        assert report.metadata["stiffness_risk_decades"] > \
+            STIFFNESS_RISK_DECADES
+
+    def test_rbm009_silent_on_decay_chain(self):
+        report = lint_model(decay_chain(4))
+        assert not report.by_rule("RBM009")
+        assert report.metadata["stiffness_risk_decades"] < \
+            STIFFNESS_RISK_DECADES
+
+
+class TestCuratedModels:
+    @pytest.mark.parametrize("factory", ALL_CURATED,
+                             ids=lambda f: getattr(f, "__name__", "decay"))
+    def test_curated_models_clean_at_warning(self, factory):
+        """ISSUE satellite: the shipped models pass their own linter.
+
+        robertson and schloegl do emit RBM009 *info* findings — they are
+        stiffness stress tests, the rate spread is the point — but no
+        curated model may produce a warning or an error.
+        """
+        report = lint_model(factory())
+        offending = report.at_or_above("warning")
+        assert not offending, report.render_text()
+
+
+class TestGate:
+    def test_gate_passes_and_returns_report(self):
+        report = lint_gate(dimerization())
+        assert "stiffness_risk_decades" in report.metadata
+
+    def test_gate_raises_at_threshold(self):
+        model = ReactionBasedModel("frozen")
+        model.add_species("A", 0.0)
+        model.add_species("B", 0.0)
+        model.add("A -> B @ 1.0")
+        with pytest.raises(LintError, match="RBM006"):
+            lint_gate(model)  # RBM006 is an error-severity finding
+
+    def test_gate_threshold_configurable(self):
+        model = simple_chain()
+        model.add_species("Ghost", 1.0)  # RBM001 warning only
+        lint_gate(model)  # default fail_on="error" passes
+        with pytest.raises(LintError, match="RBM001"):
+            lint_gate(model, fail_on="warning")
+
+
+class TestAnalysisHooks:
+    def test_psa_lint_hook_blocks_broken_model(self):
+        from repro import ParameterRange, SweepTarget, run_psa_1d
+        model = ReactionBasedModel("frozen")
+        model.add_species("A", 0.0)
+        model.add_species("B", 0.0)
+        model.add("A -> B @ 1.0")
+        target = SweepTarget.rate_constant(
+            model, 0, ParameterRange(0.1, 10.0, log=True))
+        with pytest.raises(LintError):
+            run_psa_1d(model, target, 4, (0.0, 1.0), lint=True)
+
+    def test_sa_lint_hook_passes_sound_model(self):
+        from repro import ParameterRange, run_sobol_sa
+        model = decay_chain(3)
+        result = run_sobol_sa(
+            model, species=["X0"],
+            ranges=[ParameterRange(0.5, 2.0)],
+            output_species="X2", base_samples=8, t_span=(0.0, 1.0),
+            bootstrap=10, lint=True)
+        assert result.n_simulations > 0
+
+    def test_pe_lint_hook_blocks_broken_model(self):
+        from repro import FreeParameter, ParameterEstimation
+        model = ReactionBasedModel("frozen")
+        model.add_species("A", 0.0)
+        model.add_species("B", 0.0)
+        model.add("A -> B @ 1.0")
+        with pytest.raises(LintError):
+            ParameterEstimation(
+                model, [FreeParameter(0, 0.1, 10.0)], ["B"],
+                np.array([0.0, 1.0]), np.zeros((2, 1)), lint=True)

@@ -49,6 +49,28 @@ class TestAnalyzeModel:
         assert "X" in rendered
 
 
+class TestSteadyStateErrorCapture:
+    def test_exception_message_lands_in_report(self, monkeypatch):
+        """A crash in the steady-state search must not be swallowed:
+        its message is captured and rendered."""
+        import repro.core.report as report_module
+
+        def boom(model, nominal):
+            raise RuntimeError("Newton exploded")
+
+        monkeypatch.setattr(report_module, "find_steady_state", boom)
+        report = analyze_model(dimerization(), probe_horizon=5.0,
+                               options=OPTIONS)
+        assert report.steady_state is None
+        assert report.steady_state_error == "RuntimeError: Newton exploded"
+        assert "Newton exploded" in report.render()
+
+    def test_no_error_recorded_on_success(self):
+        report = analyze_model(dimerization(), probe_horizon=5.0,
+                               options=OPTIONS)
+        assert report.steady_state_error is None
+
+
 class TestCLIAnalyze:
     def test_analyze_command(self, tmp_path, capsys):
         from repro.cli import main

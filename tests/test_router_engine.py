@@ -42,6 +42,62 @@ class TestClassification:
         assert decision.n_stiff == problem.batch_size
 
 
+class TestStaticPrefilter:
+    def test_low_risk_batch_skips_probe(self):
+        """Rate spread under STIFFNESS_SAFE_DECADES: no power iteration."""
+        problem = make_problem(decay_chain(3), 4)
+        decision = classify_batch(problem, 0.0, threshold=500.0,
+                                  static_risk=0.5)
+        assert decision.probe_skipped
+        assert decision.n_stiff == 0
+        assert np.all(decision.spectral_radii == 0.0)
+
+    def test_high_risk_batch_still_probed(self):
+        problem = make_problem(decay_chain(3), 4)
+        decision = classify_batch(problem, 0.0, threshold=500.0,
+                                  static_risk=8.0)
+        assert not decision.probe_skipped
+        assert np.all(decision.spectral_radii > 0.0)
+
+    def test_router_applies_prefilter_automatically(self):
+        problem = make_problem(decay_chain(3), 4)
+        result, decision = StiffnessRouter().solve(
+            problem, (0, 2), np.linspace(0, 2, 5))
+        assert decision.probe_skipped
+        assert result.all_success
+        assert set(result.methods()) == {"dopri5"}
+
+    def test_prefilter_never_engages_on_wide_spread(self):
+        problem = make_problem(robertson(), 2)
+        _, decision = StiffnessRouter(
+            SolverOptions(max_steps=100_000)).solve(
+                problem, (0, 1e3), np.array([0.0, 1e3]))
+        assert not decision.probe_skipped
+
+    def test_prefilter_can_be_disabled(self):
+        problem = make_problem(decay_chain(3), 4)
+        _, decision = StiffnessRouter(use_static_prefilter=False).solve(
+            problem, (0, 2), np.linspace(0, 2, 5))
+        assert not decision.probe_skipped
+
+    def test_prefilter_requires_retry_safety_net(self):
+        """Without the Radau retry the skip is not correctness-safe, so
+        the router must keep probing."""
+        problem = make_problem(decay_chain(3), 4)
+        _, decision = StiffnessRouter(
+            retry_failed_with_radau=False).solve(
+                problem, (0, 2), np.linspace(0, 2, 5))
+        assert not decision.probe_skipped
+
+    def test_prefilter_results_match_probed_results(self):
+        problem = make_problem(decay_chain(3), 6)
+        grid = np.linspace(0, 2, 5)
+        fast, _ = StiffnessRouter().solve(problem, (0, 2), grid)
+        slow, _ = StiffnessRouter(use_static_prefilter=False).solve(
+            problem, (0, 2), grid)
+        assert np.allclose(fast.y, slow.y, rtol=1e-12, atol=1e-15)
+
+
 class TestRouter:
     def test_stiff_batch_lands_on_radau(self):
         problem = make_problem(robertson(), 4)

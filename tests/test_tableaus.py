@@ -1,8 +1,11 @@
 """Structural and order-condition tests for the Butcher tableaus."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
+from repro.errors import SolverError
 from repro.solvers import (BOGACKI_SHAMPINE_23, CASH_KARP_45, DOPRI5,
                            FEHLBERG_45, TABLEAUS)
 
@@ -55,3 +58,42 @@ class TestHighOrderConditions:
 
     def test_bs23_fsal_row(self):
         assert np.allclose(BOGACKI_SHAMPINE_23.a[-1], BOGACKI_SHAMPINE_23.b)
+
+
+class TestValidationRaises:
+    """Corrupt tableaus are rejected with SolverError (not assert)."""
+
+    def test_wrong_stage_matrix_shape(self):
+        broken = replace(DOPRI5, a=DOPRI5.a[:-1])
+        with pytest.raises(SolverError, match="stage matrix"):
+            broken.validate()
+
+    def test_wrong_node_shape(self):
+        broken = replace(DOPRI5, c=DOPRI5.c[:-1])
+        with pytest.raises(SolverError, match="nodes"):
+            broken.validate()
+
+    def test_row_sum_condition(self):
+        broken = replace(DOPRI5, c=DOPRI5.c + 0.1)
+        with pytest.raises(SolverError, match="row-sum"):
+            broken.validate()
+
+    def test_weights_must_sum_to_one(self):
+        broken = replace(DOPRI5, b=DOPRI5.b * 2.0)
+        with pytest.raises(SolverError, match="weights sum"):
+            broken.validate()
+
+    def test_error_weights_must_sum_to_zero(self):
+        e = DOPRI5.e.copy()
+        e[0] += 0.5
+        broken = replace(DOPRI5, e=e)
+        with pytest.raises(SolverError, match="error weights"):
+            broken.validate()
+
+    def test_upper_triangle_rejected(self):
+        a = DOPRI5.a.copy()
+        a[0, -1] = 0.25
+        a[0, 0] = -0.25 + DOPRI5.a[0, 0]
+        broken = replace(DOPRI5, a=a)
+        with pytest.raises(SolverError, match="lower triangular"):
+            broken.validate()
