@@ -32,6 +32,9 @@ from .core import (FreeParameter, ParameterEstimation, ParameterRange,
 from .gpu import BatchSimulator, TITAN_X, VirtualDevice
 from .lint import (ALL_RULES, LintFinding, LintReport, lint_gate,
                    lint_kernels, lint_model, stiffness_risk_score)
+from .resilience import (CampaignConfig, CampaignResult, FailureRecord,
+                         FaultPlan, QuarantineLog, RetryPolicy, RetryStage,
+                         default_retry_policy, run_campaign)
 from .stochastic import StochasticSimulator
 from .model import (Hill, MassAction, MichaelisMenten, ODESystem,
                     Parameterization, ParameterizationBatch,
@@ -51,6 +54,9 @@ __all__ = [
     "BatchSimulator", "TITAN_X", "VirtualDevice", "StochasticSimulator",
     "ALL_RULES", "LintFinding", "LintReport", "lint_gate", "lint_kernels",
     "lint_model", "stiffness_risk_score",
+    "CampaignConfig", "CampaignResult", "FailureRecord", "FaultPlan",
+    "QuarantineLog", "RetryPolicy", "RetryStage", "default_retry_policy",
+    "run_campaign",
     "Hill", "MassAction", "MichaelisMenten", "ODESystem",
     "Parameterization", "ParameterizationBatch", "ReactionBasedModel",
     "Reaction", "Species", "parse_reaction", "perturbed_batch",

@@ -86,6 +86,12 @@ class ParameterEstimation:
     engine:
         Simulation engine used to evaluate candidates; ``"batched"``
         evaluates a whole swarm per launch.
+    failure_penalty:
+        Finite fitness assigned to candidates whose simulation failed
+        (quarantined rows, non-finite distances). A finite penalty —
+        rather than ``inf``/NaN — keeps the swarm's velocity updates
+        and fuzzy rules well-defined, so the search keeps converging
+        even when part of the space is unintegrable.
     """
 
     def __init__(self, model: ReactionBasedModel,
@@ -96,6 +102,7 @@ class ParameterEstimation:
                  engine: str = "batched",
                  options: SolverOptions = DEFAULT_OPTIONS,
                  lint: bool = False,
+                 failure_penalty: float = 1.0e6,
                  **engine_kwargs) -> None:
         if lint:
             from ..lint import lint_gate
@@ -122,13 +129,25 @@ class ParameterEstimation:
                 f"{len(self.observed_indices)})")
         self.engine = engine
         self.options = options
+        if not (np.isfinite(failure_penalty) and failure_penalty > 0.0):
+            raise AnalysisError(
+                f"failure_penalty must be finite and > 0, got "
+                f"{failure_penalty}")
+        self.failure_penalty = float(failure_penalty)
         self.engine_kwargs = engine_kwargs
         self.n_simulations = 0
+        self.n_penalized = 0
 
     # ------------------------------------------------------------------
 
     def fitness(self, log_positions: np.ndarray) -> np.ndarray:
-        """Relative-distance fitness of a swarm of log10 candidates."""
+        """Relative-distance fitness of a swarm of log10 candidates.
+
+        Candidates whose simulation failed (or whose distance came out
+        non-finite) score ``failure_penalty`` instead of NaN/inf, so a
+        partially unintegrable search space repels rather than breaks
+        the swarm; ``n_penalized`` counts them across the run.
+        """
         log_positions = np.atleast_2d(log_positions)
         batch = self._candidate_batch(10.0 ** log_positions)
         t_span = (float(self.target_times[0]), float(self.target_times[-1]))
@@ -136,7 +155,12 @@ class ParameterEstimation:
                           self.engine, self.options, **self.engine_kwargs)
         self.n_simulations += batch.size
         observed = result.y[:, :, self.observed_indices]
-        return batch_relative_distances(self.target_dynamics, observed)
+        distances = batch_relative_distances(self.target_dynamics, observed)
+        bad = result.raw.failed_mask | ~np.isfinite(distances)
+        if bad.any():
+            distances = np.where(bad, self.failure_penalty, distances)
+            self.n_penalized += int(np.count_nonzero(bad))
+        return distances
 
     def estimate(self, optimizer: str = "fstpso", swarm_size: int = 32,
                  n_iterations: int = 40, seed: int = 0) -> PEResult:
@@ -171,26 +195,86 @@ class ParameterEstimation:
 def estimate_multi_start(estimation: ParameterEstimation,
                          n_starts: int = 4, optimizer: str = "fstpso",
                          swarm_size: int = 32, n_iterations: int = 40,
-                         seed: int = 0) -> PEResult:
+                         seed: int = 0,
+                         checkpoint_path=None) -> PEResult:
     """Run several independently seeded searches; return the best.
 
     Swarm optimizers are stochastic; the paper family's practical PE
     protocol restarts the search and keeps the best fitness. The total
     simulation count across all starts is accumulated on the returned
     result.
+
+    With ``checkpoint_path=`` every completed start journals its
+    optimum (constants, fitness, simulation count) to a
+    :class:`~repro.io.checkpoint.CampaignCheckpoint` payload, so after
+    a crash or ``KeyboardInterrupt`` the identical call skips the
+    finished starts and only reruns the missing ones. Resumed starts
+    carry a minimal :class:`~repro.optim.OptimizationResult` (their
+    optimum, no per-iteration history).
     """
     if n_starts < 1:
         raise AnalysisError(f"n_starts must be >= 1, got {n_starts}")
+    checkpoint = None
+    if checkpoint_path is not None:
+        from ..io.checkpoint import CampaignCheckpoint
+        checkpoint = CampaignCheckpoint.open(
+            checkpoint_path,
+            _multi_start_fingerprint(estimation, n_starts, optimizer,
+                                     swarm_size, n_iterations, seed))
     best: PEResult | None = None
     total_simulations = 0
     for start in range(n_starts):
-        candidate = estimation.estimate(optimizer, swarm_size,
-                                        n_iterations, seed + 1000 * start)
+        key = f"start-{start}"
+        payload = (checkpoint.get_payload(key)
+                   if checkpoint is not None else None)
+        if payload is not None:
+            candidate = _result_from_payload(payload, estimation)
+        else:
+            candidate = estimation.estimate(optimizer, swarm_size,
+                                            n_iterations,
+                                            seed + 1000 * start)
+            if checkpoint is not None:
+                checkpoint.set_payload(key, {
+                    "estimated_constants":
+                        [float(v) for v in candidate.estimated_constants],
+                    "fitness": float(candidate.fitness),
+                    "n_simulations": int(candidate.n_simulations)})
         total_simulations += candidate.n_simulations
         if best is None or candidate.fitness < best.fitness:
             best = candidate
     best.n_simulations = total_simulations
     return best
+
+
+def _multi_start_fingerprint(estimation: ParameterEstimation,
+                             n_starts: int, optimizer: str,
+                             swarm_size: int, n_iterations: int,
+                             seed: int) -> dict:
+    """Identity of a multi-start PE run, verified on journal reopen."""
+    import hashlib
+    target_sha = hashlib.sha256(
+        np.ascontiguousarray(estimation.target_times).tobytes()
+        + np.ascontiguousarray(estimation.target_dynamics).tobytes()
+    ).hexdigest()[:16]
+    return {"kind": "pe-multi-start", "model": estimation.model.name,
+            "free_parameters": [[free.reaction_index, free.low, free.high]
+                                for free in estimation.free_parameters],
+            "observed": [int(i) for i in estimation.observed_indices],
+            "target_sha": target_sha, "n_starts": int(n_starts),
+            "optimizer": optimizer, "swarm_size": int(swarm_size),
+            "n_iterations": int(n_iterations), "seed": int(seed)}
+
+
+def _result_from_payload(payload: dict,
+                         estimation: ParameterEstimation) -> PEResult:
+    constants = np.asarray(payload["estimated_constants"],
+                           dtype=np.float64)
+    fitness = float(payload["fitness"])
+    outcome = OptimizationResult(np.log10(constants), fitness,
+                                 np.array([fitness]), 0, 0)
+    return PEResult(constants, fitness, outcome,
+                    estimation.free_parameters,
+                    int(payload["n_simulations"]))
 
 
 def synthetic_target(model: ReactionBasedModel,

@@ -19,13 +19,15 @@ Sweep targets may be:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..errors import AnalysisError
 from ..model import ParameterizationBatch, ReactionBasedModel
+from ..resilience.campaign import CampaignConfig
+from ..resilience.quarantine import QuarantineLog
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
 from .analysis import batch_oscillation_amplitudes, final_value
 from .sampling import ParameterRange
@@ -112,6 +114,52 @@ def build_sweep_batch(model: ReactionBasedModel,
 
 
 # ----------------------------------------------------------------------
+# resilient execution shared by the analyses
+
+
+def resilient_simulate(model, t_span, t_eval, batch, engine, options,
+                       campaign: CampaignConfig | None, engine_kwargs
+                       ) -> tuple[SimulationResult, QuarantineLog, bool]:
+    """Simulate a batch directly or as a journaled campaign.
+
+    Returns ``(simulation, quarantine, incomplete)``. With
+    ``campaign=None`` this is a plain :func:`simulate` call whose
+    quarantine comes from the engine report (non-empty only when the
+    engine ran with a retry policy); with a
+    :class:`~repro.resilience.CampaignConfig` the batch runs through
+    :func:`repro.resilience.run_campaign` — chunked, checkpointed,
+    deadline-aware — and ``incomplete`` flags a deadline-truncated
+    partial result whose unstarted rows carry the ``running`` status.
+    """
+    if campaign is None:
+        result = simulate(model, t_span, t_eval, batch, engine, options,
+                          **engine_kwargs)
+        return result, result.quarantine, False
+    from ..resilience.campaign import run_campaign
+    outcome = run_campaign(model, t_span, t_eval, batch, engine=engine,
+                           options=options, config=campaign,
+                           **engine_kwargs)
+    result = SimulationResult(model, outcome.result, engine,
+                              outcome.result.elapsed_seconds)
+    return result, outcome.quarantine, outcome.incomplete
+
+
+def _masked_metric(metric: MetricFunction | None,
+                   simulation: SimulationResult) -> np.ndarray | None:
+    """Evaluate a metric with non-successful rows forced to NaN.
+
+    Quarantined / failed / never-started rows carry NaN trajectories
+    whose metric value is numerically meaningless; masking them here
+    guarantees they render as '?' holes instead of polluting maps.
+    """
+    if metric is None:
+        return None
+    values = np.array(metric(simulation.t, simulation.y), dtype=np.float64)
+    values[simulation.raw.failed_mask] = np.nan
+    return values
+
+
+# ----------------------------------------------------------------------
 # metric helpers
 
 
@@ -145,21 +193,43 @@ def amplitude_metric(model: ReactionBasedModel, species_name: str,
 
 @dataclass
 class PSA1DResult:
-    """Result of a one-dimensional parameter sweep."""
+    """Result of a one-dimensional parameter sweep.
+
+    ``metric_values`` is NaN at every sweep point whose simulation did
+    not succeed; such points are listed in ``quarantine`` when the
+    engine ran with a retry policy. ``incomplete`` marks a
+    deadline-truncated campaign (some points never ran).
+    """
 
     target: SweepTarget
     values: np.ndarray              # (B,)
     simulation: SimulationResult
     metric_values: np.ndarray | None
+    quarantine: QuarantineLog = field(default_factory=QuarantineLog)
+    incomplete: bool = False
 
     @property
     def n_points(self) -> int:
         return self.values.shape[0]
 
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantine)
+
+    @property
+    def valid_mask(self) -> np.ndarray:
+        """Sweep points with a successful simulation, shape (B,)."""
+        return self.simulation.raw.success_mask
+
 
 @dataclass
 class PSA2DResult:
-    """Result of a two-dimensional parameter sweep (grid layout)."""
+    """Result of a two-dimensional parameter sweep (grid layout).
+
+    Grid cells whose simulation did not succeed are NaN in
+    ``metric_map`` (rendered as '?'); ``quarantine``/``incomplete``
+    mirror :class:`PSA1DResult`.
+    """
 
     target_x: SweepTarget
     target_y: SweepTarget
@@ -167,10 +237,22 @@ class PSA2DResult:
     values_y: np.ndarray            # (ny,)
     simulation: SimulationResult
     metric_map: np.ndarray | None   # (nx, ny)
+    quarantine: QuarantineLog = field(default_factory=QuarantineLog)
+    incomplete: bool = False
 
     @property
     def n_points(self) -> int:
         return self.values_x.shape[0] * self.values_y.shape[0]
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantine)
+
+    @property
+    def valid_mask(self) -> np.ndarray:
+        """Grid cells with a successful simulation, shape (nx, ny)."""
+        return self.simulation.raw.success_mask.reshape(
+            self.values_x.shape[0], self.values_y.shape[0])
 
     def render_map(self, levels: str = " .:-=+*#%@") -> str:
         """ASCII heat map of the metric (y decreasing downward).
@@ -207,23 +289,29 @@ def run_psa_1d(model: ReactionBasedModel, target: SweepTarget,
                engine: str = "batched",
                options: SolverOptions = DEFAULT_OPTIONS,
                lint: bool = False,
+               campaign: CampaignConfig | None = None,
                **engine_kwargs) -> PSA1DResult:
     """Sweep one parameter over a grid of ``n_points`` values.
 
     With ``lint=True`` the model is statically checked first and a
     :class:`~repro.errors.LintError` aborts the sweep before any
-    simulation runs (see :func:`repro.lint.lint_gate`).
+    simulation runs (see :func:`repro.lint.lint_gate`). With
+    ``campaign=`` the sweep runs chunked through
+    :func:`repro.resilience.run_campaign` (checkpoint/resume and
+    deadlines); a ``retry_policy=`` engine kwarg adds per-row retry
+    escalation on the batched engine either way.
     """
     if lint:
         from ..lint import lint_gate
         lint_gate(model)
     values = target.range.grid(n_points)
     batch = build_sweep_batch(model, [target], values[:, None])
-    result = simulate(model, t_span, t_eval, batch, engine, options,
-                      **engine_kwargs)
-    metric_values = (metric(result.t, result.y)
-                     if metric is not None else None)
-    return PSA1DResult(target, values, result, metric_values)
+    result, quarantine, incomplete = resilient_simulate(
+        model, t_span, t_eval, batch, engine, options, campaign,
+        engine_kwargs)
+    metric_values = _masked_metric(metric, result)
+    return PSA1DResult(target, values, result, metric_values,
+                       quarantine, incomplete)
 
 
 def run_psa_2d(model: ReactionBasedModel, target_x: SweepTarget,
@@ -234,10 +322,12 @@ def run_psa_2d(model: ReactionBasedModel, target_x: SweepTarget,
                engine: str = "batched",
                options: SolverOptions = DEFAULT_OPTIONS,
                lint: bool = False,
+               campaign: CampaignConfig | None = None,
                **engine_kwargs) -> PSA2DResult:
     """Sweep two parameters over an (n_x, n_y) grid; row-major batch.
 
-    ``lint=True`` statically checks the model first, as in
+    ``lint=True`` statically checks the model first and ``campaign=``
+    runs the grid as a resilient chunked campaign, as in
     :func:`run_psa_1d`.
     """
     if lint:
@@ -248,10 +338,11 @@ def run_psa_2d(model: ReactionBasedModel, target_x: SweepTarget,
     mesh_x, mesh_y = np.meshgrid(values_x, values_y, indexing="ij")
     pairs = np.stack([mesh_x.ravel(), mesh_y.ravel()], axis=1)
     batch = build_sweep_batch(model, [target_x, target_y], pairs)
-    result = simulate(model, t_span, t_eval, batch, engine, options,
-                      **engine_kwargs)
-    metric_map = None
-    if metric is not None:
-        metric_map = metric(result.t, result.y).reshape(n_x, n_y)
+    result, quarantine, incomplete = resilient_simulate(
+        model, t_span, t_eval, batch, engine, options, campaign,
+        engine_kwargs)
+    metric_map = _masked_metric(metric, result)
+    if metric_map is not None:
+        metric_map = metric_map.reshape(n_x, n_y)
     return PSA2DResult(target_x, target_y, values_x, values_y, result,
-                       metric_map)
+                       metric_map, quarantine, incomplete)

@@ -15,15 +15,17 @@ rates recommended in the variance-based SA literature.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..errors import AnalysisError
 from ..model import ReactionBasedModel
+from ..resilience.campaign import CampaignConfig
+from ..resilience.quarantine import QuarantineLog
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
-from .psa import SweepTarget, build_sweep_batch
+from .psa import SweepTarget, build_sweep_batch, resilient_simulate
 from .sampling import ParameterRange, saltelli_sample
 from .simulate import SimulationResult, simulate
 
@@ -50,6 +52,17 @@ class SobolResult:
     #: Pairwise interaction indices S2[i, j] (NaN diagonal); only
     #: filled when the analysis ran with second_order=True.
     second_order: np.ndarray | None = None
+    #: Design points whose simulation failed (or produced a non-finite
+    #: output) and were therefore excluded from the estimators.
+    n_failed_simulations: int = 0
+    #: Base samples whose *entire* Saltelli cross-block survived; the
+    #: estimators are computed over exactly these.
+    n_surviving_base_samples: int = 0
+    #: Rows that exhausted the engine's retry ladder (empty without a
+    #: retry policy).
+    quarantine: QuarantineLog = field(default_factory=QuarantineLog)
+    #: True when a campaign deadline truncated the design.
+    incomplete: bool = False
 
     def ranking(self) -> list[tuple[str, float]]:
         """Targets ranked by total-order index, most influential first."""
@@ -96,6 +109,8 @@ def run_sobol_sa(model: ReactionBasedModel,
                  confidence_level: float = 0.95,
                  second_order: bool = False,
                  lint: bool = False,
+                 campaign: CampaignConfig | None = None,
+                 min_surviving_fraction: float = 0.5,
                  **engine_kwargs) -> SobolResult:
     """Run the full Saltelli-sample / simulate / estimate pipeline.
 
@@ -105,6 +120,16 @@ def run_sobol_sa(model: ReactionBasedModel,
     ``output_species``' final concentration from its nominal-reference
     final value. With ``lint=True`` the model is statically checked
     first (see :func:`repro.lint.lint_gate`).
+
+    Failed design points (quarantined rows, non-finite outputs,
+    never-started campaign rows) do not poison the indices: a base
+    sample is kept only when *all* of its Saltelli cross-block rows
+    succeeded, and the estimators are re-weighted over the surviving
+    base samples. If fewer than ``min_surviving_fraction`` of the base
+    samples survive the estimate is considered meaningless and an
+    :class:`~repro.errors.AnalysisError` is raised. ``campaign=`` runs
+    the design as a resilient chunked campaign (see
+    :func:`repro.resilience.run_campaign`).
     """
     if lint:
         from ..lint import lint_gate
@@ -116,8 +141,12 @@ def run_sobol_sa(model: ReactionBasedModel,
     if output is None:
         if output_species is None:
             raise AnalysisError("pass either output= or output_species=")
+        # Fault injection addresses rows of the *design* batch; the
+        # single-row nominal reference must never be poisoned by it.
+        reference_kwargs = {k: v for k, v in engine_kwargs.items()
+                            if k != "fault_plan"}
         reference = simulate(model, t_span, t_eval, None, engine, options,
-                             **engine_kwargs)
+                             **reference_kwargs)
         ref_value = float(
             reference.y[0, -1, model.species.index_of(output_species)])
         output = deviation_from_reference(model, output_species, ref_value)
@@ -125,16 +154,37 @@ def run_sobol_sa(model: ReactionBasedModel,
     design = saltelli_sample([t.range for t in targets], base_samples,
                              seed, second_order=second_order)
     batch = build_sweep_batch(model, targets, design)
-    result = simulate(model, t_span, t_eval, batch, engine, options,
-                      **engine_kwargs)
+    result, quarantine, incomplete = resilient_simulate(
+        model, t_span, t_eval, batch, engine, options, campaign,
+        engine_kwargs)
     outputs = np.asarray(output(result.t, result.y), dtype=np.float64)
     if outputs.shape[0] != design.shape[0]:
         raise AnalysisError(
             f"output function returned {outputs.shape[0]} values for "
             f"{design.shape[0]} design points")
 
+    valid = result.raw.success_mask & np.isfinite(outputs)
+    surviving = _surviving_base_samples(valid, base_samples, dimension,
+                                        second_order)
+    n_failed = int(np.count_nonzero(~valid))
+    n_surviving = int(np.count_nonzero(surviving))
+    if n_surviving < max(2, int(np.ceil(min_surviving_fraction
+                                        * base_samples))):
+        raise AnalysisError(
+            f"only {n_surviving}/{base_samples} Saltelli base samples "
+            f"survived ({n_failed} failed design point(s), "
+            f"{len(quarantine)} quarantined); indices over so few "
+            "survivors are meaningless — widen tolerances, add a retry "
+            "policy, or shrink the sampled ranges")
+
     a_block, ab_blocks, ba_blocks, b_block = _split_blocks(
         outputs, base_samples, dimension, second_order)
+    keep = np.flatnonzero(surviving)
+    a_block = a_block[keep]
+    ab_blocks = [ab[keep] for ab in ab_blocks]
+    ba_blocks = [ba[keep] for ba in ba_blocks]
+    b_block = b_block[keep]
+
     first, total = _estimate_indices(a_block, ab_blocks, b_block)
     first_ci, total_ci = _bootstrap_intervals(
         a_block, ab_blocks, b_block, bootstrap, confidence_level, seed)
@@ -145,7 +195,10 @@ def run_sobol_sa(model: ReactionBasedModel,
 
     return SobolResult([t.label for t in targets], first, first_ci, total,
                        total_ci, base_samples, design.shape[0], result,
-                       confidence_level, interactions)
+                       confidence_level, interactions,
+                       n_failed_simulations=n_failed,
+                       n_surviving_base_samples=n_surviving,
+                       quarantine=quarantine, incomplete=incomplete)
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +214,20 @@ def _resolve_targets(model, targets, species, ranges):
             f"{len(species)} species but {len(ranges)} ranges")
     return [SweepTarget.initial_concentration(model, name, rng)
             for name, rng in zip(species, ranges)]
+
+
+def _surviving_base_samples(valid: np.ndarray, base: int, dimension: int,
+                            second_order: bool) -> np.ndarray:
+    """Base samples whose whole Saltelli cross-block succeeded.
+
+    The design is block-contiguous — rows ``[A | AB_1..AB_d | (BA) |
+    B]`` each of size ``base`` — so reshaping to (blocks, base) aligns
+    every block's copy of base sample ``i`` in column ``i``. Every
+    estimator contrasts rows *across* blocks at fixed ``i``, so one
+    failure anywhere in the column invalidates the whole column.
+    """
+    block_count = (2 * dimension + 2) if second_order else (dimension + 2)
+    return valid.reshape(block_count, base).all(axis=0)
 
 
 def _split_blocks(outputs: np.ndarray, base: int, dimension: int,

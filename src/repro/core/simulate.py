@@ -36,7 +36,8 @@ from ..gpu.batch_result import (BROKEN, EXHAUSTED, METHOD_AUTOSWITCH,
                                 METHOD_BDF, METHOD_DOPRI5, METHOD_LSODA,
                                 METHOD_RADAU5, METHOD_VODE, OK,
                                 BatchSolveResult, allocate_result)
-from ..gpu.engine import BatchSimulator
+from ..gpu.engine import BatchSimulator, EngineReport
+from ..resilience.quarantine import QuarantineLog
 from ..model import (ODESystem, Parameterization, ParameterizationBatch,
                      ReactionBasedModel)
 from ..solvers import (AutoSwitchSolver, BDF, ExplicitRungeKutta, Radau5,
@@ -58,13 +59,20 @@ _SEQUENTIAL_METHOD_CODES = {
 
 @dataclass
 class SimulationResult:
-    """Batch trajectories with model-aware accessors."""
+    """Batch trajectories with model-aware accessors.
+
+    ``engine_report`` is populated by the batched engine only; it
+    carries routing decisions, kernel counters and — when the engine
+    ran with a retry policy — the quarantine log of rows that exhausted
+    the retry ladder.
+    """
 
     model: ReactionBasedModel
     raw: BatchSolveResult
     engine: str
     elapsed_seconds: float
     species_names: list[str] = field(default_factory=list)
+    engine_report: EngineReport | None = None
 
     def __post_init__(self) -> None:
         if not self.species_names:
@@ -106,6 +114,17 @@ class SimulationResult:
 
     def statuses(self) -> list[str]:
         return self.raw.statuses()
+
+    @property
+    def quarantine(self) -> QuarantineLog:
+        """Rows quarantined by the engine's retry ladder (may be empty)."""
+        if self.engine_report is not None:
+            return self.engine_report.quarantine
+        return QuarantineLog()
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantine)
 
 
 class SequentialSimulator:
@@ -202,9 +221,11 @@ def simulate(model: ReactionBasedModel, t_span: tuple[float, float],
              options: SolverOptions = DEFAULT_OPTIONS,
              **engine_kwargs) -> SimulationResult:
     """Simulate a model batch on the selected engine (see module docs)."""
+    report = None
     if engine == "batched":
         simulator = BatchSimulator(model, options, **engine_kwargs)
         raw = simulator.simulate(t_span, t_eval, parameters)
+        report = simulator.last_report
     elif engine in SEQUENTIAL_ENGINES:
         simulator = SequentialSimulator(model, options, engine)
         raw = simulator.simulate(t_span, t_eval, parameters, **engine_kwargs)
@@ -214,7 +235,8 @@ def simulate(model: ReactionBasedModel, t_span: tuple[float, float],
     else:
         raise AnalysisError(f"unknown engine {engine!r}; expected one "
                             f"of {ENGINES}")
-    return SimulationResult(model, raw, engine, raw.elapsed_seconds)
+    return SimulationResult(model, raw, engine, raw.elapsed_seconds,
+                            engine_report=report)
 
 
 def _simulate_stochastic(model, t_span, t_eval, parameters, engine,

@@ -42,3 +42,26 @@ class FormatError(ReproError):
 class LintError(ReproError):
     """Static analysis failed or found findings above the configured
     severity threshold (see :mod:`repro.lint`)."""
+
+
+class ResilienceError(ReproError):
+    """A resilience component (retry policy, fault plan, campaign
+    checkpoint) is misconfigured or a journal is inconsistent with the
+    campaign it claims to belong to (see :mod:`repro.resilience`)."""
+
+
+class CampaignInterrupted(ResilienceError):
+    """A chunked campaign stopped before all launches completed.
+
+    Raised on an injected crash (:class:`repro.resilience.FaultPlan`)
+    or a ``KeyboardInterrupt`` during campaign execution. Launches that
+    finished before the interruption are already journaled, so re-running
+    the same campaign with the same checkpoint path resumes instead of
+    recomputing them.
+    """
+
+    def __init__(self, message: str, checkpoint_path=None,
+                 completed_chunks: int = 0) -> None:
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+        self.completed_chunks = completed_chunks

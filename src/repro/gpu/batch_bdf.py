@@ -137,7 +137,7 @@ class BatchBDF:
                 steps[row] = target[local]
                 steps_at_order[row] = 0
             underflow = (steps[active] <= np.abs(t_act) * 1e-15) | \
-                (steps[active] < 1e-300)
+                (steps[active] < 1e-300) | ~np.isfinite(steps[active])
             if np.any(underflow):
                 status[active[underflow]] = BROKEN
                 active = active[~underflow]

@@ -132,10 +132,14 @@ class BatchDopri5:
                 1.0, np.abs(next_save))
             h_act = np.where(hit, next_save - t_act, h_act)
 
-            dead = active[h_act <= np.abs(t_act) * 1e-15]
+            # Non-finite steps (a NaN RHS poisoned the step heuristic or
+            # controller) can never recover — break those rows at once.
+            broken_step = ~np.isfinite(h_act) | \
+                (h_act <= np.abs(t_act) * 1e-15)
+            dead = active[broken_step]
             if dead.size:
                 status[dead] = BROKEN
-                keep = h_act > np.abs(t_act) * 1e-15
+                keep = ~broken_step
                 active, t_act, h_act, hit = (active[keep], t_act[keep],
                                              h_act[keep], hit[keep])
                 if active.size == 0:

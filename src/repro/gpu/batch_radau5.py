@@ -112,7 +112,8 @@ class BatchRadau5:
             hit = t_act + h_act >= next_save - _EDGE * np.maximum(
                 1.0, np.abs(next_save))
             h_act = np.where(hit, next_save - t_act, h_act)
-            underflow = (h_act <= np.abs(t_act) * 1e-15) | (h_act < 1e-300)
+            underflow = (h_act <= np.abs(t_act) * 1e-15) | \
+                (h_act < 1e-300) | ~np.isfinite(h_act)
             if np.any(underflow):
                 status[active[underflow]] = BROKEN
                 keep = ~underflow

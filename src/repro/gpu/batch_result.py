@@ -46,7 +46,9 @@ class BatchSolveResult:
         Trajectories, shape (B, T, N). Rows of failed simulations are
         valid up to their recorded save count and NaN afterwards.
     status_codes:
-        Shape (B,), values in {OK, EXHAUSTED, BROKEN}.
+        Shape (B,), values in {OK, EXHAUSTED, BROKEN, STIFF} (STIFF
+        only appears transiently: the router re-executes stiff-flagged
+        rows with Radau IIA before returning).
     method_codes:
         Shape (B,), which integrator produced each row.
     n_steps, n_accepted, n_rejected:
@@ -80,6 +82,11 @@ class BatchSolveResult:
         return self.status_codes == OK
 
     @property
+    def failed_mask(self) -> np.ndarray:
+        """Rows that did not finish (any status other than OK)."""
+        return self.status_codes != OK
+
+    @property
     def all_success(self) -> bool:
         return bool(np.all(self.status_codes == OK))
 
@@ -101,9 +108,15 @@ class BatchSolveResult:
                    rows: np.ndarray) -> None:
         """Overwrite the given rows with another result's rows.
 
-        Used by the router to splice per-method sub-batches back into
-        the full batch. ``other`` must hold exactly ``rows.size``
-        simulations on the same time grid.
+        Used by the router and the retry ladder to splice per-method
+        sub-batches back into the full batch. ``other`` must hold
+        exactly ``rows.size`` simulations on the same time grid.
+
+        Counters are only merged when the two results do *not* already
+        share one substrate account: the engine threads a single
+        :class:`~repro.gpu.batched_ode.KernelCounters` through every
+        launch chunk and router subset, and merging an account into
+        itself would double-count all substrate work.
         """
         self.y[rows] = other.y
         self.status_codes[rows] = other.status_codes
@@ -111,7 +124,21 @@ class BatchSolveResult:
         self.n_steps[rows] = other.n_steps
         self.n_accepted[rows] = other.n_accepted
         self.n_rejected[rows] = other.n_rejected
-        self.counters.merge(other.counters)
+        if other.counters is not self.counters:
+            self.counters.merge(other.counters)
+
+    def take_rows(self, rows: np.ndarray) -> "BatchSolveResult":
+        """Copy of a row subset (fresh, empty counter account)."""
+        return BatchSolveResult(
+            t=self.t.copy(),
+            y=self.y[rows].copy(),
+            status_codes=self.status_codes[rows].copy(),
+            method_codes=self.method_codes[rows].copy(),
+            n_steps=self.n_steps[rows].copy(),
+            n_accepted=self.n_accepted[rows].copy(),
+            n_rejected=self.n_rejected[rows].copy(),
+            elapsed_seconds=self.elapsed_seconds,
+        )
 
 
 def allocate_result(t_eval: np.ndarray, batch_size: int, n_species: int,

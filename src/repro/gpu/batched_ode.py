@@ -17,12 +17,16 @@ the parameter matrix resident in GPU global memory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import SolverError
 from ..model import ODESystem, ParameterizationBatch
 from ..model.odesystem import POLICIES
+
+if TYPE_CHECKING:  # layering: resilience.faults is a leaf data module
+    from ..resilience.faults import FaultPlan
 
 
 @dataclass
@@ -53,17 +57,35 @@ class KernelCounters:
 
 @dataclass
 class BatchedODEProblem:
-    """An ODE system bound to a parameter batch and an eval policy."""
+    """An ODE system bound to a parameter batch and an eval policy.
+
+    ``row_ids`` gives every row a stable *global* identity (its index
+    in the full campaign batch) that survives router/retry subsetting;
+    ``fault_plan`` is the deterministic fault-injection hook of the
+    resilience layer — rows listed in its ``nan_rows`` get NaN
+    derivatives on every RHS evaluation, keyed by global identity so
+    the fault follows the row through subsets and launch chunks.
+    """
 
     system: ODESystem
     parameters: ParameterizationBatch
     policy: str = "hybrid"
     counters: KernelCounters = field(default_factory=KernelCounters)
+    fault_plan: "FaultPlan | None" = None
+    row_ids: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise SolverError(f"unknown policy {self.policy!r}; "
                               f"expected one of {POLICIES}")
+        if self.row_ids is None:
+            self.row_ids = np.arange(self.parameters.size, dtype=np.int64)
+        else:
+            self.row_ids = np.asarray(self.row_ids, dtype=np.int64)
+            if self.row_ids.shape != (self.parameters.size,):
+                raise SolverError(
+                    f"row_ids shape {self.row_ids.shape} does not match "
+                    f"batch size {self.parameters.size}")
         if self.parameters.n_reactions != self.system.n_reactions:
             raise SolverError(
                 f"parameter batch has {self.parameters.n_reactions} rate "
@@ -95,7 +117,12 @@ class BatchedODEProblem:
         constants = self.parameters.rate_constants[rows]
         self.counters.rhs_kernel_launches += 1
         self.counters.rhs_simulation_evaluations += rows.shape[0]
-        return self.system.rhs(states, constants, self.policy)
+        derivatives = self.system.rhs(states, constants, self.policy)
+        if self.fault_plan is not None and self.fault_plan.injects_nan:
+            faulted = self.fault_plan.nan_mask(self.row_ids[rows])
+            if faulted.any():
+                derivatives[faulted] = np.nan
+        return derivatives
 
     def jacobian(self, times: np.ndarray, states: np.ndarray,
                  rows: np.ndarray) -> np.ndarray:
@@ -111,7 +138,9 @@ class BatchedODEProblem:
 
         The kernel counters are *shared* with the parent problem so
         router-split sub-batches keep accumulating into one workload
-        account.
+        account; global row identities and the fault plan travel with
+        the subset.
         """
         return BatchedODEProblem(self.system, self.parameters.subset(rows),
-                                 self.policy, self.counters)
+                                 self.policy, self.counters,
+                                 self.fault_plan, self.row_ids[rows])

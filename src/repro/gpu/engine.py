@@ -16,13 +16,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import SolverError
+from ..errors import CampaignInterrupted, SolverError
 from ..model import (ODESystem, Parameterization, ParameterizationBatch,
                      ReactionBasedModel)
+from ..resilience.faults import FaultPlan
+from ..resilience.policy import RetryPolicy
+from ..resilience.quarantine import (FailureRecord, QuarantineLog,
+                                     RetryAttempt)
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
 from .batch_dopri5 import BatchDopri5
 from .batch_radau5 import BatchRadau5
-from .batch_result import BatchSolveResult
+from .batch_result import (BROKEN, OK, STATUS_NAMES, BatchSolveResult)
 from .batched_ode import BatchedODEProblem, KernelCounters
 from .device import TITAN_X, VirtualDevice
 from .perfmodel import DeviceTimeEstimate, estimate_device_time
@@ -33,13 +37,23 @@ METHODS = ("auto", "dopri5", "radau5", "bdf")
 
 @dataclass
 class EngineReport:
-    """Execution metadata of one :meth:`BatchSimulator.simulate` call."""
+    """Execution metadata of one :meth:`BatchSimulator.simulate` call.
+
+    ``quarantine`` holds the rows that exhausted the retry ladder (only
+    populated when the simulator runs with a
+    :class:`~repro.resilience.RetryPolicy`); ``n_retried_rows`` counts
+    row-attempts the ladder executed and ``n_recovered_rows`` how many
+    failed rows a retry rung rescued.
+    """
 
     elapsed_seconds: float
     n_launches: int
     routing: list[RoutingDecision] = field(default_factory=list)
     counters: KernelCounters = field(default_factory=KernelCounters)
     modeled_device_time: DeviceTimeEstimate | None = None
+    quarantine: QuarantineLog = field(default_factory=QuarantineLog)
+    n_retried_rows: int = 0
+    n_recovered_rows: int = 0
 
 
 class BatchSimulator:
@@ -65,13 +79,25 @@ class BatchSimulator:
         ~2048 concurrent child grids saturate the device.
     device:
         Virtual device used for the modeled-time estimate in the report.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy`: after each
+        launch's first pass, its failed-row subset is re-executed up the
+        solver ladder and recovered rows are spliced back; rows that
+        exhaust the ladder are quarantined on the report instead of
+        silently NaN-ing downstream analyses. ``None`` (the default)
+        keeps the legacy single-pass behavior.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` for deterministic
+        fault injection (tests and resilience drills only).
     """
 
     def __init__(self, model: ReactionBasedModel,
                  options: SolverOptions = DEFAULT_OPTIONS,
                  policy: str = "hybrid", method: str = "auto",
                  max_batch_per_launch: int = 512,
-                 device: VirtualDevice = TITAN_X) -> None:
+                 device: VirtualDevice = TITAN_X,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_plan: FaultPlan | None = None) -> None:
         if method not in METHODS:
             raise SolverError(f"unknown method {method!r}; "
                               f"expected one of {METHODS}")
@@ -84,6 +110,8 @@ class BatchSimulator:
         self.method = method
         self.max_batch_per_launch = max_batch_per_launch
         self.device = device
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
         self.last_report: EngineReport | None = None
 
     # ------------------------------------------------------------------
@@ -110,11 +138,25 @@ class BatchSimulator:
         chunks: list[BatchSolveResult] = []
         started = time.perf_counter()
         for start in range(0, batch.size, self.max_batch_per_launch):
+            if self.fault_plan is not None and \
+                    self.fault_plan.crashes_before_launch(report.n_launches):
+                raise CampaignInterrupted(
+                    f"injected crash before launch {report.n_launches}",
+                    completed_chunks=report.n_launches)
             stop = min(start + self.max_batch_per_launch, batch.size)
             sub_batch = batch.subset(np.arange(start, stop))
             problem = BatchedODEProblem(self.system, sub_batch, self.policy,
-                                        counters)
-            chunks.append(self._run_launch(problem, t_span, t_eval, report))
+                                        counters, self.fault_plan,
+                                        np.arange(start, stop))
+            chunk = self._run_launch(problem, t_span, t_eval, report)
+            if self.fault_plan is not None and \
+                    self.fault_plan.forces_launch_failure(report.n_launches):
+                chunk.status_codes[:] = BROKEN
+                chunk.y[:] = np.nan
+            if self.retry_policy is not None:
+                self._retry_failed_rows(problem, chunk, t_span, t_eval,
+                                        report)
+            chunks.append(chunk)
             report.n_launches += 1
         report.elapsed_seconds = time.perf_counter() - started
         report.modeled_device_time = estimate_device_time(
@@ -155,6 +197,69 @@ class BatchSimulator:
             from .batch_bdf import BatchBDF
             return BatchBDF(self.options).solve(problem, t_span, t_eval)
         return BatchRadau5(self.options).solve(problem, t_span, t_eval)
+
+    # ------------------------------------------------------------------
+    # retry escalation + quarantine (the resilience layer)
+
+    @staticmethod
+    def _retry_solver(method: str, options: SolverOptions):
+        if method == "dopri5":
+            return BatchDopri5(options)
+        if method == "radau5":
+            return BatchRadau5(options)
+        from .batch_bdf import BatchBDF
+        return BatchBDF(options)
+
+    def _retry_failed_rows(self, problem: BatchedODEProblem,
+                           chunk: BatchSolveResult,
+                           t_span: tuple[float, float], t_eval: np.ndarray,
+                           report: EngineReport) -> None:
+        """Climb the retry ladder for the launch's failed-row subset.
+
+        Recovered rows are spliced back into ``chunk`` via
+        :meth:`~repro.gpu.batch_result.BatchSolveResult.merge_rows`;
+        rows that survive every rung become
+        :class:`~repro.resilience.FailureRecord` entries (full
+        per-attempt history) in ``report.quarantine``.
+        """
+        failed = np.flatnonzero(chunk.failed_mask)
+        if failed.size == 0:
+            return
+        histories = {
+            int(row): [RetryAttempt(
+                "first-pass",
+                chunk.methods()[row],
+                STATUS_NAMES[int(chunk.status_codes[row])],
+                int(chunk.n_steps[row]),
+                self.options.rtol, self.options.atol,
+                self.options.max_steps)]
+            for row in failed}
+        for rung, stage in enumerate(self.retry_policy.planned_stages()):
+            if failed.size == 0:
+                break
+            options = stage.derive_options(self.options)
+            solver = self._retry_solver(stage.method, options)
+            retried = solver.solve(problem.subset(failed), t_span, t_eval)
+            report.n_retried_rows += int(failed.size)
+            for local, row in enumerate(failed):
+                histories[int(row)].append(RetryAttempt(
+                    f"retry-{rung + 1}", stage.method,
+                    STATUS_NAMES[int(retried.status_codes[local])],
+                    int(retried.n_steps[local]),
+                    options.rtol, options.atol, options.max_steps))
+            recovered = np.flatnonzero(retried.status_codes == OK)
+            if recovered.size:
+                chunk.merge_rows(retried.take_rows(recovered),
+                                 failed[recovered])
+                report.n_recovered_rows += int(recovered.size)
+            failed = failed[retried.status_codes != OK]
+        for row in failed:
+            global_row = int(problem.row_ids[row])
+            report.quarantine.add(FailureRecord(
+                global_row,
+                problem.parameters.rate_constants[row].copy(),
+                problem.parameters.initial_states[row].copy(),
+                histories[int(row)]))
 
     @staticmethod
     def _merge(chunks: list[BatchSolveResult],

@@ -1,7 +1,9 @@
-"""Model I/O: BioSimWare folder format, SBML subset, converters."""
+"""Model I/O: BioSimWare folder format, SBML subset, converters,
+campaign checkpoint journals."""
 
 from .biosimware import (REQUIRED_FILES, read_batch, read_model,
                          read_t_vector, write_model)
+from .checkpoint import CampaignCheckpoint
 from .convert import biosimware_to_sbml, sbml_to_biosimware
 from .results import load_result, save_result
 from .sbml import read_sbml, write_sbml
@@ -9,6 +11,7 @@ from .sbml import read_sbml, write_sbml
 __all__ = [
     "REQUIRED_FILES", "read_batch", "read_model", "read_t_vector",
     "write_model",
+    "CampaignCheckpoint",
     "biosimware_to_sbml", "sbml_to_biosimware",
     "load_result", "save_result",
     "read_sbml", "write_sbml",

@@ -1,0 +1,259 @@
+"""Chunked campaign execution with checkpoint/resume and deadlines.
+
+:func:`run_campaign` is the resilient counterpart of one big
+:func:`repro.core.simulate.simulate` call: the parameter batch is split
+into fixed-size chunks, every completed chunk is journaled through
+:class:`~repro.io.checkpoint.CampaignCheckpoint`, and a re-run of the
+same campaign (same model, batch shape, grid and chunking) skips the
+journaled chunks — so a crash or ``KeyboardInterrupt`` costs at most
+one chunk of work. A wall-clock ``deadline_seconds`` degrades
+gracefully: execution stops between chunks and the partial result is
+returned with ``incomplete=True`` instead of raising.
+
+PSA-1D/2D and Sobol SA accept a :class:`CampaignConfig` directly
+(``campaign=`` keyword); parameter estimation journals its multi-start
+optima through the same checkpoint payloads
+(:func:`repro.core.pe.estimate_multi_start`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CampaignInterrupted, ResilienceError
+from ..gpu.batch_result import (METHOD_DOPRI5, RUNNING, BatchSolveResult,
+                                allocate_result)
+from .faults import FaultPlan
+from .policy import RetryPolicy
+from .quarantine import QuarantineLog
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Execution controls of one resilient campaign.
+
+    Attributes
+    ----------
+    chunk_size:
+        Simulations per journaled chunk — the resume granularity (and
+        the most work a crash can lose).
+    checkpoint_path:
+        JSON journal location; ``None`` disables journaling (chunked
+        execution and deadlines still apply).
+    deadline_seconds:
+        Wall-clock budget for the whole campaign; once exceeded no
+        further chunk is started and the partial result is returned
+        with ``incomplete=True``.
+    """
+
+    chunk_size: int = 256
+    checkpoint_path: str | Path | None = None
+    deadline_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ResilienceError(
+                f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.deadline_seconds is not None \
+                and not (self.deadline_seconds > 0.0):
+            raise ResilienceError(
+                f"deadline_seconds must be > 0, got "
+                f"{self.deadline_seconds}")
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of :func:`run_campaign`.
+
+    ``result`` always covers the *full* batch: rows of chunks that
+    never ran (deadline hit) keep NaN trajectories and the
+    ``running`` status, exposed as :attr:`pending_mask`.
+    """
+
+    result: BatchSolveResult
+    incomplete: bool
+    deadline_hit: bool
+    completed_chunks: int
+    total_chunks: int
+    resumed_chunks: int
+    quarantine: QuarantineLog = field(default_factory=QuarantineLog)
+    checkpoint_path: Path | None = None
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantine)
+
+    @property
+    def pending_mask(self) -> np.ndarray:
+        """Rows whose chunk never executed (shape (B,))."""
+        return self.result.status_codes == RUNNING
+
+    def summary(self) -> str:
+        state = "incomplete" if self.incomplete else "complete"
+        return (f"campaign {state}: {self.completed_chunks}/"
+                f"{self.total_chunks} chunks "
+                f"({self.resumed_chunks} resumed), "
+                f"{self.n_quarantined} quarantined row(s)"
+                + (", deadline hit" if self.deadline_hit else ""))
+
+
+def campaign_fingerprint(model, batch_size: int, chunk_size: int,
+                         t_span: tuple[float, float],
+                         t_eval: np.ndarray, engine: str) -> dict:
+    """Identity of a campaign, compared when re-opening a journal."""
+    grid = hashlib.sha256(
+        np.ascontiguousarray(t_eval, dtype=np.float64).tobytes()
+    ).hexdigest()[:16]
+    return {"kind": "campaign", "model": model.name,
+            "n_species": int(model.n_species),
+            "n_reactions": int(model.n_reactions),
+            "batch_size": int(batch_size), "chunk_size": int(chunk_size),
+            "t_span": [float(t_span[0]), float(t_span[1])],
+            "t_eval_sha": grid, "engine": engine}
+
+
+def run_campaign(model, t_span: tuple[float, float],
+                 t_eval: np.ndarray | None = None,
+                 parameters=None, engine: str = "batched",
+                 options=None, config: CampaignConfig | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 **engine_kwargs) -> CampaignResult:
+    """Run a batch as a resilient, journaled, chunked campaign.
+
+    ``retry_policy`` and ``fault_plan`` are forwarded to the batched
+    engine (they are ignored by the sequential/stochastic engines,
+    whose per-row statuses still feed the quarantine-free masking
+    downstream). Raises
+    :class:`~repro.errors.CampaignInterrupted` on an injected crash or
+    ``KeyboardInterrupt``; completed chunks are journaled first, so the
+    identical call resumes.
+    """
+    from ..core.simulate import _normalize
+    from ..solvers.base import DEFAULT_OPTIONS
+
+    options = DEFAULT_OPTIONS if options is None else options
+    config = CampaignConfig() if config is None else config
+    batch = _normalize(model, parameters)
+    if t_eval is None:
+        t_eval = np.array([float(t_span[0]), float(t_span[1])])
+    t_eval = np.asarray(t_eval, dtype=np.float64)
+
+    total_chunks = -(-batch.size // config.chunk_size)
+    checkpoint = None
+    if config.checkpoint_path is not None:
+        from ..io.checkpoint import CampaignCheckpoint
+        checkpoint = CampaignCheckpoint.open(
+            config.checkpoint_path,
+            campaign_fingerprint(model, batch.size, config.chunk_size,
+                                 t_span, t_eval, engine))
+
+    merged = allocate_result(t_eval, batch.size, model.n_species,
+                             METHOD_DOPRI5)
+    quarantine = QuarantineLog()
+    completed = resumed = executed = 0
+    deadline_hit = False
+    started = time.perf_counter()
+
+    for index in range(total_chunks):
+        start = index * config.chunk_size
+        stop = min(start + config.chunk_size, batch.size)
+        rows = np.arange(start, stop)
+
+        if checkpoint is not None and checkpoint.has_chunk(index):
+            chunk_result, quarantine_dicts = checkpoint.load_chunk(index)
+            _check_chunk_shape(chunk_result, rows.size, t_eval, index)
+            quarantine.merge(QuarantineLog.from_dicts(quarantine_dicts))
+            merged.merge_rows(chunk_result, rows)
+            completed += 1
+            resumed += 1
+            continue
+
+        if _deadline_exceeded(config, fault_plan, started, executed):
+            deadline_hit = True
+            break
+        if fault_plan is not None and \
+                fault_plan.crash_after_launches is not None and \
+                executed >= fault_plan.crash_after_launches:
+            raise CampaignInterrupted(
+                f"injected crash before campaign chunk {index}",
+                checkpoint_path=(None if checkpoint is None
+                                 else checkpoint.path),
+                completed_chunks=completed)
+
+        chunk_plan = (None if fault_plan is None
+                      else fault_plan.for_chunk(index, start, stop))
+        try:
+            chunk_result, chunk_quarantine = _run_chunk(
+                model, batch.subset(rows), t_span, t_eval, engine, options,
+                retry_policy, chunk_plan, engine_kwargs)
+        except KeyboardInterrupt:
+            raise CampaignInterrupted(
+                f"campaign interrupted during chunk {index}; "
+                f"{completed} chunk(s) already journaled",
+                checkpoint_path=(None if checkpoint is None
+                                 else checkpoint.path),
+                completed_chunks=completed) from None
+        quarantine.merge(chunk_quarantine, row_offset=start)
+        if checkpoint is not None:
+            shifted = QuarantineLog()
+            shifted.merge(chunk_quarantine, row_offset=start)
+            checkpoint.save_chunk(index, chunk_result, shifted.to_dicts())
+        merged.merge_rows(chunk_result, rows)
+        completed += 1
+        executed += 1
+
+    # Unstarted rows stay NaN/'running': nothing was integrated, so they
+    # must not masquerade as failures of the dynamics.
+    incomplete = completed < total_chunks
+    merged.elapsed_seconds = time.perf_counter() - started
+    return CampaignResult(merged, incomplete, deadline_hit, completed,
+                          total_chunks, resumed, quarantine,
+                          None if checkpoint is None else checkpoint.path)
+
+
+# ----------------------------------------------------------------------
+
+
+def _deadline_exceeded(config: CampaignConfig,
+                       fault_plan: FaultPlan | None, started: float,
+                       executed: int) -> bool:
+    if config.deadline_seconds is not None and \
+            time.perf_counter() - started > config.deadline_seconds:
+        return True
+    return (fault_plan is not None
+            and fault_plan.deadline_after_chunks is not None
+            and executed >= fault_plan.deadline_after_chunks)
+
+
+def _run_chunk(model, sub_batch, t_span, t_eval, engine, options,
+               retry_policy, chunk_plan, engine_kwargs
+               ) -> tuple[BatchSolveResult, QuarantineLog]:
+    from ..core.simulate import simulate
+
+    kwargs = dict(engine_kwargs)
+    if engine == "batched":
+        kwargs["retry_policy"] = retry_policy
+        kwargs["fault_plan"] = chunk_plan
+    result = simulate(model, t_span, t_eval, sub_batch, engine, options,
+                      **kwargs)
+    report = result.engine_report
+    chunk_quarantine = (report.quarantine if report is not None
+                        else QuarantineLog())
+    return result.raw, chunk_quarantine
+
+
+def _check_chunk_shape(chunk_result: BatchSolveResult, n_rows: int,
+                       t_eval: np.ndarray, index: int) -> None:
+    if chunk_result.batch_size != n_rows or \
+            chunk_result.t.shape != t_eval.shape or \
+            not np.allclose(chunk_result.t, t_eval):
+        raise ResilienceError(
+            f"journaled chunk {index} does not match the campaign "
+            f"(rows {chunk_result.batch_size} vs {n_rows} or differing "
+            f"time grid); delete the journal to recompute")

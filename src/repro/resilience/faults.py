@@ -1,0 +1,96 @@
+"""Deterministic fault injection for end-to-end resilience testing.
+
+A :class:`FaultPlan` describes reproducible faults the engine and the
+campaign runner honor:
+
+* ``nan_rows`` — the batched RHS returns NaN for these (global) rows on
+  every evaluation: a *persistent* fault that defeats every retry rung
+  and must land the row in the quarantine log.
+* ``fail_launches`` — the first pass of these launches is forcibly
+  marked BROKEN after it runs: a *transient* fault the retry ladder
+  recovers from.
+* ``crash_after_launches`` — the engine (or the campaign runner)
+  raises :class:`~repro.errors.CampaignInterrupted` once this many
+  launches completed: simulates a mid-campaign crash for
+  checkpoint/resume tests.
+* ``deadline_after_chunks`` — the campaign runner pretends the
+  wall-clock deadline expired after this many freshly executed chunks,
+  degrading to a partial result with ``incomplete=True``.
+
+The plan is pure data, so injecting the same plan twice produces the
+same degradation path — the property the resilience test suite builds
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import ResilienceError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault schedule for one engine run or campaign."""
+
+    nan_rows: tuple[int, ...] = ()
+    fail_launches: tuple[int, ...] = ()
+    crash_after_launches: int | None = None
+    deadline_after_chunks: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nan_rows",
+                           tuple(int(r) for r in self.nan_rows))
+        object.__setattr__(self, "fail_launches",
+                           tuple(int(i) for i in self.fail_launches))
+        if any(r < 0 for r in self.nan_rows):
+            raise ResilienceError("nan_rows must be non-negative")
+        if any(i < 0 for i in self.fail_launches):
+            raise ResilienceError("fail_launches must be non-negative")
+        if self.crash_after_launches is not None \
+                and self.crash_after_launches < 0:
+            raise ResilienceError("crash_after_launches must be >= 0")
+        if self.deadline_after_chunks is not None \
+                and self.deadline_after_chunks < 0:
+            raise ResilienceError("deadline_after_chunks must be >= 0")
+
+    # -- RHS-level faults ------------------------------------------------
+
+    @property
+    def injects_nan(self) -> bool:
+        return bool(self.nan_rows)
+
+    def nan_mask(self, row_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``row_ids`` of rows whose RHS turns NaN."""
+        if not self.nan_rows:
+            return np.zeros(row_ids.shape[0], dtype=bool)
+        return np.isin(row_ids, np.asarray(self.nan_rows, dtype=np.int64))
+
+    # -- launch-level faults ---------------------------------------------
+
+    def forces_launch_failure(self, launch_index: int) -> bool:
+        return launch_index in self.fail_launches
+
+    def crashes_before_launch(self, launch_index: int) -> bool:
+        return (self.crash_after_launches is not None
+                and launch_index >= self.crash_after_launches)
+
+    # -- campaign remapping ----------------------------------------------
+
+    def for_chunk(self, chunk_index: int, start: int,
+                  stop: int) -> "FaultPlan":
+        """The plan as seen by the engine running one campaign chunk.
+
+        Global ``nan_rows`` are re-based onto the chunk's local row
+        space; a chunk listed in ``fail_launches`` fails its (first)
+        launch. Crash and deadline triggers are handled by the campaign
+        runner itself, so they are stripped here.
+        """
+        local_nan = tuple(r - start for r in self.nan_rows
+                          if start <= r < stop)
+        local_fail = (0,) if chunk_index in self.fail_launches else ()
+        return replace(self, nan_rows=local_nan, fail_launches=local_fail,
+                       crash_after_launches=None,
+                       deadline_after_chunks=None)

@@ -1,0 +1,116 @@
+"""Retry escalation policies for failed batched simulations.
+
+A :class:`RetryPolicy` is a ladder of :class:`RetryStage` rungs the
+engine climbs for the *failed-row subset* of a launch after the
+router's first pass: each rung names a solver (dopri5 -> radau5 -> bdf
+by default) and how to derive its numerical options from the launch
+options — tolerance tightening for breakdown-style failures and
+step-cap growth for budget exhaustion. The attempt budget bounds the
+total work one pathological row can consume; rows that exhaust the
+ladder are quarantined (see :mod:`repro.resilience.quarantine`)
+instead of poisoning downstream analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ResilienceError
+from ..solvers.base import SolverOptions
+
+#: Solvers a retry stage may escalate to.
+RETRY_METHODS = ("dopri5", "radau5", "bdf")
+
+
+@dataclass(frozen=True)
+class RetryStage:
+    """One rung of the retry ladder.
+
+    Attributes
+    ----------
+    method:
+        Batched solver to re-execute the failed rows with, one of
+        :data:`RETRY_METHODS`.
+    rtol_factor, atol_factor:
+        Multipliers on the launch tolerances; values below 1 *tighten*
+        the tolerances (smaller accepted local error), which rescues
+        trajectories that broke down from accumulated error.
+    max_steps_factor:
+        Multiplier on the per-simulation step cap; values above 1 give
+        budget-exhausted rows room to finish.
+    """
+
+    method: str
+    rtol_factor: float = 1.0
+    atol_factor: float = 1.0
+    max_steps_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.method not in RETRY_METHODS:
+            raise ResilienceError(
+                f"unknown retry method {self.method!r}; expected one of "
+                f"{RETRY_METHODS}")
+        for name in ("rtol_factor", "atol_factor", "max_steps_factor"):
+            if not (getattr(self, name) > 0.0):
+                raise ResilienceError(
+                    f"{name} must be > 0, got {getattr(self, name)}")
+
+    def derive_options(self, options: SolverOptions) -> SolverOptions:
+        """Launch options escalated for this rung."""
+        return options.replace(
+            rtol=options.rtol * self.rtol_factor,
+            atol=options.atol * self.atol_factor,
+            max_steps=max(1, int(round(options.max_steps
+                                       * self.max_steps_factor))))
+
+    def describe(self) -> str:
+        return (f"{self.method}(rtol x{self.rtol_factor:g}, "
+                f"atol x{self.atol_factor:g}, "
+                f"max_steps x{self.max_steps_factor:g})")
+
+
+#: The default ladder: give DOPRI5 a larger step budget first (cheap,
+#: rescues plain exhaustion), then Radau IIA with tightened tolerances
+#: (undetected stiffness / local breakdown), then BDF with both a
+#: tighter tolerance and a generous step cap as the last resort.
+DEFAULT_RETRY_LADDER = (
+    RetryStage("dopri5", max_steps_factor=4.0),
+    RetryStage("radau5", rtol_factor=0.1, max_steps_factor=4.0),
+    RetryStage("bdf", rtol_factor=0.1, atol_factor=0.1,
+               max_steps_factor=8.0),
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded ladder of retry stages.
+
+    ``max_attempts`` caps how many rungs are actually climbed, so a
+    policy can carry a long ladder while the deployment bounds the
+    per-row retry budget. An empty ladder (or ``max_attempts=0``) makes
+    the engine quarantine failed rows immediately without retrying —
+    useful when failures are expected and only the bookkeeping matters.
+    """
+
+    stages: tuple[RetryStage, ...] = field(default=DEFAULT_RETRY_LADDER)
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        if self.max_attempts < 0:
+            raise ResilienceError(
+                f"max_attempts must be >= 0, got {self.max_attempts}")
+
+    def planned_stages(self) -> tuple[RetryStage, ...]:
+        """The rungs that will actually run under the attempt budget."""
+        return self.stages[:self.max_attempts]
+
+    def describe(self) -> str:
+        rungs = " -> ".join(stage.describe()
+                            for stage in self.planned_stages())
+        return rungs or "<no retries: quarantine immediately>"
+
+
+def default_retry_policy(max_attempts: int = 3) -> RetryPolicy:
+    """The dopri5 -> radau5 -> bdf escalation ladder."""
+    return RetryPolicy(DEFAULT_RETRY_LADDER, max_attempts)

@@ -1,0 +1,140 @@
+"""Structured records of simulations that exhausted the retry ladder.
+
+One diverging parameter point must not poison a million-point campaign:
+rows the engine cannot finish after every retry rung are captured as
+:class:`FailureRecord` objects — the parameter row itself, the status
+of every attempt and the per-attempt solver/options/step counters — and
+collected in a :class:`QuarantineLog` attached to the engine report.
+Downstream analyses mask quarantined rows out of their estimators; the
+log preserves everything needed to reproduce and triage the failing
+region offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryAttempt:
+    """One integration attempt of one simulation row.
+
+    ``stage`` is ``"first-pass"`` for the router/engine's initial
+    execution and ``"retry-<k>"`` for ladder rungs. ``status`` is the
+    human-readable status name (``success``, ``max_steps``, ``failed``,
+    ``stiff_detected``).
+    """
+
+    stage: str
+    method: str
+    status: str
+    n_steps: int
+    rtol: float
+    atol: float
+    max_steps: int
+
+    def to_dict(self) -> dict:
+        return {"stage": self.stage, "method": self.method,
+                "status": self.status, "n_steps": int(self.n_steps),
+                "rtol": float(self.rtol), "atol": float(self.atol),
+                "max_steps": int(self.max_steps)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryAttempt":
+        return cls(str(data["stage"]), str(data["method"]),
+                   str(data["status"]), int(data["n_steps"]),
+                   float(data["rtol"]), float(data["atol"]),
+                   int(data["max_steps"]))
+
+
+@dataclass
+class FailureRecord:
+    """One quarantined simulation with its full retry history."""
+
+    row: int
+    rate_constants: np.ndarray
+    initial_state: np.ndarray
+    attempts: list[RetryAttempt] = field(default_factory=list)
+
+    @property
+    def final_status(self) -> str:
+        return self.attempts[-1].status if self.attempts else "unknown"
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    def status_history(self) -> list[str]:
+        return [attempt.status for attempt in self.attempts]
+
+    def to_dict(self) -> dict:
+        return {"row": int(self.row),
+                "rate_constants": [float(v) for v in self.rate_constants],
+                "initial_state": [float(v) for v in self.initial_state],
+                "attempts": [a.to_dict() for a in self.attempts]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureRecord":
+        return cls(int(data["row"]),
+                   np.asarray(data["rate_constants"], dtype=np.float64),
+                   np.asarray(data["initial_state"], dtype=np.float64),
+                   [RetryAttempt.from_dict(a) for a in data["attempts"]])
+
+
+@dataclass
+class QuarantineLog:
+    """Collected failure records of one launch, engine run or campaign."""
+
+    records: list[FailureRecord] = field(default_factory=list)
+
+    def add(self, record: FailureRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def rows(self) -> np.ndarray:
+        """Quarantined row indices, sorted, shape (Q,)."""
+        return np.array(sorted(record.row for record in self.records),
+                        dtype=np.int64)
+
+    def mask(self, batch_size: int) -> np.ndarray:
+        """Boolean quarantine mask over a batch of the given size."""
+        mask = np.zeros(batch_size, dtype=bool)
+        rows = self.rows()
+        in_range = rows[(rows >= 0) & (rows < batch_size)]
+        mask[in_range] = True
+        return mask
+
+    def merge(self, other: "QuarantineLog", row_offset: int = 0) -> None:
+        """Absorb another log, shifting its rows into this index space."""
+        for record in other.records:
+            self.records.append(FailureRecord(
+                record.row + row_offset, record.rate_constants,
+                record.initial_state, list(record.attempts)))
+
+    def to_dicts(self) -> list[dict]:
+        return [record.to_dict() for record in self.records]
+
+    @classmethod
+    def from_dicts(cls, data: list[dict]) -> "QuarantineLog":
+        return cls([FailureRecord.from_dict(entry) for entry in data])
+
+    def summary(self) -> str:
+        """One line per quarantined row: attempts and status history."""
+        if not self.records:
+            return "quarantine: empty"
+        lines = [f"quarantine: {len(self.records)} row(s)"]
+        for record in sorted(self.records, key=lambda r: r.row):
+            history = " -> ".join(
+                f"{a.method}:{a.status}" for a in record.attempts)
+            lines.append(f"  row {record.row}: {history}")
+        return "\n".join(lines)

@@ -2,13 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.model import ODESystem, ReactionBasedModel
 from repro.models import (brusselator, cascade, decay_chain, dimerization,
                           lotka_volterra, metabolic_network, robertson)
 from repro.solvers import SolverOptions
+
+# Property-based tests pick their example budget from a profile so CI
+# can fuzz harder than a local run: HYPOTHESIS_PROFILE=ci bumps every
+# @given test without touching the test files.
+hypothesis_settings.register_profile("dev", max_examples=30, deadline=None)
+hypothesis_settings.register_profile("ci", max_examples=150, deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

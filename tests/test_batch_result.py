@@ -56,3 +56,46 @@ class TestMergeRows:
                                                METHOD_DOPRI5,
                                                METHOD_RADAU5]
         assert fresh.n_steps.tolist() == [11, 0, 11]
+
+    def test_merge_accumulates_distinct_counter_accounts(self, fresh):
+        part = allocate_result(fresh.t, batch_size=2, n_species=2,
+                               method_code=METHOD_RADAU5)
+        fresh.counters.rhs_kernel_launches = 10
+        part.counters.rhs_kernel_launches = 5
+        fresh.merge_rows(part, np.array([0, 2]))
+        assert fresh.counters.rhs_kernel_launches == 15
+
+    def test_merge_shared_counter_account_not_double_counted(self, fresh):
+        # The engine threads ONE KernelCounters through every launch
+        # chunk and retry subset; merging a chunk that shares the
+        # account used to add the totals onto themselves.
+        part = allocate_result(fresh.t, batch_size=2, n_species=2,
+                               method_code=METHOD_RADAU5)
+        part.counters = fresh.counters
+        fresh.counters.rhs_kernel_launches = 10
+        fresh.counters.newton_iterations = 4
+        fresh.merge_rows(part, np.array([0, 2]))
+        assert fresh.counters.rhs_kernel_launches == 10
+        assert fresh.counters.newton_iterations == 4
+
+
+class TestMasksAndTakeRows:
+    def test_failed_mask_complements_success_mask(self, fresh):
+        fresh.status_codes[:] = [OK, BROKEN, EXHAUSTED]
+        assert fresh.failed_mask.tolist() == [False, True, True]
+        assert np.array_equal(fresh.failed_mask, ~fresh.success_mask)
+
+    def test_take_rows_copies_subset_with_fresh_counters(self, fresh):
+        fresh.y[:] = np.arange(24.0).reshape(3, 4, 2)
+        fresh.status_codes[:] = [OK, BROKEN, OK]
+        fresh.n_steps[:] = [3, 5, 7]
+        fresh.counters.rhs_kernel_launches = 9
+        part = fresh.take_rows(np.array([0, 2]))
+        assert part.batch_size == 2
+        assert np.array_equal(part.y, fresh.y[[0, 2]])
+        assert part.status_codes.tolist() == [OK, OK]
+        assert part.n_steps.tolist() == [3, 7]
+        assert part.counters is not fresh.counters
+        assert part.counters.rhs_kernel_launches == 0
+        part.y[:] = -1.0
+        assert np.all(fresh.y[0] == np.arange(8.0).reshape(4, 2))

@@ -57,7 +57,7 @@ class TestBlowupHandling:
 
 
 class TestExpressionFuzz:
-    @settings(max_examples=40, deadline=None)
+    @settings(deadline=None)
     @given(st.recursive(
         st.one_of(
             st.floats(0.1, 10.0).map(Constant),
@@ -85,7 +85,7 @@ class TestExpressionFuzz:
         assert float(reparsed.evaluate(values)) == pytest.approx(
             float(expression.evaluate(values)), rel=1e-12)
 
-    @settings(max_examples=30, deadline=None)
+    @settings(deadline=None)
     @given(st.text(max_size=12))
     def test_parser_never_crashes_unexpectedly(self, text):
         """Arbitrary junk either parses or raises ParseError."""
