@@ -1,0 +1,84 @@
+"""Micro-benchmark: guards must be cheap when nothing goes wrong.
+
+Runs the same all-clean batch through the dopri5 hot path with and
+without the full guard set (invariant monitor + kernel state guards +
+memory governor) and asserts the guards add less than 5% wall-clock
+overhead — the happy path pays one finiteness scan and one row-min
+scan per accepted step, and one drift check per launch. Executed as a
+plain script by the CI guards job::
+
+    PYTHONPATH=src python benchmarks/bench_guard_overhead.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.gpu import BatchSimulator
+from repro.guards import GuardConfig, MemoryGovernor
+from repro.model import perturbed_batch
+from repro.models import lotka_volterra
+
+BATCH_SIZE = 256
+REPEATS = 9
+#: simulations per timed sample; longer samples sink scheduler noise
+#: below the ~1-3% true guard cost this benchmark polices.
+SIMS_PER_SAMPLE = 3
+MAX_OVERHEAD = 0.05
+T_EVAL = np.linspace(0.0, 5.0, 21)
+
+
+def one_run(simulator: BatchSimulator, batch) -> float:
+    started = time.perf_counter()
+    for _ in range(SIMS_PER_SAMPLE):
+        result = simulator.simulate((0.0, 5.0), T_EVAL, batch)
+    elapsed = time.perf_counter() - started
+    assert result.all_success, "benchmark batch must be all-clean"
+    return elapsed / SIMS_PER_SAMPLE
+
+
+def main() -> int:
+    model = lotka_volterra()
+    rng = np.random.default_rng(42)
+    batch = perturbed_batch(model.nominal_parameterization(), BATCH_SIZE,
+                            rng, spread=0.05)
+
+    plain = BatchSimulator(model, method="dopri5")
+    guarded = BatchSimulator(model, method="dopri5",
+                             guard_config=GuardConfig(),
+                             memory_governor=MemoryGovernor())
+    one_run(plain, batch), one_run(guarded, batch)  # warm-up
+
+    # Pair the measurements back-to-back and take the median of the
+    # per-pair ratios: machine drift (thermal, cache, scheduler) hits
+    # both sides of a pair alike and cancels, which a best-of-N on
+    # each side separately does not guarantee.
+    ratios, baselines, guardeds = [], [], []
+    for _ in range(REPEATS):
+        baseline = one_run(plain, batch)
+        with_guards = one_run(guarded, batch)
+        baselines.append(baseline)
+        guardeds.append(with_guards)
+        ratios.append(with_guards / baseline)
+
+    clean = not guarded.last_report.guard_log
+    overhead = float(np.median(ratios)) - 1.0
+    print(f"baseline      : {min(baselines) * 1e3:8.2f} ms (best)")
+    print(f"with guards   : {min(guardeds) * 1e3:8.2f} ms (best)")
+    print(f"overhead      : {overhead * 100:+7.2f}%  "
+          f"(budget {MAX_OVERHEAD * 100:.0f}%)")
+    if not clean:
+        print("FAIL: guard log must stay empty on a clean batch")
+        return 1
+    if overhead > MAX_OVERHEAD:
+        print("FAIL: guards are not cheap on the all-clean path")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,8 @@ from .core import (FreeParameter, ParameterEstimation, ParameterRange,
                    run_comparison_map, run_morris_screening, run_psa_1d,
                    run_psa_2d, run_sobol_sa, simulate, synthetic_target)
 from .gpu import BatchSimulator, TITAN_X, VirtualDevice
+from .guards import (GuardConfig, GuardLog, GuardViolation, InvariantMonitor,
+                     KernelGuard, MemoryGovernor, project_nonnegative)
 from .lint import (ALL_RULES, LintFinding, LintReport, lint_gate,
                    lint_kernels, lint_model, stiffness_risk_score)
 from .resilience import (CampaignConfig, CampaignResult, FailureRecord,
@@ -52,6 +54,8 @@ __all__ = [
     "run_morris_screening", "run_psa_1d", "run_psa_2d", "run_sobol_sa",
     "simulate", "synthetic_target",
     "BatchSimulator", "TITAN_X", "VirtualDevice", "StochasticSimulator",
+    "GuardConfig", "GuardLog", "GuardViolation", "InvariantMonitor",
+    "KernelGuard", "MemoryGovernor", "project_nonnegative",
     "ALL_RULES", "LintFinding", "LintReport", "lint_gate", "lint_kernels",
     "lint_model", "stiffness_risk_score",
     "CampaignConfig", "CampaignResult", "FailureRecord", "FaultPlan",

@@ -50,6 +50,12 @@ class ResilienceError(ReproError):
     campaign it claims to belong to (see :mod:`repro.resilience`)."""
 
 
+class GuardError(ReproError):
+    """A numerical-integrity guard is misconfigured, or the memory
+    governor determined that a launch cannot fit the device at any
+    split (see :mod:`repro.guards`)."""
+
+
 class CampaignInterrupted(ResilienceError):
     """A chunked campaign stopped before all launches completed.
 

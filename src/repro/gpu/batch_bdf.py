@@ -139,7 +139,12 @@ class BatchBDF:
             underflow = (steps[active] <= np.abs(t_act) * 1e-15) | \
                 (steps[active] < 1e-300) | ~np.isfinite(steps[active])
             if np.any(underflow):
-                status[active[underflow]] = BROKEN
+                dead = active[underflow]
+                status[dead] = BROKEN
+                if problem.guard is not None:
+                    problem.guard.on_step_break(
+                        dead, problem.row_ids[dead], times[dead],
+                        steps[dead], status)
                 active = active[~underflow]
                 if active.size == 0:
                     continue
@@ -255,12 +260,20 @@ class BatchBDF:
         for i in reversed(range(order + 1)):
             differences[acc_rows, i, :] += differences[acc_rows, i + 1, :]
 
+        if problem.guard is not None:
+            # The current state lives in the difference table's zeroth
+            # slice; pass the basic-slice view so clamps write through.
+            problem.guard.after_accept(differences[:, 0, :], acc_rows,
+                                       problem.row_ids[acc_rows],
+                                       times[acc_rows], status)
+
         tolerance = 1e-9 * np.maximum(1.0, np.abs(times[acc_rows]))
         hits = acc_rows[np.abs(times[acc_rows]
                                - t_eval[np.minimum(save_index[acc_rows],
                                                    t_eval.size - 1)])
                         <= tolerance]
         hit_valid = hits[save_index[hits] < t_eval.size]
+        hit_valid = hit_valid[status[hit_valid] == RUNNING]
         if hit_valid.size:
             result.y[hit_valid, save_index[hit_valid], :] = \
                 differences[hit_valid, 0, :]

@@ -28,6 +28,20 @@ _STIFFNESS_BOUNDARY = 3.25
 _STIFFNESS_PATIENCE = 15
 
 
+def _combine_stages(weights: np.ndarray, stages: np.ndarray) -> np.ndarray:
+    """Weighted stage sum with per-row rounding independent of how many
+    rows are in flight.
+
+    ``np.tensordot`` lowers to a BLAS product whose row results can
+    change with the array width; this element-wise accumulation keeps
+    split launches bit-identical to unsplit ones.
+    """
+    combined = weights[0] * stages[0]
+    for j in range(1, len(weights)):
+        combined += weights[j] * stages[j]
+    return combined
+
+
 def _scaled_error_norms(error: np.ndarray, reference: np.ndarray,
                         candidate: np.ndarray,
                         options: SolverOptions) -> np.ndarray:
@@ -139,6 +153,10 @@ class BatchDopri5:
             dead = active[broken_step]
             if dead.size:
                 status[dead] = BROKEN
+                if problem.guard is not None:
+                    problem.guard.on_step_break(
+                        dead, problem.row_ids[dead], t_act[broken_step],
+                        h_act[broken_step], status)
                 keep = ~broken_step
                 active, t_act, h_act, hit = (active[keep], t_act[keep],
                                              h_act[keep], hit[keep])
@@ -154,8 +172,8 @@ class BatchDopri5:
             # by the finiteness check; keep those FP warnings quiet.
             with np.errstate(over="ignore", invalid="ignore"):
                 for i in range(1, tableau.n_stages):
-                    increment = np.tensordot(tableau.a[i, :i], stage_k[:i],
-                                             axes=(0, 0))
+                    increment = _combine_stages(tableau.a[i, :i],
+                                                stage_k[:i])
                     stage_states = y_act + h_act[:, None] * increment
                     if i == tableau.n_stages - 2:
                         penultimate_states = stage_states
@@ -163,10 +181,10 @@ class BatchDopri5:
                     stage_k[i] = problem.fun(stage_times, stage_states,
                                              active)
 
-                y_new = y_act + h_act[:, None] * np.tensordot(
-                    tableau.b, stage_k, axes=(0, 0))
-                local_error = h_act[:, None] * np.tensordot(
-                    tableau.e, stage_k, axes=(0, 0))
+                y_new = y_act + h_act[:, None] * _combine_stages(
+                    tableau.b, stage_k)
+                local_error = h_act[:, None] * _combine_stages(
+                    tableau.e, stage_k)
                 err = _scaled_error_norms(local_error, y_act, y_new,
                                           options)
             finite = np.all(np.isfinite(y_new), axis=1)
@@ -180,9 +198,15 @@ class BatchDopri5:
 
             if acc_rows.size:
                 t_new = t_act[accepted] + h_act[accepted]
-                states[acc_rows] = y_new[accepted]
+                accepted_states = y_new[accepted]
+                states[acc_rows] = accepted_states
                 derivatives[acc_rows] = stage_k[-1, accepted]  # FSAL
                 times[acc_rows] = t_new
+
+                if problem.guard is not None:
+                    problem.guard.after_accept(
+                        states, acc_rows, problem.row_ids[acc_rows],
+                        t_new, status, gathered=accepted_states)
 
                 if self.abort_on_stiffness:
                     self._stiffness_test(
@@ -192,9 +216,12 @@ class BatchDopri5:
 
                 hits = np.flatnonzero(accepted & hit)
                 if hits.size:
+                    # Save from `states` (possibly guard-clamped), and
+                    # only for rows the guard left running.
                     hit_rows = active[hits]
+                    hit_rows = hit_rows[status[hit_rows] == RUNNING]
                     result.y[hit_rows, save_index[hit_rows], :] = \
-                        y_new[hits]
+                        states[hit_rows]
                     save_index[hit_rows] += 1
                     status[hit_rows[save_index[hit_rows] >= t_eval.size]] = OK
 

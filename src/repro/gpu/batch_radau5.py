@@ -115,7 +115,12 @@ class BatchRadau5:
             underflow = (h_act <= np.abs(t_act) * 1e-15) | \
                 (h_act < 1e-300) | ~np.isfinite(h_act)
             if np.any(underflow):
-                status[active[underflow]] = BROKEN
+                dead = active[underflow]
+                status[dead] = BROKEN
+                if problem.guard is not None:
+                    problem.guard.on_step_break(
+                        dead, problem.row_ids[dead], t_act[underflow],
+                        h_act[underflow], status)
                 keep = ~underflow
                 active, t_act, h_act, hit = (active[keep], t_act[keep],
                                              h_act[keep], hit[keep])
@@ -205,6 +210,10 @@ class BatchRadau5:
             t_new = t_conv[acc_local] + h_conv[acc_local]
             states[acc_rows] = y_new[acc_local]
             times[acc_rows] = t_new
+            if problem.guard is not None:
+                problem.guard.after_accept(states, acc_rows,
+                                           problem.row_ids[acc_rows],
+                                           t_new, status)
             derivatives[acc_rows] = problem.fun(t_new, states[acc_rows],
                                                 acc_rows)
 
@@ -217,6 +226,7 @@ class BatchRadau5:
 
             hit_mask = hit[converged][acc_local]
             hit_rows = acc_rows[hit_mask]
+            hit_rows = hit_rows[status[hit_rows] == RUNNING]
             if hit_rows.size:
                 result.y[hit_rows, save_index[hit_rows], :] = \
                     states[hit_rows]

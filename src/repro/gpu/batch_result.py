@@ -14,10 +14,11 @@ OK = 1
 EXHAUSTED = 2
 BROKEN = 3
 STIFF = 4
+GUARD = 5
 
 STATUS_NAMES = {RUNNING: "running", OK: "success",
                 EXHAUSTED: "max_steps", BROKEN: "failed",
-                STIFF: "stiff_detected"}
+                STIFF: "stiff_detected", GUARD: "guard_violation"}
 
 #: Per-simulation method codes.
 METHOD_DOPRI5 = 0
@@ -46,9 +47,10 @@ class BatchSolveResult:
         Trajectories, shape (B, T, N). Rows of failed simulations are
         valid up to their recorded save count and NaN afterwards.
     status_codes:
-        Shape (B,), values in {OK, EXHAUSTED, BROKEN, STIFF} (STIFF
-        only appears transiently: the router re-executes stiff-flagged
-        rows with Radau IIA before returning).
+        Shape (B,), values in {OK, EXHAUSTED, BROKEN, STIFF, GUARD}
+        (STIFF only appears transiently: the router re-executes
+        stiff-flagged rows with Radau IIA before returning; GUARD marks
+        rows a numerical-integrity guard deactivated).
     method_codes:
         Shape (B,), which integrator produced each row.
     n_steps, n_accepted, n_rejected:

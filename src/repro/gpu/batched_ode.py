@@ -26,6 +26,7 @@ from ..model import ODESystem, ParameterizationBatch
 from ..model.odesystem import POLICIES
 
 if TYPE_CHECKING:  # layering: resilience.faults is a leaf data module
+    from ..guards.state import KernelGuard
     from ..resilience.faults import FaultPlan
 
 
@@ -63,8 +64,12 @@ class BatchedODEProblem:
     in the full campaign batch) that survives router/retry subsetting;
     ``fault_plan`` is the deterministic fault-injection hook of the
     resilience layer — rows listed in its ``nan_rows`` get NaN
-    derivatives on every RHS evaluation, keyed by global identity so
-    the fault follows the row through subsets and launch chunks.
+    derivatives on every RHS evaluation, and rows in ``drift_rows`` get
+    a constant bias added (violating conservation), keyed by global
+    identity so the fault follows the row through subsets and launch
+    chunks. ``guard`` is the in-kernel state-validity guard
+    (:class:`repro.guards.KernelGuard`), likewise keyed by global ids
+    and travelling through every subset.
     """
 
     system: ODESystem
@@ -73,6 +78,7 @@ class BatchedODEProblem:
     counters: KernelCounters = field(default_factory=KernelCounters)
     fault_plan: "FaultPlan | None" = None
     row_ids: np.ndarray | None = None
+    guard: "KernelGuard | None" = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -118,10 +124,15 @@ class BatchedODEProblem:
         self.counters.rhs_kernel_launches += 1
         self.counters.rhs_simulation_evaluations += rows.shape[0]
         derivatives = self.system.rhs(states, constants, self.policy)
-        if self.fault_plan is not None and self.fault_plan.injects_nan:
-            faulted = self.fault_plan.nan_mask(self.row_ids[rows])
-            if faulted.any():
-                derivatives[faulted] = np.nan
+        if self.fault_plan is not None:
+            if self.fault_plan.injects_nan:
+                faulted = self.fault_plan.nan_mask(self.row_ids[rows])
+                if faulted.any():
+                    derivatives[faulted] = np.nan
+            if self.fault_plan.injects_drift:
+                drifting = self.fault_plan.drift_mask(self.row_ids[rows])
+                if drifting.any():
+                    derivatives[drifting] += self.fault_plan.drift_rate
         return derivatives
 
     def jacobian(self, times: np.ndarray, states: np.ndarray,
@@ -138,9 +149,10 @@ class BatchedODEProblem:
 
         The kernel counters are *shared* with the parent problem so
         router-split sub-batches keep accumulating into one workload
-        account; global row identities and the fault plan travel with
-        the subset.
+        account; global row identities, the fault plan and the kernel
+        guard travel with the subset.
         """
         return BatchedODEProblem(self.system, self.parameters.subset(rows),
                                  self.policy, self.counters,
-                                 self.fault_plan, self.row_ids[rows])
+                                 self.fault_plan, self.row_ids[rows],
+                                 self.guard)

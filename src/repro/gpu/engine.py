@@ -17,6 +17,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CampaignInterrupted, SolverError
+from ..guards import (GuardConfig, GuardLog, InvariantMonitor, KernelGuard,
+                      MemoryEvent, MemoryGovernor)
+from ..guards.violations import INVARIANT_DRIFT, GuardViolation
 from ..model import (ODESystem, Parameterization, ParameterizationBatch,
                      ReactionBasedModel)
 from ..resilience.faults import FaultPlan
@@ -26,7 +29,8 @@ from ..resilience.quarantine import (FailureRecord, QuarantineLog,
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
 from .batch_dopri5 import BatchDopri5
 from .batch_radau5 import BatchRadau5
-from .batch_result import (BROKEN, OK, STATUS_NAMES, BatchSolveResult)
+from .batch_result import (BROKEN, GUARD, OK, STATUS_NAMES, BatchSolveResult,
+                           allocate_result)
 from .batched_ode import BatchedODEProblem, KernelCounters
 from .device import TITAN_X, VirtualDevice
 from .perfmodel import DeviceTimeEstimate, estimate_device_time
@@ -44,6 +48,12 @@ class EngineReport:
     :class:`~repro.resilience.RetryPolicy`); ``n_retried_rows`` counts
     row-attempts the ladder executed and ``n_recovered_rows`` how many
     failed rows a retry rung rescued.
+
+    ``guard_log`` collects the numerical-integrity violations (only
+    populated when the simulator runs with a
+    :class:`~repro.guards.GuardConfig`); ``memory_events`` records each
+    launch the memory governor had to split to stay under the device
+    budget.
     """
 
     elapsed_seconds: float
@@ -54,6 +64,8 @@ class EngineReport:
     quarantine: QuarantineLog = field(default_factory=QuarantineLog)
     n_retried_rows: int = 0
     n_recovered_rows: int = 0
+    guard_log: GuardLog = field(default_factory=GuardLog)
+    memory_events: list[MemoryEvent] = field(default_factory=list)
 
 
 class BatchSimulator:
@@ -89,6 +101,21 @@ class BatchSimulator:
     fault_plan:
         Optional :class:`~repro.resilience.FaultPlan` for deterministic
         fault injection (tests and resilience drills only).
+    guard_config:
+        Optional :class:`~repro.guards.GuardConfig` enabling the
+        numerical-integrity guards: the in-kernel state-validity checks
+        run inside every integrator step and the conservation-law
+        monitor checks every finished trajectory. Violating rows get
+        status ``guard_violation`` and flow through the retry ladder
+        and quarantine exactly like solver failures. ``None`` (the
+        default) runs guard-free.
+    memory_governor:
+        Optional :class:`~repro.guards.MemoryGovernor` enforcing a
+        device-memory budget per launch: over-budget launches are
+        split into contiguous segments (exponential backoff) and
+        re-merged, with each degradation recorded on the report.
+        ``None`` skips budget checks unless the fault plan injects
+        memory pressure (which then uses a default governor).
     """
 
     def __init__(self, model: ReactionBasedModel,
@@ -97,7 +124,9 @@ class BatchSimulator:
                  max_batch_per_launch: int = 512,
                  device: VirtualDevice = TITAN_X,
                  retry_policy: RetryPolicy | None = None,
-                 fault_plan: FaultPlan | None = None) -> None:
+                 fault_plan: FaultPlan | None = None,
+                 guard_config: GuardConfig | None = None,
+                 memory_governor: MemoryGovernor | None = None) -> None:
         if method not in METHODS:
             raise SolverError(f"unknown method {method!r}; "
                               f"expected one of {METHODS}")
@@ -112,6 +141,8 @@ class BatchSimulator:
         self.device = device
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
+        self.guard_config = guard_config
+        self.memory_governor = memory_governor
         self.last_report: EngineReport | None = None
 
     # ------------------------------------------------------------------
@@ -135,6 +166,7 @@ class BatchSimulator:
         counters = KernelCounters()
         report = EngineReport(elapsed_seconds=0.0, n_launches=0,
                               counters=counters)
+        kernel_guard, invariant_monitor = self._build_guards(batch, report)
         chunks: list[BatchSolveResult] = []
         started = time.perf_counter()
         for start in range(0, batch.size, self.max_batch_per_launch):
@@ -147,15 +179,19 @@ class BatchSimulator:
             sub_batch = batch.subset(np.arange(start, stop))
             problem = BatchedODEProblem(self.system, sub_batch, self.policy,
                                         counters, self.fault_plan,
-                                        np.arange(start, stop))
-            chunk = self._run_launch(problem, t_span, t_eval, report)
+                                        np.arange(start, stop), kernel_guard)
+            chunk = self._run_launch_governed(problem, t_span, t_eval,
+                                              report)
             if self.fault_plan is not None and \
                     self.fault_plan.forces_launch_failure(report.n_launches):
                 chunk.status_codes[:] = BROKEN
                 chunk.y[:] = np.nan
+            if invariant_monitor is not None:
+                self._check_invariants(invariant_monitor, report.guard_log,
+                                       problem, chunk)
             if self.retry_policy is not None:
                 self._retry_failed_rows(problem, chunk, t_span, t_eval,
-                                        report)
+                                        report, invariant_monitor)
             chunks.append(chunk)
             report.n_launches += 1
         report.elapsed_seconds = time.perf_counter() - started
@@ -182,6 +218,111 @@ class BatchSimulator:
                 "parameters must be a Parameterization, a "
                 f"ParameterizationBatch or None, got {type(parameters)!r}")
         return parameters
+
+    # ------------------------------------------------------------------
+    # numerical-integrity guards + memory governor
+
+    def _build_guards(self, batch: ParameterizationBatch,
+                      report: EngineReport
+                      ) -> tuple[KernelGuard | None, InvariantMonitor | None]:
+        """Instantiate the per-run guard objects from the config.
+
+        The kernel guard and the invariant monitor share one law basis
+        (derived once from the model's stoichiometry) and one violation
+        log (the report's), and the guard indexes its per-row bands and
+        reference totals by global row id over the *full* campaign
+        batch, so it travels unchanged through subsets and launches.
+        """
+        config = self.guard_config
+        if config is None or not config.enabled:
+            return None, None
+        laws = self.model.conservation_law_basis()
+        laws = laws if laws.shape[0] else None
+        kernel_guard = None
+        if config.check_negativity or config.check_nonfinite or \
+                config.check_step_collapse:
+            kernel_guard = KernelGuard(config, report.guard_log, GUARD,
+                                       batch.initial_states, laws)
+        invariant_monitor = None
+        if config.check_invariants and laws is not None:
+            invariant_monitor = InvariantMonitor(laws, config)
+        return kernel_guard, invariant_monitor
+
+    def _check_invariants(self, monitor: InvariantMonitor, log: GuardLog,
+                          problem: BatchedODEProblem,
+                          result: BatchSolveResult) -> None:
+        """Flag finished rows whose conserved totals drifted.
+
+        Only rows with status OK are checked: failed rows' NaN tails
+        carry no drift information and are already being handled.
+        Violating rows get status GUARD, which re-enters
+        ``failed_mask`` so the retry ladder / quarantine / analysis
+        masking pick them up like any solver failure.
+        """
+        ok_rows = np.flatnonzero(result.status_codes == OK)
+        if ok_rows.size == 0:
+            return
+        ratios = monitor.drift_ratios(
+            result.y[ok_rows], problem.parameters.initial_states[ok_rows])
+        violated = np.flatnonzero(ratios > 1.0)
+        if violated.size == 0:
+            return
+        rows = ok_rows[violated]
+        result.status_codes[rows] = GUARD
+        for local, row in zip(violated, rows):
+            log.add(GuardViolation(
+                INVARIANT_DRIFT, int(problem.row_ids[row]),
+                float(result.t[-1]), float(ratios[local]),
+                f"conserved totals drifted {ratios[local]:.2f}x the "
+                f"allowed tolerance over the trajectory"))
+
+    def _run_launch_governed(self, problem: BatchedODEProblem,
+                             t_span: tuple[float, float],
+                             t_eval: np.ndarray,
+                             report: EngineReport) -> BatchSolveResult:
+        """Run one launch under the memory governor (if any).
+
+        When the estimated working set exceeds the budget — or the
+        fault plan injects memory pressure on this launch — the launch
+        is split into contiguous row segments that run independently
+        and merge back via ``merge_rows``. Per-row adaptive stepping
+        makes every row's trajectory independent of its neighbors, so
+        the merged result is bit-identical to the unsplit launch.
+        """
+        governor = self.memory_governor
+        forced_fit_rows = None
+        if self.fault_plan is not None and \
+                self.fault_plan.forces_memory_pressure(report.n_launches):
+            forced_fit_rows = self.fault_plan.oom_fit_rows
+            if forced_fit_rows is None:
+                forced_fit_rows = max(1, (problem.batch_size + 1) // 2)
+            if governor is None:
+                governor = MemoryGovernor()
+        if governor is None:
+            return self._run_launch(problem, t_span, t_eval, report)
+        plan = governor.plan(problem.batch_size, problem.n_species,
+                             self.system.n_reactions, t_eval.size,
+                             self.method, self.device,
+                             forced_fit_rows=forced_fit_rows)
+        if not plan.split:
+            return self._run_launch(problem, t_span, t_eval, report)
+        merged = allocate_result(t_eval, problem.batch_size,
+                                 problem.n_species, 0)
+        merged.counters = problem.counters
+        for start, stop in plan.segments:
+            rows = np.arange(start, stop)
+            segment = self._run_launch(problem.subset(rows), t_span,
+                                       t_eval, report)
+            merged.merge_rows(segment, rows)
+        report.memory_events.append(MemoryEvent(
+            launch_index=report.n_launches,
+            requested_rows=problem.batch_size,
+            granted_rows=plan.segment_rows,
+            n_splits=plan.n_splits,
+            estimated_doubles=plan.estimated_doubles,
+            budget_doubles=plan.budget_doubles,
+            injected=plan.injected))
+        return merged
 
     def _run_launch(self, problem: BatchedODEProblem,
                     t_span: tuple[float, float], t_eval: np.ndarray,
@@ -213,14 +354,19 @@ class BatchSimulator:
     def _retry_failed_rows(self, problem: BatchedODEProblem,
                            chunk: BatchSolveResult,
                            t_span: tuple[float, float], t_eval: np.ndarray,
-                           report: EngineReport) -> None:
+                           report: EngineReport,
+                           invariant_monitor: InvariantMonitor | None = None
+                           ) -> None:
         """Climb the retry ladder for the launch's failed-row subset.
 
         Recovered rows are spliced back into ``chunk`` via
         :meth:`~repro.gpu.batch_result.BatchSolveResult.merge_rows`;
         rows that survive every rung become
         :class:`~repro.resilience.FailureRecord` entries (full
-        per-attempt history) in ``report.quarantine``.
+        per-attempt history) in ``report.quarantine``. Retried results
+        are re-checked against the invariant monitor before a row
+        counts as recovered — a rung that converges but still drifts is
+        not a rescue.
         """
         failed = np.flatnonzero(chunk.failed_mask)
         if failed.size == 0:
@@ -239,7 +385,11 @@ class BatchSimulator:
                 break
             options = stage.derive_options(self.options)
             solver = self._retry_solver(stage.method, options)
-            retried = solver.solve(problem.subset(failed), t_span, t_eval)
+            subproblem = problem.subset(failed)
+            retried = solver.solve(subproblem, t_span, t_eval)
+            if invariant_monitor is not None:
+                self._check_invariants(invariant_monitor, report.guard_log,
+                                       subproblem, retried)
             report.n_retried_rows += int(failed.size)
             for local, row in enumerate(failed):
                 histories[int(row)].append(RetryAttempt(

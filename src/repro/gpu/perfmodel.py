@@ -71,6 +71,9 @@ def memory_footprint_doubles(batch_size: int, n_species: int,
     total = trajectories + integrator_state + parameters
     if method in ("auto", "radau5"):
         total += 4 * batch_size * n_species * n_species
+    elif method == "bdf":
+        # Jacobians plus the real Newton-iteration inverses.
+        total += 2 * batch_size * n_species * n_species
     return int(total)
 
 

@@ -1,0 +1,56 @@
+"""Runtime numerical-integrity guards for the batched kernels.
+
+The campaign resilience layer (:mod:`repro.resilience`) catches
+simulations that *fail*; this package catches simulations that *finish
+wrong* — and launches that would not fit on the device at all. It sits
+between the two: below the retry ladder (guard verdicts are just new
+failure causes the ladder and the quarantine log handle uniformly) and
+above the integrators (which call the in-kernel hooks on every accepted
+step).
+
+Three guard families:
+
+* **Invariant monitors** (:class:`InvariantMonitor`) derive the model's
+  conservation laws from the left null space of the stoichiometric
+  matrix (:func:`repro.model.stoichiometry.conservation_laws`) and flag
+  rows whose conserved totals drift beyond a configured tolerance — the
+  failure mode where a trajectory converges, looks smooth, and is
+  silently wrong.
+* **State-validity guards** (:class:`KernelGuard`) run inside the
+  batched integrators: negativity detection with optional
+  projection-to-nonnegative clamping (conservation-restoring, see
+  :func:`project_nonnegative`), non-finite sentinels and
+  step-size-collapse classification. Each violation is a typed
+  :class:`GuardViolation` collected in a :class:`GuardLog`.
+* **The memory governor** (:class:`MemoryGovernor`) estimates a
+  launch's device working set from the perf model, enforces a memory
+  budget and transparently splits over-budget launches with exponential
+  backoff — a would-be hard OOM failure degrades into a slower but
+  complete campaign.
+
+Everything is opt-in: the engine runs guard-free unless given a
+:class:`GuardConfig` / :class:`MemoryGovernor`, and
+``GuardConfig(enabled=False)`` turns a configured guard into a no-op.
+
+This package deliberately imports nothing from :mod:`repro.gpu` at
+module level (the engine imports *us*); the governor pulls the
+footprint model in lazily at plan time.
+"""
+
+from __future__ import annotations
+
+from .config import GuardConfig
+from .governor import LaunchPlan, MemoryEvent, MemoryGovernor
+from .invariants import InvariantMonitor, project_nonnegative
+from .state import KernelGuard
+from .violations import (GUARD_KINDS, INVARIANT_DRIFT, NEGATIVE_STATE,
+                         NON_FINITE, STEP_COLLAPSE, GuardLog, GuardViolation)
+
+__all__ = [
+    "GuardConfig",
+    "LaunchPlan", "MemoryEvent", "MemoryGovernor",
+    "InvariantMonitor", "project_nonnegative",
+    "KernelGuard",
+    "GUARD_KINDS", "INVARIANT_DRIFT", "NEGATIVE_STATE", "NON_FINITE",
+    "STEP_COLLAPSE", "GuardLog", "GuardViolation",
+]

@@ -1,0 +1,77 @@
+"""Configuration of the numerical-integrity guards."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import GuardError
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Knobs of the runtime integrity guards.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch. ``False`` turns every check into a no-op so a
+        deployment can carry a tuned config and flip guards off for a
+        raw-throughput run without losing the tuning.
+    check_invariants:
+        Monitor the model's conservation laws (left null space of the
+        stoichiometric matrix) on every finished trajectory and flag
+        rows whose conserved totals drift out of tolerance.
+    invariant_rtol, invariant_atol:
+        Drift tolerance, in the solver-tolerance convention: a row
+        violates when ``|w.x(t) - w.x(0)| > atol + rtol * |w.x(0)|``
+        for any law w and save time t. The defaults leave two decades
+        of headroom over the default integration tolerances, so a
+        healthy solve never trips them.
+    check_negativity:
+        Detect state components below zero on accepted steps.
+    negativity_band:
+        Relative width of the *clampable* band: a component above
+        ``-band * (1 + max|x0|)`` is considered floating-point noise
+        and is eligible for clamping; anything below it is a material
+        violation.
+    clamp_negatives:
+        Project noise-band negative states back to the non-negative
+        orthant (with conservation restored when the model has
+        invariants) instead of only reporting them.
+    check_nonfinite:
+        Flag NaN/inf accepted states and NaN-poisoned step sizes.
+    check_step_collapse:
+        Classify step-size underflow (the symptom of an unintegrable
+        row) as a typed guard violation instead of a bare failure.
+    """
+
+    enabled: bool = True
+    check_invariants: bool = True
+    invariant_rtol: float = 1e-4
+    invariant_atol: float = 1e-7
+    check_negativity: bool = True
+    negativity_band: float = 1e-7
+    clamp_negatives: bool = True
+    check_nonfinite: bool = True
+    check_step_collapse: bool = True
+
+    def __post_init__(self) -> None:
+        if not (self.invariant_rtol > 0.0 and self.invariant_atol >= 0.0):
+            raise GuardError(
+                f"invalid invariant tolerances rtol={self.invariant_rtol}, "
+                f"atol={self.invariant_atol}")
+        if not (self.negativity_band >= 0.0):
+            raise GuardError(
+                f"negativity_band must be >= 0, got {self.negativity_band}")
+
+    def replace(self, **changes) -> "GuardConfig":
+        """Copy with selected fields changed."""
+        return replace(self, **changes)
+
+    @classmethod
+    def disabled(cls) -> "GuardConfig":
+        """A config whose checks are all off (useful as a baseline)."""
+        return cls(enabled=False)
+
+
+DEFAULT_GUARDS = GuardConfig()

@@ -1,0 +1,133 @@
+"""Typed records of numerical-integrity violations.
+
+A :class:`GuardViolation` names *what* went numerically wrong with one
+simulation row (the kind), *where* (global row id and simulation time)
+and *how badly* (a kind-specific magnitude). Violations are collected
+in a :class:`GuardLog` on the engine report; the row itself is marked
+with the ``guard_violation`` status so the retry ladder, the quarantine
+log and the PSA/SA/PE masking treat it exactly like any other solver
+failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import GuardError
+
+#: A conserved total drifted beyond tolerance (magnitude: worst drift
+#: as a multiple of the allowed tolerance, > 1 by construction).
+INVARIANT_DRIFT = "invariant-drift"
+#: A state component went materially negative (magnitude: most negative
+#: component value).
+NEGATIVE_STATE = "negative-state"
+#: A NaN/inf state or step size (magnitude: NaN).
+NON_FINITE = "non-finite"
+#: The adaptive step size collapsed below resolvable width (magnitude:
+#: the collapsed step size).
+STEP_COLLAPSE = "step-collapse"
+
+GUARD_KINDS = (INVARIANT_DRIFT, NEGATIVE_STATE, NON_FINITE, STEP_COLLAPSE)
+
+
+@dataclass(frozen=True)
+class GuardViolation:
+    """One integrity violation of one simulation row.
+
+    ``row`` is the row's *global* identity (its index in the full
+    campaign batch), so violations line up with
+    :class:`~repro.resilience.QuarantineLog` rows and analysis masks.
+    """
+
+    kind: str
+    row: int
+    time: float
+    magnitude: float
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in GUARD_KINDS:
+            raise GuardError(f"unknown guard violation kind {self.kind!r}; "
+                             f"expected one of {GUARD_KINDS}")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "row": int(self.row),
+                "time": float(self.time),
+                "magnitude": float(self.magnitude), "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GuardViolation":
+        return cls(str(data["kind"]), int(data["row"]),
+                   float(data["time"]), float(data["magnitude"]),
+                   str(data.get("detail", "")))
+
+
+@dataclass
+class GuardLog:
+    """Collected guard violations of one engine run or campaign.
+
+    ``n_clamped_steps`` counts the benign repairs — accepted steps on
+    which noise-band negative components were projected back to the
+    non-negative orthant. Clamps are bookkeeping, not violations: the
+    row continues integrating.
+    """
+
+    violations: list[GuardViolation] = field(default_factory=list)
+    n_clamped_steps: int = 0
+
+    def add(self, violation: GuardViolation) -> None:
+        self.violations.append(violation)
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self):
+        return iter(self.violations)
+
+    def __bool__(self) -> bool:
+        return bool(self.violations)
+
+    def rows(self) -> np.ndarray:
+        """Distinct violated global row ids, sorted, shape (V,)."""
+        return np.array(sorted({v.row for v in self.violations}),
+                        dtype=np.int64)
+
+    def by_kind(self, kind: str) -> list[GuardViolation]:
+        return [v for v in self.violations if v.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """Violation counts per kind (only kinds that occurred)."""
+        result: dict[str, int] = {}
+        for violation in self.violations:
+            result[violation.kind] = result.get(violation.kind, 0) + 1
+        return result
+
+    def merge(self, other: "GuardLog", row_offset: int = 0) -> None:
+        """Absorb another log, shifting its rows into this index space."""
+        for violation in other.violations:
+            self.violations.append(GuardViolation(
+                violation.kind, violation.row + row_offset, violation.time,
+                violation.magnitude, violation.detail))
+        self.n_clamped_steps += other.n_clamped_steps
+
+    def to_dicts(self) -> list[dict]:
+        return [violation.to_dict() for violation in self.violations]
+
+    @classmethod
+    def from_dicts(cls, data: list[dict]) -> "GuardLog":
+        return cls([GuardViolation.from_dict(entry) for entry in data])
+
+    def summary(self) -> str:
+        """One line per kind plus the clamp counter."""
+        if not self.violations and not self.n_clamped_steps:
+            return "guards: clean"
+        lines = [f"guards: {len(self.violations)} violation(s) on "
+                 f"{self.rows().size} row(s), "
+                 f"{self.n_clamped_steps} clamped step(s)"]
+        for kind, count in sorted(self.counts().items()):
+            rows = sorted({v.row for v in self.violations
+                           if v.kind == kind})
+            lines.append(f"  {kind}: {count} on rows {rows}")
+        return "\n".join(lines)

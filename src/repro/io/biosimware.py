@@ -95,6 +95,25 @@ def read_model(folder: str | Path) -> ReactionBasedModel:
             f"M_0 has {initial.shape[0]} entries for {n_species} species")
     if np.any(left < 0) or np.any(right < 0):
         raise FormatError("stoichiometric coefficients must be >= 0")
+    bad = ~np.isfinite(initial)
+    if np.any(bad):
+        culprit = names[int(np.flatnonzero(bad)[0])]
+        raise FormatError(
+            f"M_0 in {folder}: species {culprit!r} has non-finite initial "
+            f"amount {initial[bad][0]}; fix the file before simulating")
+    bad = initial < 0.0
+    if np.any(bad):
+        culprit = names[int(np.flatnonzero(bad)[0])]
+        raise FormatError(
+            f"M_0 in {folder}: species {culprit!r} has negative initial "
+            f"amount {initial[bad][0]}; amounts must be >= 0")
+    bad = ~np.isfinite(constants)
+    if np.any(bad):
+        index = int(np.flatnonzero(bad)[0])
+        raise FormatError(
+            f"c_vector in {folder}: reaction 'R{index}' has non-finite "
+            f"rate constant {constants[index]}; fix the file before "
+            f"simulating")
 
     model = ReactionBasedModel(folder.name or "biosimware-model")
     for name, concentration in zip(names, initial):
@@ -133,6 +152,28 @@ def read_batch(folder: str | Path) -> ParameterizationBatch:
         raise FormatError(
             f"cs_vector has {constants.shape[0]} rows but MX_0 has "
             f"{states.shape[0]}")
+    names = model.species.names
+    bad = ~np.isfinite(constants)
+    if np.any(bad):
+        row, reaction = map(int, np.argwhere(bad)[0])
+        raise FormatError(
+            f"cs_vector in {folder}: row {row} has non-finite rate "
+            f"constant {constants[row, reaction]} for reaction "
+            f"'R{reaction}'; fix the file before simulating")
+    bad = ~np.isfinite(states)
+    if np.any(bad):
+        row, column = map(int, np.argwhere(bad)[0])
+        raise FormatError(
+            f"MX_0 in {folder}: row {row} has non-finite initial amount "
+            f"{states[row, column]} for species {names[column]!r}; fix "
+            f"the file before simulating")
+    bad = states < 0.0
+    if np.any(bad):
+        row, column = map(int, np.argwhere(bad)[0])
+        raise FormatError(
+            f"MX_0 in {folder}: row {row} has negative initial amount "
+            f"{states[row, column]} for species {names[column]!r}; "
+            f"amounts must be >= 0")
     return ParameterizationBatch(constants, states)
 
 

@@ -18,6 +18,7 @@ inside this subset.
 
 from __future__ import annotations
 
+import math
 import xml.etree.ElementTree as ElementTree
 from pathlib import Path
 
@@ -98,8 +99,23 @@ def _read_model(model_el, namespaced: bool, path) -> ReactionBasedModel:
         identifier = species_el.get("id")
         if not identifier:
             raise FormatError(f"{path}: species without id")
-        concentration = float(species_el.get("initialConcentration", "0")
-                              or 0.0)
+        raw = species_el.get("initialConcentration", "0") or 0.0
+        try:
+            concentration = float(raw)
+        except ValueError:
+            raise FormatError(
+                f"{path}: species {identifier!r} has unparseable "
+                f"initialConcentration {raw!r}") from None
+        if not math.isfinite(concentration):
+            raise FormatError(
+                f"{path}: species {identifier!r} has non-finite "
+                f"initialConcentration {concentration}; fix the document "
+                f"before simulating")
+        if concentration < 0.0:
+            raise FormatError(
+                f"{path}: species {identifier!r} has negative "
+                f"initialConcentration {concentration}; concentrations "
+                f"must be >= 0")
         model.add_species(identifier, concentration)
 
     reaction_list = model_el.find(tag("listOfReactions"))
@@ -156,7 +172,20 @@ def _read_rate(reaction_el, tag, path) -> float:
         for parameter in params_el.findall(tag("localParameter")) + \
                 params_el.findall(tag("parameter")):
             if parameter.get("id") == "k":
-                return float(parameter.get("value"))
+                raw = parameter.get("value")
+                reaction_id = reaction_el.get("id")
+                try:
+                    rate = float(raw)
+                except (TypeError, ValueError):
+                    raise FormatError(
+                        f"{path}: reaction {reaction_id!r} has "
+                        f"unparseable rate constant {raw!r}") from None
+                if not math.isfinite(rate):
+                    raise FormatError(
+                        f"{path}: reaction {reaction_id!r} has non-finite "
+                        f"rate constant {rate}; fix the document before "
+                        f"simulating")
+                return rate
     raise FormatError(
         f"{path}: reaction {reaction_el.get('id')!r} has no local "
         "parameter 'k' (only mass-action subset documents are supported)")

@@ -36,6 +36,30 @@ from .rbm import ReactionBasedModel
 
 POLICIES = ("hybrid", "coarse", "fine")
 
+_PROBE_WIDTHS = (2, 3, 5, 9, 17)
+
+
+def _gemm_rows_are_width_stable(net: np.ndarray) -> bool:
+    """Check that each row of ``fluxes @ net`` is bit-independent of
+    the number of rows in ``fluxes``.
+
+    Integrators gather the active subset of a batch before every RHS
+    call and the memory governor re-runs arbitrary sub-batches, so row
+    results must not depend on array width.  Whether BLAS satisfies
+    this depends on the library's row-blocking microkernels (it holds
+    for small inner dimensions, breaks somewhere around 8 on common
+    builds) — so measure the installed library against the model's own
+    net matrix instead of assuming a threshold.
+    """
+    rng = np.random.default_rng(0x5EED)
+    probe = rng.standard_normal((32, net.shape[0]))
+    reference = probe @ net
+    padded_single = np.concatenate([probe[:1], probe[:1]])
+    if not np.array_equal(reference[:1], (padded_single @ net)[:1]):
+        return False
+    return all(np.array_equal(reference[:w], probe[:w] @ net)
+               for w in _PROBE_WIDTHS)
+
 
 @dataclass(frozen=True)
 class _GenericMonomial:
@@ -65,6 +89,14 @@ class ODESystem:
         # sparse ones through the CSR product.
         self._dense_stoichiometry = (
             self.n_species * self.n_reactions <= 4_000_000)
+        # Memory-governed launch splits are only bit-identical if each
+        # row's RHS is independent of how many rows share the array.
+        # BLAS gemm blocks over rows once the inner dimension exceeds
+        # its microkernel width, so probe the actual library with the
+        # actual net matrix and fall back to the (row-deterministic)
+        # CSR product when the dense path fails the probe.
+        self._row_stable_gemm = (self._dense_stoichiometry
+                                 and _gemm_rows_are_width_stable(self._net))
         self._compile()
 
     # ------------------------------------------------------------------
@@ -255,9 +287,16 @@ class ODESystem:
     def _rhs_hybrid(self, states: np.ndarray,
                     constants: np.ndarray) -> np.ndarray:
         fluxes = self.flux(states, constants)
-        if self._dense_stoichiometry:
+        if self._row_stable_gemm:
+            if fluxes.shape[0] == 1:
+                # A single row dispatches to gemv, which rounds
+                # differently from gemm; evaluate the duplicated
+                # two-row product so a lone surviving simulation gets
+                # the exact same bits it would inside a wider batch.
+                return (np.concatenate([fluxes, fluxes]) @ self._net)[:1]
             return fluxes @ self._net                    # BLAS (B,M)@(M,N)
-        # (N, M) sparse @ (M, B) -> (N, B)
+        # (N, M) sparse @ (M, B) -> (N, B); scipy's CSR product is a
+        # fixed-order accumulation, so rows are width-independent.
         return self._net_csc_t.dot(fluxes.T).T
 
     def _rhs_coarse(self, states: np.ndarray,

@@ -6,6 +6,15 @@ campaign runner honor:
 * ``nan_rows`` — the batched RHS returns NaN for these (global) rows on
   every evaluation: a *persistent* fault that defeats every retry rung
   and must land the row in the quarantine log.
+* ``drift_rows`` / ``drift_rate`` — the batched RHS gains a constant
+  bias on these rows, steadily violating the model's conservation laws
+  while staying perfectly integrable: the fault only the invariant
+  monitor (:mod:`repro.guards`) can see. Persistent, so it defeats the
+  retry ladder and must end in quarantine.
+* ``oom_launches`` / ``oom_fit_rows`` — these launches report device
+  memory pressure: any segment wider than ``oom_fit_rows`` "does not
+  fit", forcing the memory governor to split the launch. Exercises the
+  degraded path without needing a small device.
 * ``fail_launches`` — the first pass of these launches is forcibly
   marked BROKEN after it runs: a *transient* fault the retry ladder
   recovers from.
@@ -39,16 +48,32 @@ class FaultPlan:
     fail_launches: tuple[int, ...] = ()
     crash_after_launches: int | None = None
     deadline_after_chunks: int | None = None
+    drift_rows: tuple[int, ...] = ()
+    drift_rate: float = 1.0
+    oom_launches: tuple[int, ...] = ()
+    oom_fit_rows: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nan_rows",
                            tuple(int(r) for r in self.nan_rows))
         object.__setattr__(self, "fail_launches",
                            tuple(int(i) for i in self.fail_launches))
+        object.__setattr__(self, "drift_rows",
+                           tuple(int(r) for r in self.drift_rows))
+        object.__setattr__(self, "oom_launches",
+                           tuple(int(i) for i in self.oom_launches))
         if any(r < 0 for r in self.nan_rows):
             raise ResilienceError("nan_rows must be non-negative")
         if any(i < 0 for i in self.fail_launches):
             raise ResilienceError("fail_launches must be non-negative")
+        if any(r < 0 for r in self.drift_rows):
+            raise ResilienceError("drift_rows must be non-negative")
+        if not np.isfinite(self.drift_rate):
+            raise ResilienceError("drift_rate must be finite")
+        if any(i < 0 for i in self.oom_launches):
+            raise ResilienceError("oom_launches must be non-negative")
+        if self.oom_fit_rows is not None and self.oom_fit_rows < 1:
+            raise ResilienceError("oom_fit_rows must be >= 1")
         if self.crash_after_launches is not None \
                 and self.crash_after_launches < 0:
             raise ResilienceError("crash_after_launches must be >= 0")
@@ -68,10 +93,23 @@ class FaultPlan:
             return np.zeros(row_ids.shape[0], dtype=bool)
         return np.isin(row_ids, np.asarray(self.nan_rows, dtype=np.int64))
 
+    @property
+    def injects_drift(self) -> bool:
+        return bool(self.drift_rows)
+
+    def drift_mask(self, row_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``row_ids`` of rows with biased derivatives."""
+        if not self.drift_rows:
+            return np.zeros(row_ids.shape[0], dtype=bool)
+        return np.isin(row_ids, np.asarray(self.drift_rows, dtype=np.int64))
+
     # -- launch-level faults ---------------------------------------------
 
     def forces_launch_failure(self, launch_index: int) -> bool:
         return launch_index in self.fail_launches
+
+    def forces_memory_pressure(self, launch_index: int) -> bool:
+        return launch_index in self.oom_launches
 
     def crashes_before_launch(self, launch_index: int) -> bool:
         return (self.crash_after_launches is not None
@@ -83,14 +121,19 @@ class FaultPlan:
                   stop: int) -> "FaultPlan":
         """The plan as seen by the engine running one campaign chunk.
 
-        Global ``nan_rows`` are re-based onto the chunk's local row
-        space; a chunk listed in ``fail_launches`` fails its (first)
-        launch. Crash and deadline triggers are handled by the campaign
-        runner itself, so they are stripped here.
+        Global ``nan_rows`` and ``drift_rows`` are re-based onto the
+        chunk's local row space; a chunk listed in ``fail_launches``
+        fails its (first) launch, one listed in ``oom_launches``
+        pressures it. Crash and deadline triggers are handled by the
+        campaign runner itself, so they are stripped here.
         """
         local_nan = tuple(r - start for r in self.nan_rows
                           if start <= r < stop)
+        local_drift = tuple(r - start for r in self.drift_rows
+                            if start <= r < stop)
         local_fail = (0,) if chunk_index in self.fail_launches else ()
+        local_oom = (0,) if chunk_index in self.oom_launches else ()
         return replace(self, nan_rows=local_nan, fail_launches=local_fail,
                        crash_after_launches=None,
-                       deadline_after_chunks=None)
+                       deadline_after_chunks=None,
+                       drift_rows=local_drift, oom_launches=local_oom)

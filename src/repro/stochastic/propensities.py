@@ -24,11 +24,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ModelError
+from ..errors import GuardError, ModelError
 from ..model import ReactionBasedModel
 
 #: Maximum supported reaction order (number of reactant slots).
 MAX_ORDER = 3
+
+#: Relative width of the negative-propensity noise band: a propensity
+#: above ``-band * (1 + max a)`` is rounding noise and is clamped to
+#: zero; anything below it indicates corrupted counts or constants and
+#: raises :class:`~repro.errors.GuardError`.
+PROPENSITY_CLAMP_BAND = 1e-12
 
 
 @dataclass(frozen=True)
@@ -93,6 +99,19 @@ class StochasticNetwork:
             factor = np.where(filled[None, :],
                               np.maximum(factor, 0.0), 1.0)
             result *= factor
+        if np.any(result < 0.0):
+            worst = float(result.min())
+            band = PROPENSITY_CLAMP_BAND * \
+                (1.0 + float(np.nanmax(np.abs(result), initial=0.0)))
+            if worst < -band:
+                sim, reaction = np.unravel_index(np.argmin(result),
+                                                 result.shape)
+                raise GuardError(
+                    f"materially negative propensity {worst:.3e} for "
+                    f"reaction {int(reaction)} (simulation {int(sim)}); "
+                    f"counts or converted rate constants are corrupted "
+                    f"(clampable band is -{band:.3e})")
+            np.maximum(result, 0.0, out=result)
         return result
 
 

@@ -172,3 +172,102 @@ class TestConverters:
         assert np.array_equal(final.matrices.net, toy_model.matrices.net)
         assert np.allclose(final.rate_constants(),
                            toy_model.rate_constants())
+
+
+class TestLoaderHardening:
+    """Corrupt inputs are rejected at load with messages naming the
+    culprit species/reaction, not discovered mid-campaign as NaNs."""
+
+    SBML_TEMPLATE = """<sbml><model id="m">
+      <listOfSpecies>
+        <species id="A" initialConcentration="{a_init}"/>
+        <species id="B" initialConcentration="1"/>
+      </listOfSpecies>
+      <listOfReactions><reaction id="R_decay">
+        <listOfReactants>
+          <speciesReference species="A" stoichiometry="1"/>
+        </listOfReactants>
+        <listOfProducts>
+          <speciesReference species="B" stoichiometry="1"/>
+        </listOfProducts>
+        <kineticLaw><listOfLocalParameters>
+          <localParameter id="k" value="{rate}"/>
+        </listOfLocalParameters></kineticLaw>
+      </reaction></listOfReactions>
+    </model></sbml>"""
+
+    def write(self, tmp_path, a_init="2.0", rate="0.5"):
+        path = tmp_path / "model.xml"
+        path.write_text(self.SBML_TEMPLATE.format(a_init=a_init, rate=rate))
+        return path
+
+    def test_sbml_nan_initial_amount_rejected(self, tmp_path):
+        with pytest.raises(FormatError, match="'A'"):
+            read_sbml(self.write(tmp_path, a_init="nan"))
+
+    def test_sbml_negative_initial_amount_rejected(self, tmp_path):
+        with pytest.raises(FormatError, match="'A'"):
+            read_sbml(self.write(tmp_path, a_init="-1.0"))
+
+    def test_sbml_unparseable_initial_amount_rejected(self, tmp_path):
+        with pytest.raises(FormatError, match="'A'"):
+            read_sbml(self.write(tmp_path, a_init="plenty"))
+
+    def test_sbml_nonfinite_rate_rejected(self, tmp_path):
+        with pytest.raises(FormatError, match="R_decay"):
+            read_sbml(self.write(tmp_path, rate="inf"))
+
+    def test_sbml_unparseable_rate_rejected(self, tmp_path):
+        with pytest.raises(FormatError, match="R_decay"):
+            read_sbml(self.write(tmp_path, rate="fast"))
+
+    def test_biosimware_nan_initial_amount_rejected(self, toy_model,
+                                                    tmp_path):
+        folder = write_model(toy_model, tmp_path / "toy")
+        initial = (folder / "M_0").read_text().split("\t")
+        initial[1] = "nan"
+        (folder / "M_0").write_text("\t".join(initial))
+        with pytest.raises(FormatError, match="'B'"):
+            read_model(folder)
+
+    def test_biosimware_negative_initial_amount_rejected(self, toy_model,
+                                                         tmp_path):
+        folder = write_model(toy_model, tmp_path / "toy")
+        initial = (folder / "M_0").read_text().split("\t")
+        initial[0] = "-3.0"
+        (folder / "M_0").write_text("\t".join(initial))
+        with pytest.raises(FormatError, match="'A'"):
+            read_model(folder)
+
+    def test_biosimware_nonfinite_rate_rejected(self, toy_model, tmp_path):
+        folder = write_model(toy_model, tmp_path / "toy")
+        rates = (folder / "c_vector").read_text().splitlines()
+        rates[2] = "inf"
+        (folder / "c_vector").write_text("\n".join(rates) + "\n")
+        with pytest.raises(FormatError, match="R2"):
+            read_model(folder)
+
+    def test_biosimware_batch_nan_state_rejected(self, toy_model, tmp_path):
+        batch = perturbed_batch(toy_model.nominal_parameterization(), 3,
+                                np.random.default_rng(0))
+        folder = write_model(toy_model, tmp_path / "toy", batch=batch)
+        lines = (folder / "MX_0").read_text().splitlines()
+        row = lines[1].split("\t")
+        row[2] = "nan"
+        lines[1] = "\t".join(row)
+        (folder / "MX_0").write_text("\n".join(lines) + "\n")
+        with pytest.raises(FormatError, match="row 1"):
+            read_batch(folder)
+
+    def test_biosimware_batch_nonfinite_rate_rejected(self, toy_model,
+                                                      tmp_path):
+        batch = perturbed_batch(toy_model.nominal_parameterization(), 3,
+                                np.random.default_rng(0))
+        folder = write_model(toy_model, tmp_path / "toy", batch=batch)
+        lines = (folder / "cs_vector").read_text().splitlines()
+        row = lines[2].split("\t")
+        row[0] = "-inf"
+        lines[2] = "\t".join(row)
+        (folder / "cs_vector").write_text("\n".join(lines) + "\n")
+        with pytest.raises(FormatError, match="'R0'"):
+            read_batch(folder)

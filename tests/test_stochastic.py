@@ -219,3 +219,31 @@ class TestEngine:
     def test_invalid_max_events_rejected(self):
         with pytest.raises(SolverError):
             BatchSSA(max_events=0)
+
+
+class TestPropensityGuards:
+    def build(self):
+        return build_network(dimerization(), volume=100.0)
+
+    def test_clean_counts_untouched(self):
+        network = self.build()
+        counts = np.array([[40.0, 10.0], [8.0, 2.0]])
+        values = network.propensities(counts)
+        assert np.all(values >= 0.0)
+        assert np.all(np.isfinite(values))
+
+    def test_tiny_negative_propensity_clamped(self):
+        network = self.build()
+        network.rate_constants_counts[0] = -1e-16
+        values = network.propensities(np.array([[40.0, 10.0]]))
+        assert np.all(values >= 0.0)
+
+    def test_materially_negative_propensity_raises(self):
+        from repro.errors import GuardError
+        network = self.build()
+        network.rate_constants_counts[1] = -2.0
+        with pytest.raises(GuardError) as info:
+            network.propensities(np.array([[40.0, 10.0], [4.0, 1.0]]))
+        message = str(info.value)
+        assert "reaction 1" in message
+        assert "simulation 0" in message
