@@ -25,7 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from .core import simulate as run_simulation
-from .errors import ReproError
+from .errors import LintGateError, ReproError
 from .io import (read_batch, read_model, read_sbml, read_t_vector,
                  sbml_to_biosimware, write_model, write_sbml)
 from .model import ReactionBasedModel, perturbed_batch
@@ -108,16 +108,45 @@ def _command_analyze(args) -> int:
 
 
 def _command_lint(args) -> int:
-    from .lint import lint_file, lint_kernels, lint_model
+    from .lint import (iter_rules, lint_deep, lint_file, lint_gate,
+                       lint_kernels, lint_model, render_rule_table,
+                       write_baseline)
+    import json as json_module
 
-    if args.self:
+    if args.list_rules:
+        if args.format == "json":
+            print(json_module.dumps(
+                [rule.to_dict() for rule in iter_rules()], indent=2))
+        else:
+            print(render_rule_table())
+        return 0
+
+    if args.deep:
+        paths, root = _deep_subject(args)
+        if args.write_baseline:
+            # Analyze without subtracting, then persist what's left
+            # after waivers as the new accepted set.
+            report = lint_deep(
+                paths, root=root,
+                baseline_path=Path("/nonexistent-baseline"))
+            target = args.baseline or _default_baseline_path()
+            count = write_baseline(report, target)
+            print(f"wrote {count} baseline entr"
+                  f"{'y' if count == 1 else 'ies'} to {target}")
+            return 0
+        report = lint_deep(paths, root=root,
+                           baseline_path=args.baseline)
+    elif args.self:
         report = lint_kernels()
     elif args.model is None:
-        raise ReproError("lint needs a MODEL argument or --self")
+        raise ReproError("lint needs a MODEL argument, --self, --deep "
+                         "or --list-rules")
     else:
         path = Path(args.model)
         if path.suffix == ".py":
             report = lint_file(path)
+        elif args.gate:
+            report = lint_gate(_load_model(path), fail_on=args.fail_on)
         else:
             report = lint_model(_load_model(path))
 
@@ -126,6 +155,28 @@ def _command_lint(args) -> int:
     else:
         print(report.render_text())
     return 1 if report.exceeds(args.fail_on) else 0
+
+
+def _deep_subject(args) -> tuple[list[Path] | None, Path | None]:
+    """(files, report root) of the deep analysis; (None, None) means
+    the installed package."""
+    if args.model is None:
+        return None, None
+    path = Path(args.model)
+    if path.is_dir():
+        files = sorted(path.rglob("*.py"))
+        if not files:
+            raise ReproError(f"no .py files under {path}")
+        return files, path
+    if path.suffix == ".py":
+        return [path], path.parent
+    raise ReproError(
+        f"--deep analyzes Python sources, not {path}")
+
+
+def _default_baseline_path() -> Path:
+    from .lint import DEFAULT_BASELINE
+    return DEFAULT_BASELINE
 
 
 def _command_convert(args) -> int:
@@ -206,6 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
                            "severity (default: error)")
     lint.add_argument("--self", action="store_true",
                       help="lint the package's own shipped batch kernels")
+    lint.add_argument("--deep", action="store_true",
+                      help="run the dataflow determinism/contract "
+                           "analyzer (DET0xx/CON0xx) over the package "
+                           "source (or MODEL when it is a .py file or "
+                           "a directory)")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="baseline JSON to subtract from --deep "
+                           "findings (default: the committed package "
+                           "baseline)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="with --deep: persist the current findings "
+                           "as the new baseline instead of reporting "
+                           "them")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every registered rule (id, family, "
+                           "severity, summary) and exit")
+    lint.add_argument("--gate", action="store_true",
+                      help="run the model through lint_gate: exit 3 "
+                           "(LintGateError) when it fails at/above "
+                           "--fail-on")
     lint.set_defaults(handler=_command_lint)
 
     convert = commands.add_parser("convert",
@@ -230,6 +301,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except LintGateError as error:
+        # Distinct from crashes (exit 2) so CI can tell a gate
+        # rejection from a broken analyzer.
+        print(f"lint gate: {error}", file=sys.stderr)
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -44,6 +44,22 @@ class LintError(ReproError):
     severity threshold (see :mod:`repro.lint`)."""
 
 
+class LintGateError(LintError):
+    """A lint gate refused to launch: findings at or above the gate's
+    severity threshold.
+
+    Distinct from :class:`LintError` (which also covers analyzer
+    malfunctions such as unreadable sources) so that callers — and the
+    CLI exit-code contract — can tell "the gate correctly rejected this
+    subject" from "the linter itself crashed". Carries the offending
+    :class:`~repro.lint.report.LintReport` as ``report``.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 class ResilienceError(ReproError):
     """A resilience component (retry policy, fault plan, campaign
     checkpoint) is misconfigured or a journal is inconsistent with the

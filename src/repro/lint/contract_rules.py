@@ -1,0 +1,288 @@
+"""Cross-layer contract rules CON001–CON004 of the deep analyzer.
+
+Where the DET family proves local dataflow properties, these rules
+check *inter-module* contracts: declarations in one layer (status
+codes, fault-injection fields, exception types, waiver pragmas) must
+have consumers in another. A contract that nothing consumes is either
+dead weight or — worse — a handler someone deleted without noticing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .dataflow import ModuleInfo, ProjectIndex, attr_chain
+
+#: Deep contract rules: rule ID -> (default severity, one-line doc).
+CON_RULES = {
+    "CON001": ("error", "declared status code has no handler outside "
+                        "its defining module"),
+    "CON002": ("warning", "fault-injection field is consumed by no "
+                          "integrator or governor"),
+    "CON003": ("warning", "exception type is never raised, or raised "
+                          "but neither caught nor documented"),
+    "CON004": ("warning", "stale deep-analysis waiver suppresses "
+                          "nothing"),
+}
+
+
+# ----------------------------------------------------------------------
+# CON001 — status codes must be exhaustively handled
+
+
+def _status_declarations(module: ModuleInfo, dict_name: str):
+    """(lineno, [status constant names]) for each status-name table."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Dict) \
+                and any(isinstance(target, ast.Name)
+                        and target.id == dict_name
+                        for target in node.targets):
+            names = [key.id for key in node.value.keys
+                     if isinstance(key, ast.Name)]
+            if names:
+                yield node.lineno, names
+
+
+def rule_con001(index: ProjectIndex, config, emit) -> None:
+    for module in index.modules:
+        for lineno, names in _status_declarations(
+                module, config.status_dict_name):
+            for status in names:
+                if not _loaded_elsewhere(index, module, status):
+                    emit("CON001", module, lineno,
+                         f"status code {status} is declared in "
+                         f"{config.status_dict_name} but no other "
+                         "module reads it: quarantine, guard "
+                         "re-stamping and analysis masking cannot be "
+                         "handling it",
+                         "handle (or retire) the status everywhere "
+                         "results are consumed")
+
+
+def _loaded_elsewhere(index: ProjectIndex, defining: ModuleInfo,
+                      name: str) -> bool:
+    for module in index.modules:
+        if module is defining:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name) and node.id == name \
+                    and isinstance(node.ctx, ast.Load):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# CON002 — fault-plan fields must have consumers
+
+
+class _ContractClass:
+    """A frozen contract dataclass and how its fields are read."""
+
+    def __init__(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.fields: dict[str, int] = {}
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) \
+                    and isinstance(statement.target, ast.Name):
+                self.fields[statement.target.id] = statement.lineno
+        #: accessor name -> contract fields it reads via ``self.<f>``.
+        self.accessor_reads: dict[str, set[str]] = {}
+        for statement in node.body:
+            if not isinstance(statement, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                continue
+            if statement.name.startswith("__") \
+                    or self._is_remap(statement):
+                continue
+            reads = {sub.attr for sub in ast.walk(statement)
+                     if isinstance(sub, ast.Attribute)
+                     and isinstance(sub.value, ast.Name)
+                     and sub.value.id == "self"
+                     and sub.attr in self.fields}
+            if reads:
+                self.accessor_reads[statement.name] = reads
+
+    @staticmethod
+    def _is_remap(method: ast.AST) -> bool:
+        """True for methods like ``for_chunk`` that rebuild the whole
+        object via ``dataclasses.replace(self, ...)`` — they mention
+        every field without consuming any of them."""
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if chain and chain[-1] == "replace" and node.args \
+                        and isinstance(node.args[0], ast.Name) \
+                        and node.args[0].id == "self":
+                    return True
+        return False
+
+
+def rule_con002(index: ProjectIndex, config, emit) -> None:
+    for module in index.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) \
+                    and node.name in config.contract_classes:
+                _check_contract_class(index, _ContractClass(module, node),
+                                      emit)
+
+
+def _check_contract_class(index: ProjectIndex, contract: _ContractClass,
+                          emit) -> None:
+    external_attrs: set[str] = set()
+    for module in index.modules:
+        if module is contract.module:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) \
+                    and isinstance(node.ctx, ast.Load):
+                external_attrs.add(node.attr)
+    consumed = set(contract.fields) & external_attrs
+    for accessor, reads in contract.accessor_reads.items():
+        if accessor in external_attrs:
+            consumed |= reads
+    for field, lineno in contract.fields.items():
+        if field not in consumed:
+            emit("CON002", contract.module, lineno,
+                 f"{contract.node.name}.{field} is declared but no "
+                 "integrator, governor or campaign driver consumes it "
+                 "(directly or through an accessor): the injection is "
+                 "silently inert",
+                 "consume the field in the layer it targets, or "
+                 "retire it")
+
+
+# ----------------------------------------------------------------------
+# CON003 — exception types: raised, and caught or documented
+
+
+def _exception_classes(module: ModuleInfo) -> dict[str, ast.ClassDef]:
+    classes = {}
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            classes[node.name] = node
+    return classes
+
+
+def _subclass_closure(classes: dict[str, ast.ClassDef]
+                      ) -> dict[str, set[str]]:
+    """name -> {name and all transitive subclasses} (within module)."""
+    children: dict[str, set[str]] = {name: set() for name in classes}
+    for name, node in classes.items():
+        for base in node.bases:
+            base_name = base.id if isinstance(base, ast.Name) else None
+            if base_name in children:
+                children[base_name].add(name)
+    closure = {}
+    for name in classes:
+        seen = {name}
+        frontier = [name]
+        while frontier:
+            for child in children.get(frontier.pop(), ()):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        closure[name] = seen
+    return closure
+
+
+def _ancestor_closure(classes: dict[str, ast.ClassDef]
+                      ) -> dict[str, set[str]]:
+    """name -> {name and all transitive bases} (within module)."""
+    closure = {}
+    for name in classes:
+        seen = {name}
+        frontier = [name]
+        while frontier:
+            node = classes.get(frontier.pop())
+            if node is None:
+                continue
+            for base in node.bases:
+                if isinstance(base, ast.Name) and base.id not in seen:
+                    seen.add(base.id)
+                    frontier.append(base.id)
+        closure[name] = seen
+    return closure
+
+
+def _raised_names(index: ProjectIndex) -> set[str]:
+    raised = set()
+    for module in index.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                chain = attr_chain(exc)
+                if chain:
+                    raised.add(chain[-1])
+    return raised
+
+
+def _caught_names(index: ProjectIndex) -> set[str]:
+    caught = set()
+    for module in index.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) \
+                    and node.type is not None:
+                types = node.type.elts \
+                    if isinstance(node.type, ast.Tuple) else [node.type]
+                for expression in types:
+                    chain = attr_chain(expression)
+                    if chain:
+                        caught.add(chain[-1])
+    return caught
+
+
+def rule_con003(index: ProjectIndex, config, emit) -> None:
+    errors_module = None
+    for module in index.modules:
+        if module.relpath.endswith(config.errors_module):
+            errors_module = module
+            break
+    if errors_module is None:
+        return
+    classes = _exception_classes(errors_module)
+    if not classes:
+        return
+    subclasses = _subclass_closure(classes)
+    ancestors = _ancestor_closure(classes)
+    raised = _raised_names(index)
+    caught = _caught_names(index)
+    documented = set()
+    for module in index.modules:
+        if module is errors_module:
+            continue
+        corpus = module.docstring_corpus()
+        for name in classes:
+            # Docstring mentions outside errors.py count as documented
+            # contract; import lines and raise sites do not (every
+            # raise necessarily imports the name).
+            if name in corpus:
+                documented.add(name)
+    for name, node in classes.items():
+        if not (subclasses[name] & raised):
+            emit("CON003", errors_module, node.lineno,
+                 f"exception type {name} (or any subclass) is never "
+                 "raised: the taxonomy promises an error surface the "
+                 "code does not produce",
+                 "raise it where the failure occurs, or retire it")
+            continue
+        handled = bool(ancestors[name] & caught)
+        if not handled and name not in documented:
+            emit("CON003", errors_module, node.lineno,
+                 f"exception type {name} is raised but neither caught "
+                 "(directly or via a base class) nor referenced "
+                 "anywhere outside its defining module",
+                 "catch it at the API boundary or document the "
+                 "contract")
+
+
+#: Rule id -> implementation (CON004 lives in the driver: stale-waiver
+#: detection needs the post-run waiver consumption state).
+CON_CHECKS = {
+    "CON001": rule_con001,
+    "CON002": rule_con002,
+    "CON003": rule_con003,
+}

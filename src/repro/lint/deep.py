@@ -1,0 +1,232 @@
+"""Driver of the deep static-analysis pass (``repro lint --deep``).
+
+Builds a :class:`~repro.lint.dataflow.ProjectIndex` over the package
+source (or an explicit file set), runs every DET/CON rule, applies
+waiver pragmas and the committed baseline, and reports stale waivers
+(``CON004``) and stale baseline entries (``LNT001``) so both can only
+shrink.
+
+Baseline workflow
+-----------------
+The committed baseline (:data:`DEFAULT_BASELINE`) lists findings that
+are accepted by design. At analysis time each baseline entry cancels at
+most one matching finding — matched by ``(rule, file, message)`` — and
+entries that match nothing become ``LNT001`` findings, which is the
+ratchet: deleting code that fixes a baselined finding forces the
+baseline file to shrink with it. Regenerate with
+:func:`write_baseline` (or ``repro lint --deep --write-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import LintError
+from .contract_rules import CON_CHECKS, CON_RULES
+from .dataflow import ModuleInfo, ProjectIndex
+from .deep_rules import DET_CHECKS, DET_RULES
+from .report import LintReport
+
+#: Every deep rule: id -> (default severity, one-line description).
+DEEP_RULES = {**DET_RULES, **CON_RULES}
+
+#: Baseline shipped next to this module, applied by default when the
+#: analysis root is the repro package itself.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "deep_baseline.json"
+
+#: Prefixes of rule IDs the deep analyzer owns (stale-waiver scope).
+_DEEP_PREFIXES = ("DET", "CON")
+
+BASELINE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DeepConfig:
+    """Project-shape knobs of the deep analyzer.
+
+    The defaults encode this repository's layout; tests override them
+    to point the rules at synthetic trees.
+    """
+
+    #: Module globs whose stage math DET001 audits for width-dependent
+    #: reductions (matched against relpath and basename; the bare
+    #: ``batch_*.py`` entry covers single-file CLI invocations where
+    #: the report root is the file's own directory).
+    kernel_globs: tuple[str, ...] = ("gpu/batch_*.py", "batch_*.py")
+    #: Module globs whose functions root the DET004 campaign/checkpoint
+    #: reachability query.
+    campaign_globs: tuple[str, ...] = ("resilience/*.py",
+                                      "io/checkpoint.py")
+    #: Function-name prefixes that also root the DET004 query.
+    campaign_prefixes: tuple[str, ...] = ("run_",)
+    #: Frozen contract dataclasses CON002 audits field-by-field.
+    contract_classes: tuple[str, ...] = ("FaultPlan",)
+    #: Name of the status-code table CON001 audits.
+    status_dict_name: str = "STATUS_NAMES"
+    #: Relpath suffix identifying the exception-taxonomy module.
+    errors_module: str = "errors.py"
+
+
+DEFAULT_CONFIG = DeepConfig()
+
+
+@dataclass
+class _Emitter:
+    """Waiver-aware finding sink shared by every rule."""
+
+    report: LintReport
+    waived: int = 0
+    severities: dict = field(default_factory=lambda: dict(DEEP_RULES))
+
+    def __call__(self, rule_id: str, module: ModuleInfo, lineno: int,
+                 message: str, hint: str = "",
+                 severity: str | None = None) -> None:
+        if module.waivers.suppresses(rule_id, lineno):
+            self.waived += 1
+            return
+        default_severity = self.severities.get(rule_id, ("warning",))[0]
+        self.report.add(rule_id, severity or default_severity, message,
+                        f"{module.relpath}:{lineno}", hint)
+
+
+def package_source_files(root: Path | None = None) -> list[Path]:
+    """Every ``.py`` file of the repro package (the default subject)."""
+    package_root = (Path(root) if root is not None
+                    else Path(__file__).resolve().parent.parent)
+    return sorted(package_root.rglob("*.py"))
+
+
+def _finding_key(finding) -> tuple[str, str, str]:
+    relfile = finding.location.rsplit(":", 1)[0]
+    return (finding.rule_id, relfile, finding.message)
+
+
+def _apply_baseline(report: LintReport, baseline_path: Path) -> None:
+    try:
+        payload = json.loads(baseline_path.read_text())
+    except OSError as error:
+        raise LintError(
+            f"cannot read baseline {baseline_path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise LintError(
+            f"baseline {baseline_path} is not valid JSON: "
+            f"{error}") from error
+    if payload.get("format_version") != BASELINE_FORMAT_VERSION:
+        raise LintError(
+            f"baseline {baseline_path} has format_version "
+            f"{payload.get('format_version')!r}; this analyzer "
+            f"understands {BASELINE_FORMAT_VERSION}")
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in payload.get("entries", []):
+        key = (entry["rule"], entry["file"], entry["message"])
+        budget[key] = budget.get(key, 0) + 1
+    kept = []
+    cancelled = 0
+    for finding in report.findings:
+        key = _finding_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            cancelled += 1
+        else:
+            kept.append(finding)
+    report.findings[:] = kept
+    for (rule, relfile, message), remaining in sorted(budget.items()):
+        for _ in range(remaining):
+            report.add(
+                "LNT001", "warning",
+                f"stale baseline entry: no current finding matches "
+                f"{rule} in {relfile} ({message[:60]}...)"
+                if len(message) > 60 else
+                f"stale baseline entry: no current finding matches "
+                f"{rule} in {relfile} ({message})",
+                str(baseline_path),
+                "regenerate the baseline: it may only shrink")
+    report.metadata["baselined"] = cancelled
+
+
+def lint_deep(paths: list[str | Path] | None = None, *,
+              root: Path | None = None,
+              baseline_path: str | Path | None = None,
+              config: DeepConfig = DEFAULT_CONFIG) -> LintReport:
+    """Run the full deep analysis and return a :class:`LintReport`.
+
+    Parameters
+    ----------
+    paths:
+        Files to analyze. Default: every module of the installed
+        ``repro`` package.
+    root:
+        Directory findings are reported relative to. Default: the
+        package directory (or the common parent of ``paths``).
+    baseline_path:
+        Baseline JSON to subtract. Defaults to the committed
+        :data:`DEFAULT_BASELINE` when analyzing the package itself;
+        pass an explicit path (or a missing one) to disable.
+    config:
+        Project-shape configuration for the contract rules.
+    """
+    analyzing_package = paths is None
+    if analyzing_package:
+        package_root = Path(__file__).resolve().parent.parent
+        files = package_source_files(package_root)
+        root = package_root if root is None else Path(root)
+    else:
+        files = [Path(p) for p in paths]
+        if root is None:
+            root = (files[0].parent if len(files) == 1
+                    else Path(_common_parent(files)))
+    index = ProjectIndex(files, root=root)
+    report = LintReport(
+        subject=f"deep analysis: {len(files)} file(s)",
+        metadata={"files": [module.relpath for module in index.modules]})
+    emit = _Emitter(report)
+    for checks in (DET_CHECKS, CON_CHECKS):
+        for check in checks.values():
+            check(index, config, emit)
+    # CON004 runs last: it needs the waiver-consumption state left by
+    # every other rule.
+    for module in index.modules:
+        for lineno, rule in module.waivers.stale(
+                lambda r: r.startswith(_DEEP_PREFIXES)):
+            report.add("CON004", CON_RULES["CON004"][0],
+                       f"stale waiver: the {rule} pragma on line "
+                       f"{lineno} suppresses nothing",
+                       f"{module.relpath}:{lineno}",
+                       "remove the pragma")
+    report.metadata["waived"] = emit.waived
+    if baseline_path is None and analyzing_package:
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None and Path(baseline_path).exists():
+        _apply_baseline(report, Path(baseline_path))
+    report.findings.sort(key=lambda f: (f.location, f.rule_id))
+    return report
+
+
+def _common_parent(files: list[Path]) -> Path:
+    parents = [file.resolve().parent for file in files]
+    common = parents[0]
+    for parent in parents[1:]:
+        while common != parent and common not in parent.parents \
+                and common != common.parent:
+            common = common.parent
+    return common
+
+
+def write_baseline(report: LintReport, path: str | Path) -> int:
+    """Persist a report's findings as the new baseline; returns the
+    entry count. Meta findings (``LNT001`` staleness) are excluded —
+    a baseline must never baseline its own staleness."""
+    entries = []
+    for finding in sorted(report.findings,
+                          key=lambda f: (f.location, f.rule_id)):
+        if finding.rule_id.startswith("LNT"):
+            continue
+        rule, relfile, message = _finding_key(finding)
+        entries.append({"rule": rule, "file": relfile,
+                        "message": message})
+    payload = {"format_version": BASELINE_FORMAT_VERSION,
+               "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)

@@ -26,6 +26,7 @@ import textwrap
 from pathlib import Path
 
 from ..errors import LintError
+from .dataflow import WaiverIndex
 from .report import LintReport
 
 #: Rule registry: rule ID -> (default severity, one-line description).
@@ -67,24 +68,7 @@ _SCALAR_SCIPY = {"solve_ivp", "odeint", "ode", "quad", "quad_vec",
                  "brentq", "bisect", "newton", "fsolve", "root",
                  "root_scalar", "minimize", "minimize_scalar"}
 
-_PRAGMA_RE = re.compile(r"#\s*lint:\s*skip=([A-Z0-9,\s]+?)(?:\s*(?:--|—).*)?$")
-
 _IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
-
-
-def _parse_waivers(source: str) -> dict[int, set[str]]:
-    """Map line number -> rule IDs waived on that line (or the next)."""
-    waivers: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA_RE.search(line)
-        if match is None:
-            continue
-        rules = {rule.strip() for rule in match.group(1).split(",")
-                 if rule.strip()}
-        waivers.setdefault(lineno, set()).update(rules)
-        # A pragma on its own line covers the statement below it.
-        waivers.setdefault(lineno + 1, set()).update(rules)
-    return waivers
 
 
 def _identifiers(node: ast.AST) -> set[str]:
@@ -117,7 +101,7 @@ class _KernelVisitor(ast.NodeVisitor):
     """Single-pass AST walk emitting KRN0xx findings."""
 
     def __init__(self, filename: str, report: LintReport,
-                 waivers: dict[int, set[str]]) -> None:
+                 waivers: WaiverIndex) -> None:
         self.filename = filename
         self.report = report
         self.waivers = waivers
@@ -132,7 +116,7 @@ class _KernelVisitor(ast.NodeVisitor):
     def emit(self, rule_id: str, node: ast.AST, message: str,
              hint: str = "") -> None:
         lineno = getattr(node, "lineno", 0)
-        if rule_id in self.waivers.get(lineno, set()):
+        if self.waivers.suppresses(rule_id, lineno):
             self.waived += 1
             return
         self.report.add(rule_id, KERNEL_RULES[rule_id][0], message,
@@ -339,14 +323,26 @@ class _KernelVisitor(ast.NodeVisitor):
 
 
 def lint_source(source: str, filename: str = "<kernel>") -> LintReport:
-    """Lint one kernel source string; returns a :class:`LintReport`."""
+    """Lint one kernel source string; returns a :class:`LintReport`.
+
+    Waiver pragmas that suppress nothing are themselves reported as
+    ``LNT000 unused-suppression`` findings, so the self-lint gate
+    fails when a fixed defect leaves its pragma behind.
+    """
     report = LintReport(subject=filename)
     try:
         tree = ast.parse(source, filename=filename)
     except SyntaxError as error:
         raise LintError(f"cannot parse {filename}: {error}") from error
-    visitor = _KernelVisitor(filename, report, _parse_waivers(source))
+    waivers = WaiverIndex.from_source(source)
+    visitor = _KernelVisitor(filename, report, waivers)
     visitor.visit(tree)
+    for lineno, rule in waivers.stale(
+            lambda r: r.startswith(("KRN", "LNT"))):
+        report.add("LNT000", "warning",
+                   f"stale waiver: the {rule} pragma on line {lineno} "
+                   "suppresses nothing",
+                   f"{filename}:{lineno}", "remove the pragma")
     report.metadata["waived"] = visitor.waived
     return report
 

@@ -1,0 +1,157 @@
+"""Unified rule registry: every lint rule with family, severity, docs.
+
+Aggregates the three analyzer registries — model rules (``RBM0xx``),
+shallow kernel rules (``KRN0xx``) and deep dataflow/contract rules
+(``DET0xx``/``CON0xx``) — plus the meta rules the tooling itself emits
+(``LNT0xx``), into :class:`RuleInfo` records consumed by
+``repro lint --list-rules`` and the JSON report's rule documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .contract_rules import CON_RULES
+from .deep_rules import DET_RULES
+from .kernel_rules import KERNEL_RULES
+from .model_rules import MODEL_RULES
+
+#: Meta rules emitted by the lint infrastructure itself.
+META_RULES = {
+    "LNT000": ("warning", "waiver pragma suppresses nothing (stale "
+                          "suppression)"),
+    "LNT001": ("warning", "baseline entry no longer matches any "
+                          "finding (ratchet: baseline may only "
+                          "shrink)"),
+}
+
+#: Extended documentation per rule (one short paragraph each).
+RULE_DOCS = {
+    "RBM001": "A species is referenced by no reaction: it can never "
+              "change and inflates the state vector.",
+    "RBM002": "A species starts empty and no fireable reaction ever "
+              "produces it: its trajectory is identically zero.",
+    "RBM003": "A species is produced but never consumed and sits in no "
+              "conservation law: it accumulates without bound.",
+    "RBM004": "The reaction network splits into structurally "
+              "independent sub-models that cannot exchange material.",
+    "RBM005": "Two reactions share reactants, products and kinetic "
+              "law: their rate constants are unidentifiable.",
+    "RBM006": "A reaction can never fire from the initial state: its "
+              "flux is identically zero.",
+    "RBM007": "A rate constant is numerically invisible next to the "
+              "fastest reaction's flux.",
+    "RBM008": "A conservation law sums over species that all start at "
+              "zero: the conserved pool is frozen for the whole run.",
+    "RBM009": "The spread of rate-constant magnitudes predicts "
+              "stiffness: explicit solvers will struggle.",
+    "KRN001": "A Python for/while loop walks the batch axis: the batch "
+              "must be advanced by whole-array NumPy kernels.",
+    "KRN002": "A per-simulation scalar is pulled through the "
+              "interpreter inside a loop (item()/float(x[i])).",
+    "KRN003": "A narrow float dtype appears in a float64 kernel: "
+              "mixed-precision expressions promote per element or "
+              "truncate solver state.",
+    "KRN004": "An in-place write goes through an array bound by "
+              "subscripting: basic slices alias the original, fancy "
+              "indexing silently copies.",
+    "KRN005": "A scalar scipy routine (solve_ivp, brentq, ...) is "
+              "called inside a batch kernel, serializing the batch.",
+    "DET001": "Kernel stage math reduces over the row axis with a "
+              "width-sensitive path (tensordot/dot/@, a row-"
+              "contracting einsum, or axis=0): per-row rounding then "
+              "depends on how many rows are in flight, breaking "
+              "bit-identity under memory-governor launch splitting.",
+    "DET002": "An out= destination may alias an input operand of a "
+              "routine that is not elementwise: the routine reads "
+              "inputs while overwriting them, so results depend on "
+              "traversal order.",
+    "DET003": "A value narrowed to float32/float16 feeds an arithmetic "
+              "accumulation chain: rounding drifts with evaluation "
+              "order and batch shape.",
+    "DET004": "An unseeded random source (default_rng(), the global "
+              "np.random state, stdlib random) is reachable from "
+              "campaign or checkpoint code: resumed campaigns can no "
+              "longer replay bit-for-bit.",
+    "DET005": "A wall-clock value (time.*, datetime.now) flows into a "
+              "checkpoint fingerprint, hash or result array: the "
+              "artifact differs on every run.",
+    "DET006": "A loop over an unordered set/frozenset writes ordered "
+              "output (subscript store, append): iteration order "
+              "varies across processes, so row ordering is not "
+              "reproducible.",
+    "CON001": "A status code declared in the batch-result status table "
+              "is read by no other module: quarantine, guard "
+              "re-stamping and analysis masking cannot be handling it.",
+    "CON002": "A fault-injection field is consumed by no integrator, "
+              "governor or campaign driver (directly or via an "
+              "accessor): the injection is silently inert.",
+    "CON003": "An exception type in the error taxonomy is never "
+              "raised, or is raised but neither caught nor referenced "
+              "outside its defining module.",
+    "CON004": "A deep-analysis waiver pragma no longer suppresses any "
+              "finding: the defect it excused is gone, so the pragma "
+              "is dead weight that can mask future regressions.",
+    "LNT000": "A shallow-linter waiver pragma no longer suppresses any "
+              "finding and should be removed.",
+    "LNT001": "A committed baseline entry matched no finding in this "
+              "run: regenerate the baseline so it only shrinks.",
+}
+
+#: Deep-analyzer rules (dataflow + contract families).
+DEEP_RULES = {**DET_RULES, **CON_RULES}
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """One registered lint rule, for listings and JSON reports."""
+
+    rule_id: str
+    severity: str
+    summary: str
+    family: str
+    doc: str
+
+    def to_dict(self) -> dict:
+        return {"rule_id": self.rule_id, "severity": self.severity,
+                "summary": self.summary, "family": self.family,
+                "doc": self.doc}
+
+
+def _family_table() -> list[tuple[str, dict]]:
+    return [("model", MODEL_RULES), ("kernel", KERNEL_RULES),
+            ("deep", DEEP_RULES), ("meta", META_RULES)]
+
+
+def iter_rules() -> list[RuleInfo]:
+    """Every registered rule, ordered by family then rule ID."""
+    rules = []
+    for family, registry in _family_table():
+        for rule_id in sorted(registry):
+            severity, summary = registry[rule_id]
+            rules.append(RuleInfo(rule_id, severity, summary, family,
+                                  RULE_DOCS.get(rule_id, summary)))
+    return rules
+
+
+def rule_info(rule_id: str) -> RuleInfo | None:
+    """Registry record for one rule ID (None when unregistered)."""
+    for family, registry in _family_table():
+        if rule_id in registry:
+            severity, summary = registry[rule_id]
+            return RuleInfo(rule_id, severity, summary, family,
+                            RULE_DOCS.get(rule_id, summary))
+    return None
+
+
+def render_rule_table() -> str:
+    """Plain-text table for ``repro lint --list-rules``."""
+    rules = iter_rules()
+    width = max(len(rule.summary) for rule in rules)
+    lines = [f"{'ID':<8} {'FAMILY':<7} {'SEVERITY':<8} SUMMARY",
+             f"{'-' * 8} {'-' * 7} {'-' * 8} {'-' * max(7, width)}"]
+    for rule in rules:
+        lines.append(f"{rule.rule_id:<8} {rule.family:<7} "
+                     f"{rule.severity:<8} {rule.summary}")
+    lines.append(f"{len(rules)} rule(s) registered")
+    return "\n".join(lines)

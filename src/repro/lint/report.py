@@ -140,10 +140,21 @@ class LintReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
+        # Imported here: the registry aggregates every rule family, so
+        # a module-level import would cycle back through this module.
+        from .registry import rule_info
+        rules = {}
+        for rule_id in sorted(self.rule_ids()):
+            info = rule_info(rule_id)
+            if info is not None:
+                rules[rule_id] = {"severity": info.severity,
+                                  "family": info.family,
+                                  "doc": info.doc}
         return {
             "subject": self.subject,
             "findings": [finding.to_dict() for finding in self.findings],
             "counts": self.counts(),
+            "rules": rules,
             "metadata": {key: value for key, value in self.metadata.items()},
         }
 

@@ -1,0 +1,410 @@
+"""Tests for the dataflow engine under the deep analyzer.
+
+Synthetic-snippet unit tests for CFG construction, def-use chains,
+alias tracking and call-graph reachability (including decorated
+functions and ``functools.partial`` bindings), plus a hypothesis
+property test that analyzing arbitrary generated programs never
+raises.
+"""
+
+import ast
+import textwrap
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lint.dataflow import (AliasSets, DefUseChains, ProjectIndex,
+                                 WaiverIndex, build_cfg, parse_waivers)
+
+
+def function_node(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) \
+                and (name is None or node.name == name):
+            return node
+    raise AssertionError("no function in snippet")
+
+
+def make_index(tmp_path, files):
+    root = tmp_path / "proj"
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return ProjectIndex(sorted(root.rglob("*.py")), root=root)
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        cfg = build_cfg(function_node("""
+            def f(x):
+                a = x + 1
+                b = a * 2
+                return b
+        """))
+        # entry, exit, and one code block
+        populated = [b for b in cfg.blocks if b.elements]
+        assert len(populated) == 1
+        assert len(populated[0].elements) == 3
+
+    def test_if_else_branches_and_join(self):
+        cfg = build_cfg(function_node("""
+            def f(x):
+                if x > 0:
+                    y = 1
+                else:
+                    y = 2
+                return y
+        """))
+        test_block = next(b for b in cfg.blocks
+                          if any(e.kind == "test" for e in b.elements))
+        assert len(test_block.successors) == 2
+
+    def test_while_has_back_edge(self):
+        cfg = build_cfg(function_node("""
+            def f(n):
+                while n > 0:
+                    n = n - 1
+                return n
+        """))
+        head = next(b for b in cfg.blocks
+                    if any(e.kind == "test" for e in b.elements))
+        body = [cfg.blocks[s] for s in head.successors]
+        assert any(head.index in b.successors for b in body)
+
+    def test_for_loop_element_kind(self):
+        cfg = build_cfg(function_node("""
+            def f(rows):
+                total = 0
+                for row in rows:
+                    total += row
+                return total
+        """))
+        kinds = [e.kind for e in cfg.elements()]
+        assert "for" in kinds
+
+    def test_break_edges_to_after_loop(self):
+        cfg = build_cfg(function_node("""
+            def f(rows):
+                for row in rows:
+                    if row < 0:
+                        break
+                return rows
+        """))
+        # the function must still reach the exit block
+        assert cfg.blocks[cfg.exit].predecessors
+
+    def test_return_edges_to_exit(self):
+        cfg = build_cfg(function_node("""
+            def f(x):
+                if x:
+                    return 1
+                return 2
+        """))
+        assert len(cfg.blocks[cfg.exit].predecessors) >= 2
+
+    def test_try_except_reaches_handler(self):
+        cfg = build_cfg(function_node("""
+            def f(x):
+                try:
+                    y = 1 / x
+                except ZeroDivisionError:
+                    y = 0
+                return y
+        """))
+        kinds = [e.kind for e in cfg.elements()]
+        assert "except" in kinds
+        assert cfg.blocks[cfg.exit].predecessors
+
+
+class TestDefUse:
+    def test_simple_chain(self):
+        chains = DefUseChains(function_node("""
+            def f(x):
+                a = x + 1
+                b = a * 2
+                return b
+        """))
+        (a_def,) = chains.definitions_of("a")
+        assert len(chains.uses_of[a_def]) == 1
+        assert chains.uses_of[a_def][0].id == "a"
+
+    def test_parameter_reaches_use(self):
+        chains = DefUseChains(function_node("""
+            def f(x):
+                return x + 1
+        """))
+        (x_def,) = chains.definitions_of("x")
+        assert x_def.kind == "param"
+        assert len(chains.uses_of[x_def]) == 1
+
+    def test_rebinding_kills_old_definition(self):
+        chains = DefUseChains(function_node("""
+            def f():
+                a = 1
+                a = 2
+                return a
+        """))
+        first, second = chains.definitions_of("a")
+        assert chains.uses_of[first] == []
+        assert len(chains.uses_of[second]) == 1
+
+    def test_branches_merge_both_definitions(self):
+        chains = DefUseChains(function_node("""
+            def f(c):
+                if c:
+                    y = 1
+                else:
+                    y = 2
+                return y
+        """))
+        defs = chains.definitions_of("y")
+        assert all(len(chains.uses_of[d]) == 1 for d in defs)
+        use = chains.uses_of[defs[0]][0]
+        assert set(chains.reaching_definitions(use)) == set(defs)
+
+    def test_loop_carried_definition_reaches_header(self):
+        chains = DefUseChains(function_node("""
+            def f(rows):
+                total = 0
+                for row in rows:
+                    total = total + row
+                return total
+        """))
+        init, carried = chains.definitions_of("total")
+        # the loop-body use sees both the init and the carried def
+        body_use = chains.uses_of[carried][0]
+        assert set(chains.reaching_definitions(body_use)) >= {init, carried}
+
+    def test_taint_closure_follows_assignment_flow(self):
+        chains = DefUseChains(function_node("""
+            def f(x):
+                a = x
+                b = a + 1
+                c = b * 2
+                d = x - 1
+                return c + d
+        """))
+        (a_def,) = chains.definitions_of("a")
+        tainted = chains.tainted_closure([a_def])
+        names = {d.name for d in tainted}
+        assert names == {"a", "b", "c"}
+
+    def test_augassign_reads_and_rebinds(self):
+        chains = DefUseChains(function_node("""
+            def f():
+                a = 1
+                a += 2
+                return a
+        """))
+        first, second = chains.definitions_of("a")
+        assert second.kind == "aug"
+        assert len(chains.uses_of[first]) == 1  # read by the +=
+
+
+class TestAliases:
+    def test_name_binding_aliases(self):
+        aliases = AliasSets(function_node("""
+            def f(a):
+                b = a
+                c = b
+        """))
+        left = ast.parse("c").body[0].value
+        right = ast.parse("a").body[0].value
+        assert aliases.may_alias(left, right)
+
+    def test_basic_slice_view_aliases(self):
+        aliases = AliasSets(function_node("""
+            def f(a):
+                view = a[1:]
+        """))
+        assert aliases.may_alias(ast.parse("view").body[0].value,
+                                 ast.parse("a").body[0].value)
+
+    def test_asarray_view_aliases(self):
+        aliases = AliasSets(function_node("""
+            def f(a):
+                b = np.asarray(a)
+        """))
+        assert aliases.may_alias(ast.parse("b").body[0].value,
+                                 ast.parse("a").body[0].value)
+
+    def test_copy_does_not_alias(self):
+        aliases = AliasSets(function_node("""
+            def f(a):
+                b = a.copy()
+        """))
+        assert not aliases.may_alias(ast.parse("b").body[0].value,
+                                     ast.parse("a").body[0].value)
+
+    def test_identical_expressions_alias(self):
+        aliases = AliasSets(function_node("""
+            def f(a):
+                pass
+        """))
+        assert aliases.may_alias(ast.parse("a[0]").body[0].value,
+                                 ast.parse("a[0]").body[0].value)
+
+
+class TestCallGraph:
+    def test_direct_call_edge_and_reachability(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """
+            def helper():
+                return 1
+
+            def entry():
+                return helper()
+        """})
+        (entry,) = [r for r in index.functions() if r.name == "entry"]
+        reachable = index.reachable([entry.qualname])
+        assert any(q.endswith("::helper") for q in reachable)
+
+    def test_cross_module_edge(self, tmp_path):
+        index = make_index(tmp_path, {
+            "a.py": """
+                def compute():
+                    return 42
+            """,
+            "b.py": """
+                def run_all():
+                    return compute()
+            """,
+        })
+        (root,) = [r for r in index.functions() if r.name == "run_all"]
+        assert any(q == "a.py::compute"
+                   for q in index.reachable([root.qualname]))
+
+    def test_decorated_function_reachable(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """
+            def wrap(fn):
+                def inner(*args):
+                    return fn(*args)
+                return inner
+
+            @wrap
+            def worker():
+                return leaf()
+
+            def leaf():
+                return 0
+
+            def entry():
+                return worker()
+        """})
+        (entry,) = [r for r in index.functions() if r.name == "entry"]
+        reachable = index.reachable([entry.qualname])
+        assert any(q.endswith("::worker") for q in reachable)
+        assert any(q.endswith("::leaf") for q in reachable)
+
+    def test_functools_partial_binding_reachable(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """
+            import functools
+
+            def solver(tol):
+                return kernel(tol)
+
+            def kernel(tol):
+                return tol
+
+            def entry():
+                bound = functools.partial(solver, 1e-6)
+                return bound()
+        """})
+        (entry,) = [r for r in index.functions() if r.name == "entry"]
+        reachable = index.reachable([entry.qualname])
+        # solver is referenced only as a bare name inside partial(...)
+        assert any(q.endswith("::solver") for q in reachable)
+        assert any(q.endswith("::kernel") for q in reachable)
+
+    def test_unreferenced_function_not_reachable(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """
+            def entry():
+                return 1
+
+            def island():
+                return 2
+        """})
+        (entry,) = [r for r in index.functions() if r.name == "entry"]
+        assert not any(q.endswith("::island")
+                       for q in index.reachable([entry.qualname]))
+
+    def test_module_level_code_is_a_pseudo_function(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """
+            def init():
+                return 3
+
+            CONSTANT = init()
+        """})
+        (record,) = index.module_records()
+        assert any(q.endswith("::init")
+                   for q in index.reachable([record.qualname]))
+
+
+class TestWaivers:
+    def test_pragma_inside_docstring_is_not_a_waiver(self):
+        waivers = parse_waivers(
+            '"""Example:\n\n    # lint: skip=KRN001\n"""\n'
+            "x = 1  # lint: skip=DET001 -- real\n")
+        assert len(waivers) == 1
+        assert waivers[0].rules == ("DET001",)
+
+    def test_consumption_tracking(self):
+        index = WaiverIndex.from_source(
+            "a = 1  # lint: skip=DET001 -- used\n"
+            "b = 2  # lint: skip=DET002 -- never used\n")
+        assert index.suppresses("DET001", 1)
+        stale = index.stale(lambda r: r.startswith("DET"))
+        assert stale == [(2, "DET002")]
+
+    def test_pragma_covers_next_line(self):
+        index = WaiverIndex.from_source(
+            "# lint: skip=DET003 -- next line\n"
+            "c = narrow + 1\n")
+        assert index.suppresses("DET003", 2)
+        assert index.stale(lambda r: True) == []
+
+
+# -- the hypothesis property: analysis never raises --------------------
+
+_names = st.sampled_from(["a", "b", "c", "rows", "x"])
+_exprs = st.sampled_from([
+    "1", "a + b", "f(a)", "a[0]", "a[1:]", "{1, 2}", "set(rows)",
+    "np.dot(a, b)", "a.copy()", "(a, b)", "[x for x in rows]",
+])
+
+
+@st.composite
+def _statements(draw, depth=0):
+    kind = draw(st.integers(0, 5 if depth < 2 else 2))
+    name, expr = draw(_names), draw(_exprs)
+    if kind == 0:
+        return f"{name} = {expr}"
+    if kind == 1:
+        return f"{name} += 1"
+    if kind == 2:
+        return f"return {expr}"
+    inner = draw(st.lists(_statements(depth=depth + 1),
+                          min_size=1, max_size=3))
+    body = textwrap.indent("\n".join(inner), "    ")
+    if kind == 3:
+        return f"if {name}:\n{body}"
+    if kind == 4:
+        return f"for {name} in rows:\n{body}"
+    return f"while {name}:\n{body}"
+
+
+@given(st.lists(_statements(), min_size=1, max_size=6))
+def test_analysis_never_raises_on_generated_programs(statements):
+    body = textwrap.indent("\n".join(statements), "    ")
+    source = f"def f(rows):\n{body}\n"
+    function = ast.parse(source).body[0]
+    cfg = build_cfg(function)
+    chains = DefUseChains(function, cfg)
+    aliases = AliasSets(function)
+    for definition in chains.definitions:
+        chains.tainted_closure([definition])
+        for use in chains.uses_of[definition]:
+            chains.reaching_definitions(use)
+    assert cfg.n_blocks >= 2
+    assert aliases is not None

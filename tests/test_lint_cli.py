@@ -1,11 +1,14 @@
 """Tests for the ``repro lint`` CLI subcommand.
 
 Covers the text and JSON output formats, the ``--fail-on`` exit-code
-contract, ``--self`` (shipped-kernel lint), direct ``.py`` file lint
-and the error path for a missing model.
+contract, ``--self`` (shipped-kernel lint), direct ``.py`` file lint,
+the error path for a missing model, ``--list-rules``, the ``--deep``
+dataflow analyzer and the exit-code contract (0 clean / 1 findings /
+2 crash / 3 lint-gate rejection).
 """
 
 import json
+import textwrap
 
 import pytest
 
@@ -80,6 +83,90 @@ class TestKernelLint:
         assert "KRN001" in capsys.readouterr().out
 
 
+class TestListRules:
+    def test_text_table_lists_every_family(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RBM001", "KRN001", "DET001", "CON001",
+                        "LNT000"):
+            assert rule_id in out
+        for family in ("model", "kernel", "deep", "meta"):
+            assert family in out
+
+    def test_json_listing_includes_docs(self, capsys):
+        assert main(["lint", "--list-rules", "--format", "json"]) == 0
+        rules = json.loads(capsys.readouterr().out)
+        by_id = {rule["rule_id"]: rule for rule in rules}
+        assert by_id["DET001"]["family"] == "deep"
+        assert by_id["DET001"]["severity"] == "error"
+        assert "bit-identity" in by_id["DET001"]["doc"]
+
+
+class TestDeepLint:
+    def test_deep_over_package_is_clean(self, capsys):
+        assert main(["lint", "--deep", "--fail-on", "warning"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_deep_on_dirty_file_fails(self, tmp_path, capsys):
+        kernel = tmp_path / "gpu"
+        kernel.mkdir()
+        (kernel / "batch_bad.py").write_text(textwrap.dedent("""
+            import numpy as np
+            def combine(w, k):
+                return np.tensordot(w, k, axes=(0, 0))
+        """))
+        assert main(["lint", "--deep", str(tmp_path)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_deep_json_report_documents_fired_rules(self, tmp_path,
+                                                    capsys):
+        kernel = tmp_path / "gpu"
+        kernel.mkdir()
+        (kernel / "batch_bad.py").write_text(
+            "import numpy as np\n"
+            "def f(w, k):\n"
+            "    return np.dot(w, k)\n")
+        main(["lint", "--deep", str(tmp_path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule_id"] == "DET001"
+        assert "DET001" in payload["rules"]
+        assert payload["rules"]["DET001"]["family"] == "deep"
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        kernel = tmp_path / "gpu"
+        kernel.mkdir()
+        (kernel / "batch_bad.py").write_text(
+            "import numpy as np\n"
+            "def f(w, k):\n"
+            "    return np.dot(w, k)\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--deep", str(tmp_path),
+                     "--write-baseline", "--baseline",
+                     str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["lint", "--deep", str(tmp_path),
+                     "--baseline", str(baseline)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestLintGateExitCode:
+    def test_gate_rejection_exits_three(self, warning_model_dir,
+                                        capsys):
+        code = main(["lint", str(warning_model_dir), "--gate",
+                     "--fail-on", "warning"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "lint gate" in err and "RBM001" in err
+
+    def test_gate_pass_exits_zero(self, clean_model_dir):
+        assert main(["lint", str(clean_model_dir), "--gate"]) == 0
+
+    def test_gate_error_is_distinct_from_crash(self, tmp_path):
+        # a crash (unreadable model) must stay exit 2
+        assert main(["lint", str(tmp_path / "nope"), "--gate"]) == 2
+
+
 class TestErrorPaths:
     def test_missing_model_argument(self, capsys):
         assert main(["lint"]) == 2
@@ -87,6 +174,11 @@ class TestErrorPaths:
 
     def test_nonexistent_model_path(self, tmp_path):
         assert main(["lint", str(tmp_path / "nope")]) == 2
+
+    def test_deep_on_non_python_subject(self, clean_model_dir, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello")
+        assert main(["lint", "--deep", str(target)]) == 2
 
     def test_unknown_fail_on_rejected(self):
         with pytest.raises(SystemExit):

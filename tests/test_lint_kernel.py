@@ -240,6 +240,66 @@ class TestWaivers:
         assert report.by_rule("KRN001")
 
 
+class TestStaleWaivers:
+    def test_unused_pragma_emits_lnt000(self):
+        source = """
+            def fine(y):
+                # lint: skip=KRN001 -- the loop this excused is gone
+                return y * 2
+        """
+        report = lint_source(textwrap.dedent(source), "snippet.py")
+        hits = report.by_rule("LNT000")
+        assert len(hits) == 1
+        assert hits[0].severity == "warning"
+        assert "KRN001" in hits[0].message
+        # the listing names the file and pragma line for removal
+        assert hits[0].location.startswith("snippet.py:")
+
+    def test_consumed_pragma_is_not_stale(self):
+        source = """
+            def repair(y, rows):
+                for row in rows:  # lint: skip=KRN001 -- tiny subset
+                    y[row] += 1
+        """
+        report = lint_source(textwrap.dedent(source), "snippet.py")
+        assert report.by_rule("LNT000") == []
+
+    def test_wrong_rule_pragma_is_stale(self):
+        source = """
+            def repair(y, rows):
+                for row in rows:  # lint: skip=KRN002 -- wrong rule
+                    y[row] += 1
+        """
+        report = lint_source(textwrap.dedent(source), "snippet.py")
+        assert report.by_rule("KRN001")  # still reported
+        assert len(report.by_rule("LNT000")) == 1
+
+    def test_pragma_example_in_docstring_is_ignored(self):
+        source = '''
+            def documented(y):
+                """Waive with a pragma::
+
+                    # lint: skip=KRN001 -- justification
+                """
+                return y * 2
+        '''
+        report = lint_source(textwrap.dedent(source), "snippet.py")
+        assert report.findings == []
+
+    def test_shipped_kernels_carry_no_stale_waivers(self):
+        report = lint_kernels()
+        assert report.by_rule("LNT000") == [], report.render_text()
+
+    def test_deep_waivers_are_not_shallow_business(self):
+        source = """
+            def fine(y):
+                # lint: skip=DET001 -- deep-analyzer waiver
+                return y * 2
+        """
+        report = lint_source(textwrap.dedent(source), "snippet.py")
+        assert report.by_rule("LNT000") == []
+
+
 class TestEntryPoints:
     def test_lint_callable_flags_a_live_function(self):
         def bad_rhs(times, states, rows):
