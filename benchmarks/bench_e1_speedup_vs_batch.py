@@ -19,7 +19,7 @@ from repro.core.comparison import time_engine
 from repro.solvers import SolverOptions
 from repro.synth import generate_symmetric
 
-from common import timed, write_report
+from common import timed, write_bench_json, write_report
 
 BATCH_SIZES = [1, 4, 16, 64, 256]
 MODEL = generate_symmetric(32, seed=11)
@@ -66,8 +66,33 @@ def test_report(benchmark):
 
     table = benchmark.pedantic(render, rounds=1, iterations=1)
     write_report("e1_speedup_vs_batch", table)
+    write_bench_json("e1_speedup_vs_batch", {
+        "batch_sizes": BATCH_SIZES,
+        "batched_seconds": {str(b): batched_seconds.get(b)
+                            for b in BATCH_SIZES},
+        "lsoda_seconds": {str(b): lsoda_seconds.get(b)
+                          for b in BATCH_SIZES},
+        "speedups": {str(b): lsoda_seconds[b] / batched_seconds[b]
+                     for b in BATCH_SIZES
+                     if b in batched_seconds and b in lsoda_seconds},
+        "metrics": _traced_metrics(BATCH_SIZES[-2]),
+    })
     # Shape assertion: the speedup at the largest batch exceeds the
     # single-simulation speedup.
     largest = lsoda_seconds[BATCH_SIZES[-1]] / batched_seconds[BATCH_SIZES[-1]]
     smallest = lsoda_seconds[1] / batched_seconds[1]
     assert largest > smallest
+
+
+def _traced_metrics(batch_size: int) -> dict:
+    """Kernel metrics of one instrumented headline run, embedded in the
+    artifact so a speedup shift can be attributed (step counts vs
+    per-step cost) without re-running under a profiler."""
+    from repro.gpu import BatchSimulator
+    from repro.model import perturbed_batch
+
+    batch = perturbed_batch(MODEL.nominal_parameterization(), batch_size,
+                            np.random.default_rng(0))
+    simulator = BatchSimulator(MODEL, OPTIONS)
+    simulator.simulate(T_SPAN, T_EVAL, batch)
+    return simulator.last_report.metrics.to_dict()

@@ -5,14 +5,25 @@ the engines with pytest-benchmark and renders the experiment's
 table/series into ``benchmarks/out/<experiment>.txt`` so the numbers
 recorded in EXPERIMENTS.md can be reproduced from a plain
 ``pytest benchmarks/ --benchmark-only`` run.
+
+Benches additionally persist their raw numbers as schema-versioned
+machine-readable artifacts (``benchmarks/out/BENCH_<name>.json``, see
+:func:`write_bench_json`) so dashboards and regression tooling can
+diff runs without scraping the text tables.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
+
+#: Version of the ``BENCH_<name>.json`` artifact layout. Bump when a
+#: top-level key changes meaning; consumers must check it before
+#: diffing payloads across runs.
+BENCH_SCHEMA_VERSION = 1
 
 
 def timed(function, results: dict, key):
@@ -33,4 +44,20 @@ def write_report(name: str, text: str) -> Path:
     path = OUT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n[{name}]\n{text}")
+    return path
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist ``payload`` as ``benchmarks/out/BENCH_<name>.json``.
+
+    The artifact is ``{"schema_version": 1, "bench": name, **payload}``
+    — deliberately free of timestamps and host identifiers so identical
+    runs produce identical files (diff-friendly in CI artifacts).
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    document = {"schema_version": BENCH_SCHEMA_VERSION, "bench": name}
+    document.update(payload)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
     return path

@@ -1,0 +1,104 @@
+"""Telemetry: hierarchical tracing and kernel metrics end to end.
+
+Where does a campaign's wall-clock actually go — compiling kernels,
+stepping, dense output, merging? And how many steps, Newton iterations
+and retries did the batch really take? This example instruments the
+full stack:
+
+1. a traced :class:`~repro.gpu.BatchSimulator` run shows the span
+   hierarchy (launch -> retry rung -> kernel phases) and the typed
+   metrics registry on the engine report;
+2. a checkpointed campaign is crashed by fault injection and resumed —
+   both runs append into *one* trace file that still validates as a
+   single well-formed tree;
+3. the trace is exported as a Chrome ``trace_event`` document,
+   loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+The same recording is available without code via the CLI::
+
+    python -m repro trace record MODEL --out trace.jsonl
+    python -m repro trace export trace.jsonl --out trace.json
+
+Run:  python examples/traced_campaign.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (CampaignConfig, FaultPlan, Tracer, default_retry_policy,
+                   read_trace_jsonl, run_campaign, validate_trace,
+                   write_chrome_trace)
+from repro.errors import CampaignInterrupted
+from repro.gpu import BatchSimulator
+from repro.model import perturbed_batch
+from repro.models import lotka_volterra
+from repro.telemetry import render_summary
+
+T_SPAN = (0.0, 5.0)
+T_EVAL = np.linspace(*T_SPAN, 21)
+
+
+def traced_engine_demo(model, batch) -> None:
+    print("== 1. span hierarchy + kernel metrics of one engine run ==")
+    tracer = Tracer()
+    simulator = BatchSimulator(model, max_batch_per_launch=8,
+                               retry_policy=default_retry_policy(),
+                               fault_plan=FaultPlan(fail_launches=(0,)),
+                               tracer=tracer)
+    simulator.simulate(T_SPAN, T_EVAL, batch)
+    for span in tracer.spans:
+        print(f"{span.duration * 1e3:9.3f} ms  {span.span_id}")
+    print()
+    print(simulator.last_report.metrics.render())
+    print()
+
+
+def crash_resume_demo(model, batch, workdir: Path) -> Path:
+    print("== 2. crash, resume, one coherent trace ==")
+    trace_path = workdir / "campaign_trace.jsonl"
+    config = CampaignConfig(chunk_size=8,
+                            checkpoint_path=workdir / "journal.json")
+    try:
+        run_campaign(model, T_SPAN, T_EVAL, batch, config=config,
+                     fault_plan=FaultPlan(crash_after_launches=2),
+                     telemetry=trace_path)
+    except CampaignInterrupted as crash:
+        print(f"injected crash: {crash}")
+    resumed = run_campaign(model, T_SPAN, T_EVAL, batch, config=config,
+                           telemetry=trace_path)
+    print(resumed.summary())
+    spans = read_trace_jsonl(trace_path)
+    problems = validate_trace(spans)
+    print(f"trace validates: {not problems} "
+          f"({len(spans)} spans, {len(problems)} problems)")
+    print()
+    print(render_summary(spans))
+    print()
+    print(resumed.metrics.render())
+    print()
+    return trace_path
+
+
+def export_demo(trace_path: Path) -> None:
+    print("== 3. Chrome trace export ==")
+    out = trace_path.with_suffix(".json")
+    write_chrome_trace(read_trace_jsonl(trace_path), out)
+    print(f"wrote {out} — load it in chrome://tracing or "
+          "https://ui.perfetto.dev")
+
+
+def main() -> None:
+    model = lotka_volterra()
+    rng = np.random.default_rng(11)
+    batch = perturbed_batch(model.nominal_parameterization(), 32, rng,
+                            spread=0.1)
+    traced_engine_demo(model, batch)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = crash_resume_demo(model, batch, Path(tmp))
+        export_demo(trace_path)
+
+
+if __name__ == "__main__":
+    main()

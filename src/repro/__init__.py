@@ -38,6 +38,8 @@ from .resilience import (CampaignConfig, CampaignResult, FailureRecord,
                          FaultPlan, QuarantineLog, RetryPolicy, RetryStage,
                          default_retry_policy, run_campaign)
 from .stochastic import StochasticSimulator
+from .telemetry import (MetricsRegistry, Tracer, read_trace_jsonl,
+                        validate_trace, write_chrome_trace)
 from .model import (Hill, MassAction, MichaelisMenten, ODESystem,
                     Parameterization, ParameterizationBatch,
                     ReactionBasedModel, Reaction, Species, parse_reaction,
@@ -61,6 +63,8 @@ __all__ = [
     "CampaignConfig", "CampaignResult", "FailureRecord", "FaultPlan",
     "QuarantineLog", "RetryPolicy", "RetryStage", "default_retry_policy",
     "run_campaign",
+    "MetricsRegistry", "Tracer", "read_trace_jsonl", "validate_trace",
+    "write_chrome_trace",
     "Hill", "MassAction", "MichaelisMenten", "ODESystem",
     "Parameterization", "ParameterizationBatch", "ReactionBasedModel",
     "Reaction", "Species", "parse_reaction", "perturbed_batch",

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable
+
+from ..telemetry import clock
 
 
 @dataclass
@@ -14,20 +15,20 @@ class Timer:
     elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = clock.monotonic()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        self.elapsed = clock.monotonic() - self._start
 
 
 def measure(function: Callable[[], object], repeat: int = 3) -> float:
     """Best-of-``repeat`` wall-clock seconds of a callable."""
     best = float("inf")
     for _ in range(max(repeat, 1)):
-        started = time.perf_counter()
+        started = clock.monotonic()
         function()
-        best = min(best, time.perf_counter() - started)
+        best = min(best, clock.monotonic() - started)
     return best
 
 

@@ -209,6 +209,69 @@ def _command_generate(args) -> int:
     return 0
 
 
+def _command_trace_record(args) -> int:
+    from .resilience import CampaignConfig, run_campaign
+    from .telemetry import render_summary, read_trace_jsonl
+
+    path = Path(args.model)
+    model = _load_model(path)
+    parameters = None
+    if path.is_dir():
+        try:
+            parameters = read_batch(path)
+        except ReproError:
+            parameters = None
+    if parameters is None:
+        parameters = perturbed_batch(model.nominal_parameterization(),
+                                     args.batch,
+                                     np.random.default_rng(args.seed))
+
+    out = Path(args.out)
+    if args.checkpoint is None and out.exists():
+        # A fresh (non-resumable) recording starts a fresh trace; only
+        # checkpointed campaigns append across runs.
+        out.unlink()
+    config = CampaignConfig(chunk_size=args.chunk_size,
+                            checkpoint_path=args.checkpoint)
+    t_eval = np.linspace(0.0, args.t_end, args.points)
+    campaign = run_campaign(model, (0.0, args.t_end), t_eval, parameters,
+                            engine=args.engine, config=config,
+                            telemetry=out)
+    print(campaign.summary())
+    print(f"wrote trace to {out}")
+    print()
+    print(render_summary(read_trace_jsonl(out)))
+    if campaign.metrics:
+        print()
+        print(campaign.metrics.render())
+    return 0 if not campaign.incomplete else 1
+
+
+def _command_trace_summarize(args) -> int:
+    from .telemetry import read_trace_jsonl, render_summary, validate_trace
+
+    spans = read_trace_jsonl(Path(args.trace))
+    problems = validate_trace(spans)
+    print(render_summary(spans))
+    if problems:
+        print()
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_trace_export(args) -> int:
+    from .telemetry import read_trace_jsonl, write_chrome_trace
+
+    spans = read_trace_jsonl(Path(args.trace))
+    out = Path(args.out)
+    write_chrome_trace(spans, out)
+    print(f"wrote {len(spans)} span(s) as Chrome trace events to {out} "
+          f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -293,6 +356,43 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--batch", type=int, default=0)
     generate.set_defaults(handler=_command_generate)
+
+    trace = commands.add_parser(
+        "trace", help="record, summarize or export campaign traces")
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+
+    record = trace_commands.add_parser(
+        "record", help="run a traced campaign, writing a JSONL trace")
+    record.add_argument("model")
+    record.add_argument("--out", required=True,
+                        help="JSONL trace output path")
+    record.add_argument("--batch", type=int, default=64,
+                        help="perturbed rows when the folder has no "
+                             "sweep batch")
+    record.add_argument("--chunk-size", type=int, default=32)
+    record.add_argument("--t-end", type=float, default=10.0)
+    record.add_argument("--points", type=int, default=51)
+    record.add_argument("--engine", default="batched",
+                        choices=("batched", "lsoda", "vode", "dopri5",
+                                 "radau5", "autoswitch", "bdf"))
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--checkpoint", default=None,
+                        help="campaign journal path; enables resume and "
+                             "appends into the existing trace")
+    record.set_defaults(handler=_command_trace_record)
+
+    summarize = trace_commands.add_parser(
+        "summarize", help="validate and summarize a JSONL trace")
+    summarize.add_argument("trace")
+    summarize.set_defaults(handler=_command_trace_summarize)
+
+    export = trace_commands.add_parser(
+        "export", help="convert a JSONL trace to Chrome trace_event JSON")
+    export.add_argument("trace")
+    export.add_argument("--out", required=True,
+                        help="Chrome-trace JSON output path")
+    export.set_defaults(handler=_command_trace_export)
     return parser
 
 

@@ -10,7 +10,6 @@ reports the same "only n simulations finished in the budget" figures).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +18,7 @@ from ..errors import AnalysisError
 from ..gpu.engine import BatchSimulator
 from ..model import ReactionBasedModel, perturbed_batch
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
+from ..telemetry import clock
 from .simulate import SEQUENTIAL_ENGINES, SequentialSimulator
 
 #: Engine identifiers the map understands. ``batched-*`` selects the
@@ -97,17 +97,17 @@ def time_engine(model: ReactionBasedModel, engine: str, batch_size: int,
     if engine.startswith("batched"):
         policy = engine.partition("-")[2] or "hybrid"
         simulator = BatchSimulator(model, options, policy=policy)
-        started = time.perf_counter()
+        started = clock.monotonic()
         simulator.simulate(t_span, t_eval, batch)
-        return time.perf_counter() - started, False
+        return clock.monotonic() - started, False
     if engine not in SEQUENTIAL_ENGINES:
         raise AnalysisError(f"unknown map engine {engine!r}; expected "
                             f"one of {MAP_ENGINES + SEQUENTIAL_ENGINES}")
     simulator = SequentialSimulator(model, options, engine)
-    started = time.perf_counter()
+    started = clock.monotonic()
     result = simulator.simulate(t_span, t_eval, batch,
                                 time_budget_seconds=time_budget_seconds)
-    elapsed = time.perf_counter() - started
+    elapsed = clock.monotonic() - started
     completed = sum(s != "failed" for s in result.statuses())
     if completed < batch_size:
         if completed == 0:

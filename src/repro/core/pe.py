@@ -103,6 +103,7 @@ class ParameterEstimation:
                  options: SolverOptions = DEFAULT_OPTIONS,
                  lint: bool = False,
                  failure_penalty: float = 1.0e6,
+                 telemetry=None,
                  **engine_kwargs) -> None:
         if lint:
             from ..lint import lint_gate
@@ -134,7 +135,12 @@ class ParameterEstimation:
                 f"failure_penalty must be finite and > 0, got "
                 f"{failure_penalty}")
         self.failure_penalty = float(failure_penalty)
-        self.engine_kwargs = engine_kwargs
+        self.engine_kwargs = dict(engine_kwargs)
+        self.tracer = None
+        if telemetry is not None and engine == "batched":
+            from ..telemetry import as_tracer
+            self.tracer = as_tracer(telemetry)
+            self.engine_kwargs["tracer"] = self.tracer
         self.n_simulations = 0
         self.n_penalized = 0
 
@@ -153,6 +159,8 @@ class ParameterEstimation:
         t_span = (float(self.target_times[0]), float(self.target_times[-1]))
         result = simulate(self.model, t_span, self.target_times, batch,
                           self.engine, self.options, **self.engine_kwargs)
+        if self.tracer is not None:
+            self.tracer.flush()
         self.n_simulations += batch.size
         observed = result.y[:, :, self.observed_indices]
         distances = batch_relative_distances(self.target_dynamics, observed)

@@ -118,7 +118,8 @@ def build_sweep_batch(model: ReactionBasedModel,
 
 
 def resilient_simulate(model, t_span, t_eval, batch, engine, options,
-                       campaign: CampaignConfig | None, engine_kwargs
+                       campaign: CampaignConfig | None, engine_kwargs,
+                       telemetry=None
                        ) -> tuple[SimulationResult, QuarantineLog, bool]:
     """Simulate a batch directly or as a journaled campaign.
 
@@ -130,15 +131,27 @@ def resilient_simulate(model, t_span, t_eval, batch, engine, options,
     :func:`repro.resilience.run_campaign` — chunked, checkpointed,
     deadline-aware — and ``incomplete`` flags a deadline-truncated
     partial result whose unstarted rows carry the ``running`` status.
+
+    ``telemetry`` (``None`` / tracer / trace path, see
+    :func:`repro.telemetry.as_tracer`) records the analysis: campaign
+    runs emit the full ``campaign > chunk > launch`` hierarchy, direct
+    batched runs the ``launch``-rooted subtree.
     """
     if campaign is None:
+        kwargs = dict(engine_kwargs)
+        tracer = None
+        if engine == "batched" and telemetry is not None:
+            from ..telemetry import as_tracer
+            tracer = kwargs["tracer"] = as_tracer(telemetry)
         result = simulate(model, t_span, t_eval, batch, engine, options,
-                          **engine_kwargs)
+                          **kwargs)
+        if tracer is not None:
+            tracer.flush()
         return result, result.quarantine, False
     from ..resilience.campaign import run_campaign
     outcome = run_campaign(model, t_span, t_eval, batch, engine=engine,
                            options=options, config=campaign,
-                           **engine_kwargs)
+                           telemetry=telemetry, **engine_kwargs)
     result = SimulationResult(model, outcome.result, engine,
                               outcome.result.elapsed_seconds)
     return result, outcome.quarantine, outcome.incomplete
@@ -290,6 +303,7 @@ def run_psa_1d(model: ReactionBasedModel, target: SweepTarget,
                options: SolverOptions = DEFAULT_OPTIONS,
                lint: bool = False,
                campaign: CampaignConfig | None = None,
+               telemetry=None,
                **engine_kwargs) -> PSA1DResult:
     """Sweep one parameter over a grid of ``n_points`` values.
 
@@ -308,7 +322,7 @@ def run_psa_1d(model: ReactionBasedModel, target: SweepTarget,
     batch = build_sweep_batch(model, [target], values[:, None])
     result, quarantine, incomplete = resilient_simulate(
         model, t_span, t_eval, batch, engine, options, campaign,
-        engine_kwargs)
+        engine_kwargs, telemetry)
     metric_values = _masked_metric(metric, result)
     return PSA1DResult(target, values, result, metric_values,
                        quarantine, incomplete)
@@ -323,6 +337,7 @@ def run_psa_2d(model: ReactionBasedModel, target_x: SweepTarget,
                options: SolverOptions = DEFAULT_OPTIONS,
                lint: bool = False,
                campaign: CampaignConfig | None = None,
+               telemetry=None,
                **engine_kwargs) -> PSA2DResult:
     """Sweep two parameters over an (n_x, n_y) grid; row-major batch.
 
@@ -340,7 +355,7 @@ def run_psa_2d(model: ReactionBasedModel, target_x: SweepTarget,
     batch = build_sweep_batch(model, [target_x, target_y], pairs)
     result, quarantine, incomplete = resilient_simulate(
         model, t_span, t_eval, batch, engine, options, campaign,
-        engine_kwargs)
+        engine_kwargs, telemetry)
     metric_map = _masked_metric(metric, result)
     if metric_map is not None:
         metric_map = metric_map.reshape(n_x, n_y)

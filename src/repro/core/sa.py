@@ -111,6 +111,7 @@ def run_sobol_sa(model: ReactionBasedModel,
                  lint: bool = False,
                  campaign: CampaignConfig | None = None,
                  min_surviving_fraction: float = 0.5,
+                 telemetry=None,
                  **engine_kwargs) -> SobolResult:
     """Run the full Saltelli-sample / simulate / estimate pipeline.
 
@@ -156,7 +157,7 @@ def run_sobol_sa(model: ReactionBasedModel,
     batch = build_sweep_batch(model, targets, design)
     result, quarantine, incomplete = resilient_simulate(
         model, t_span, t_eval, batch, engine, options, campaign,
-        engine_kwargs)
+        engine_kwargs, telemetry)
     outputs = np.asarray(output(result.t, result.y), dtype=np.float64)
     if outputs.shape[0] != design.shape[0]:
         raise AnalysisError(

@@ -26,7 +26,6 @@ Engines
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,6 +42,7 @@ from ..model import (ODESystem, Parameterization, ParameterizationBatch,
 from ..solvers import (AutoSwitchSolver, BDF, ExplicitRungeKutta, Radau5,
                        ScipyLSODA, ScipyVODE)
 from ..solvers.base import DEFAULT_OPTIONS, SUCCESS, MAX_STEPS, SolverOptions
+from ..telemetry import clock
 from ..solvers.tableaus import DOPRI5
 
 SEQUENTIAL_ENGINES = ("lsoda", "vode", "dopri5", "radau5", "autoswitch",
@@ -181,11 +181,11 @@ class SequentialSimulator:
         solver = self._make_solver()
         supports_jacobian = self.engine in ("vode", "radau5", "autoswitch",
                                             "lsoda", "bdf")
-        started = time.perf_counter()
+        started = clock.monotonic()
         completed = 0
         for index in range(batch.size):
             if time_budget_seconds is not None and \
-                    time.perf_counter() - started > time_budget_seconds:
+                    clock.monotonic() - started > time_budget_seconds:
                 break
             constants = batch.rate_constants[index]
             fun = self.system.as_scipy_rhs(constants)
@@ -209,7 +209,7 @@ class SequentialSimulator:
                 single.stats.n_rhs_evaluations
             completed += 1
         result.status_codes[completed:] = BROKEN
-        result.elapsed_seconds = time.perf_counter() - started
+        result.elapsed_seconds = clock.monotonic() - started
         return result
 
 

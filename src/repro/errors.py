@@ -72,6 +72,16 @@ class GuardError(ReproError):
     split (see :mod:`repro.guards`)."""
 
 
+class TelemetryError(ReproError):
+    """The telemetry layer was misused or fed a malformed artifact.
+
+    Raised when a span nests under an incompatible category, a span
+    handle is ended twice, a metric name is reused across instrument
+    kinds, or a trace file contains records that do not parse as spans
+    (see :mod:`repro.telemetry`).
+    """
+
+
 class CampaignInterrupted(ResilienceError):
     """A chunked campaign stopped before all launches completed.
 

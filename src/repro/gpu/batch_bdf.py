@@ -21,6 +21,7 @@ import numpy as np
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions, validate_time_grid
 from ..solvers.bdf import (ALPHA, ERROR_CONST, GAMMA, MAX_ORDER,
                            NEWTON_MAXITER, change_difference_array)
+from ..telemetry.tracer import NULL_TRACER
 from .batch_dopri5 import _initial_steps, _scaled_error_norms
 from .batch_result import (BROKEN, EXHAUSTED, METHOD_BDF, OK, RUNNING,
                            BatchSolveResult, allocate_result)
@@ -51,6 +52,10 @@ class BatchBDF:
         identity = np.eye(n)
         newton_tol = max(10 * np.finfo(float).eps / options.rtol,
                          min(0.03, options.rtol ** 0.5))
+        tracer = problem.tracer or NULL_TRACER
+        compile_span = tracer.start("compile", "phase",
+                                    parent=problem.trace_span,
+                                    solver=self.name, rows=batch)
 
         states = (problem.initial_states() if initial_states is None
                   else np.array(initial_states, dtype=np.float64))
@@ -85,6 +90,10 @@ class BatchBDF:
 
         status = result.status_codes
         status[save_index >= t_eval.size] = OK
+        tracer.end(compile_span)
+        loop_span = tracer.start("step-loop", "phase",
+                                 parent=problem.trace_span,
+                                 solver=self.name)
 
         while True:
             active = np.flatnonzero(status == RUNNING)
@@ -164,7 +173,12 @@ class BatchBDF:
                                      result, save_index, status, t_eval,
                                      max_step)
 
-        return result
+        tracer.end(loop_span)
+        # Save points are recorded in-loop from the difference table;
+        # the dense-output phase only covers the result hand-off.
+        with tracer.span("dense-output", "phase",
+                         parent=problem.trace_span, solver=self.name):
+            return result
 
     # ------------------------------------------------------------------
 

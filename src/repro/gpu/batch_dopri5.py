@@ -17,6 +17,7 @@ import numpy as np
 
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions, validate_time_grid
 from ..solvers.tableaus import DOPRI5
+from ..telemetry.tracer import NULL_TRACER
 from .batch_result import (BROKEN, EXHAUSTED, METHOD_DOPRI5, OK, RUNNING,
                            STIFF, BatchSolveResult, allocate_result)
 from .batched_ode import BatchedODEProblem
@@ -98,6 +99,10 @@ class BatchDopri5:
         t0, t1 = float(t_span[0]), float(t_span[1])
         batch = problem.batch_size
         n = problem.n_species
+        tracer = problem.tracer or NULL_TRACER
+        compile_span = tracer.start("compile", "phase",
+                                    parent=problem.trace_span,
+                                    solver=self.name, rows=batch)
 
         states = (problem.initial_states() if initial_states is None
                   else np.array(initial_states, dtype=np.float64))
@@ -126,6 +131,10 @@ class BatchDopri5:
 
         # Simulations whose whole grid is already recorded.
         status[save_index >= t_eval.size] = OK
+        tracer.end(compile_span)
+        loop_span = tracer.start("step-loop", "phase",
+                                 parent=problem.trace_span,
+                                 solver=self.name)
 
         while True:
             active = np.flatnonzero(status == RUNNING)
@@ -249,7 +258,13 @@ class BatchDopri5:
                     options.min_step_factor)
                 steps[rej_rows] = h_act[~accepted] * shrink
 
-        return result
+        tracer.end(loop_span)
+        # Save points are recorded in-loop by per-sim step clipping, so
+        # the dense-output phase of this substrate is only the result
+        # hand-off; the span keeps the phase catalog uniform.
+        with tracer.span("dense-output", "phase",
+                         parent=problem.trace_span, solver=self.name):
+            return result
 
     @staticmethod
     def _stiffness_test(acc_rows, accepted, h_act, y_new, penultimate_states,

@@ -20,6 +20,7 @@ import numpy as np
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions, validate_time_grid
 from ..solvers.radau5 import (MU_COMPLEX, MU_REAL, RADAU_C, RADAU_E, RADAU_T,
                               RADAU_TI)
+from ..telemetry.tracer import NULL_TRACER
 from .batch_dopri5 import _initial_steps, _scaled_error_norms
 from .batch_result import (BROKEN, EXHAUSTED, METHOD_RADAU5, OK, RUNNING,
                            BatchSolveResult, allocate_result)
@@ -54,6 +55,10 @@ class BatchRadau5:
         batch = problem.batch_size
         n = problem.n_species
         identity = np.eye(n)
+        tracer = problem.tracer or NULL_TRACER
+        compile_span = tracer.start("compile", "phase",
+                                    parent=problem.trace_span,
+                                    solver=self.name, rows=batch)
 
         newton_tol = max(10.0 * np.finfo(float).eps / options.rtol,
                          min(options.newton_tol_factor, options.rtol ** 0.5))
@@ -93,6 +98,10 @@ class BatchRadau5:
 
         status = result.status_codes
         status[save_index >= t_eval.size] = OK
+        tracer.end(compile_span)
+        loop_span = tracer.start("step-loop", "phase",
+                                 parent=problem.trace_span,
+                                 solver=self.name)
 
         while True:
             active = np.flatnonzero(status == RUNNING)
@@ -268,7 +277,13 @@ class BatchRadau5:
             steps[acc_rows] = np.where(significant, h_new,
                                        h_conv[acc_local])
 
-        return result
+        tracer.end(loop_span)
+        # Save points are recorded in-loop (collocation interpolation at
+        # clipped steps); dense output proper does not exist on this
+        # substrate, so the phase only covers the result hand-off.
+        with tracer.span("dense-output", "phase",
+                         parent=problem.trace_span, solver=self.name):
+            return result
 
     # ------------------------------------------------------------------
 

@@ -28,6 +28,7 @@ from ..model.odesystem import POLICIES
 if TYPE_CHECKING:  # layering: resilience.faults is a leaf data module
     from ..guards.state import KernelGuard
     from ..resilience.faults import FaultPlan
+    from ..telemetry.tracer import SpanHandle, Tracer
 
 
 @dataclass
@@ -70,6 +71,12 @@ class BatchedODEProblem:
     chunks. ``guard`` is the in-kernel state-validity guard
     (:class:`repro.guards.KernelGuard`), likewise keyed by global ids
     and travelling through every subset.
+
+    ``tracer``/``trace_span`` carry the telemetry context into the
+    integrators: solvers emit their kernel-phase spans
+    (compile / step-loop / dense-output) as children of ``trace_span``
+    through ``tracer`` (see :mod:`repro.telemetry`). Both default to
+    off and, like the counters, travel through every subset.
     """
 
     system: ODESystem
@@ -79,6 +86,8 @@ class BatchedODEProblem:
     fault_plan: "FaultPlan | None" = None
     row_ids: np.ndarray | None = None
     guard: "KernelGuard | None" = None
+    tracer: "Tracer | None" = None
+    trace_span: "SpanHandle | None" = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -155,4 +164,4 @@ class BatchedODEProblem:
         return BatchedODEProblem(self.system, self.parameters.subset(rows),
                                  self.policy, self.counters,
                                  self.fault_plan, self.row_ids[rows],
-                                 self.guard)
+                                 self.guard, self.tracer, self.trace_span)

@@ -11,8 +11,8 @@ trajectories. It is the component the parameter-space analyses
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -27,13 +27,17 @@ from ..resilience.policy import RetryPolicy
 from ..resilience.quarantine import (FailureRecord, QuarantineLog,
                                      RetryAttempt)
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
+from ..telemetry import clock
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.tracer import SpanHandle, as_tracer
 from .batch_dopri5 import BatchDopri5
 from .batch_radau5 import BatchRadau5
 from .batch_result import (BROKEN, GUARD, OK, STATUS_NAMES, BatchSolveResult,
                            allocate_result)
 from .batched_ode import BatchedODEProblem, KernelCounters
 from .device import TITAN_X, VirtualDevice
-from .perfmodel import DeviceTimeEstimate, estimate_device_time
+from .perfmodel import (DeviceTimeEstimate, estimate_device_time,
+                        memory_footprint_doubles)
 from .router import RoutingDecision, StiffnessRouter
 
 METHODS = ("auto", "dopri5", "radau5", "bdf")
@@ -54,6 +58,12 @@ class EngineReport:
     :class:`~repro.guards.GuardConfig`); ``memory_events`` records each
     launch the memory governor had to split to stay under the device
     budget.
+
+    ``metrics`` is the typed telemetry registry
+    (:class:`~repro.telemetry.MetricsRegistry`): step/kernel/Newton
+    counters, guard and retry accounting, and per-launch working-set
+    histograms, always populated (the registry is timestamp-free, so
+    it is safe to embed in campaign checkpoints).
     """
 
     elapsed_seconds: float
@@ -66,6 +76,58 @@ class EngineReport:
     n_recovered_rows: int = 0
     guard_log: GuardLog = field(default_factory=GuardLog)
     memory_events: list[MemoryEvent] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe form (see :meth:`from_dict`)."""
+        modeled = self.modeled_device_time
+        return {
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "n_launches": int(self.n_launches),
+            "routing": [decision.to_dict() for decision in self.routing],
+            "counters": asdict(self.counters),
+            "modeled_device_time": (None if modeled is None
+                                    else asdict(modeled)),
+            "quarantine": self.quarantine.to_dicts(),
+            "n_retried_rows": int(self.n_retried_rows),
+            "n_recovered_rows": int(self.n_recovered_rows),
+            "guard_log": {
+                "violations": self.guard_log.to_dicts(),
+                "n_clamped_steps": int(self.guard_log.n_clamped_steps),
+            },
+            "memory_events": [asdict(event)
+                              for event in self.memory_events],
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineReport":
+        guard_data = data.get("guard_log", {})
+        guard_log = GuardLog.from_dicts(guard_data.get("violations", []))
+        # GuardLog.from_dicts only rebuilds the violation list; the
+        # clamp counter rides next to it in the serialized form.
+        guard_log.n_clamped_steps = int(
+            guard_data.get("n_clamped_steps", 0))
+        modeled = data.get("modeled_device_time")
+        return cls(
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            n_launches=int(data["n_launches"]),
+            routing=[RoutingDecision.from_dict(entry)
+                     for entry in data.get("routing", [])],
+            counters=KernelCounters(**data.get("counters", {})),
+            modeled_device_time=(None if modeled is None
+                                 else DeviceTimeEstimate(**modeled)),
+            quarantine=QuarantineLog.from_dicts(data.get("quarantine", [])),
+            n_retried_rows=int(data.get("n_retried_rows", 0)),
+            n_recovered_rows=int(data.get("n_recovered_rows", 0)),
+            guard_log=guard_log,
+            memory_events=[MemoryEvent(**entry)
+                           for entry in data.get("memory_events", [])],
+            metrics=MetricsRegistry.from_dict(data.get("metrics", {})),
+        )
 
 
 class BatchSimulator:
@@ -116,6 +178,16 @@ class BatchSimulator:
         re-merged, with each degradation recorded on the report.
         ``None`` skips budget checks unless the fault plan injects
         memory pressure (which then uses a default governor).
+    tracer:
+        Optional telemetry: a :class:`~repro.telemetry.Tracer`, a trace
+        file path, or ``None`` (the default, the <2%-overhead no-op
+        tracer). Each launch emits ``launch -> rung -> phase`` spans and
+        the report's :class:`~repro.telemetry.MetricsRegistry` is
+        populated either way.
+    trace_parent:
+        Optional parent span handle under which this simulate call's
+        launch spans nest (the campaign runner passes its chunk span);
+        ``None`` makes the launches trace roots.
     """
 
     def __init__(self, model: ReactionBasedModel,
@@ -126,7 +198,9 @@ class BatchSimulator:
                  retry_policy: RetryPolicy | None = None,
                  fault_plan: FaultPlan | None = None,
                  guard_config: GuardConfig | None = None,
-                 memory_governor: MemoryGovernor | None = None) -> None:
+                 memory_governor: MemoryGovernor | None = None,
+                 tracer=None,
+                 trace_parent: SpanHandle | None = None) -> None:
         if method not in METHODS:
             raise SolverError(f"unknown method {method!r}; "
                               f"expected one of {METHODS}")
@@ -143,6 +217,8 @@ class BatchSimulator:
         self.fault_plan = fault_plan
         self.guard_config = guard_config
         self.memory_governor = memory_governor
+        self.tracer = as_tracer(tracer)
+        self.trace_parent = trace_parent
         self.last_report: EngineReport | None = None
 
     # ------------------------------------------------------------------
@@ -167,8 +243,9 @@ class BatchSimulator:
         report = EngineReport(elapsed_seconds=0.0, n_launches=0,
                               counters=counters)
         kernel_guard, invariant_monitor = self._build_guards(batch, report)
+        tracer = self.tracer
         chunks: list[BatchSolveResult] = []
-        started = time.perf_counter()
+        started = clock.monotonic()
         for start in range(0, batch.size, self.max_batch_per_launch):
             if self.fault_plan is not None and \
                     self.fault_plan.crashes_before_launch(report.n_launches):
@@ -179,28 +256,42 @@ class BatchSimulator:
             sub_batch = batch.subset(np.arange(start, stop))
             problem = BatchedODEProblem(self.system, sub_batch, self.policy,
                                         counters, self.fault_plan,
-                                        np.arange(start, stop), kernel_guard)
+                                        np.arange(start, stop), kernel_guard,
+                                        tracer)
+            launch_span = tracer.start(
+                f"launch-{report.n_launches}", "launch",
+                parent=self.trace_parent, rows=stop - start)
+            rung_span = tracer.start("rung-0", "rung", parent=launch_span,
+                                     method=self.method)
+            problem.trace_span = rung_span
             chunk = self._run_launch_governed(problem, t_span, t_eval,
                                               report)
+            tracer.end(rung_span)
             if self.fault_plan is not None and \
                     self.fault_plan.forces_launch_failure(report.n_launches):
                 chunk.status_codes[:] = BROKEN
                 chunk.y[:] = np.nan
             if invariant_monitor is not None:
-                self._check_invariants(invariant_monitor, report.guard_log,
-                                       problem, chunk)
+                self._check_invariants(invariant_monitor, report, problem,
+                                       chunk)
             if self.retry_policy is not None:
                 self._retry_failed_rows(problem, chunk, t_span, t_eval,
-                                        report, invariant_monitor)
+                                        report, invariant_monitor,
+                                        launch_span)
+            tracer.end(launch_span)
+            self._observe_launch(report, stop - start, t_eval.size)
             chunks.append(chunk)
             report.n_launches += 1
-        report.elapsed_seconds = time.perf_counter() - started
+        report.elapsed_seconds = clock.monotonic() - started
         report.modeled_device_time = estimate_device_time(
             counters, batch.size, self.system.n_species,
             self.system.n_reactions, self.device)
 
-        result = self._merge(chunks, t_eval)
+        with tracer.span("merge", "phase", parent=self.trace_parent,
+                         launches=len(chunks)):
+            result = self._merge(chunks, t_eval)
         result.elapsed_seconds = report.elapsed_seconds
+        self._populate_metrics(report, result)
         self.last_report = report
         return result
 
@@ -218,6 +309,52 @@ class BatchSimulator:
                 "parameters must be a Parameterization, a "
                 f"ParameterizationBatch or None, got {type(parameters)!r}")
         return parameters
+
+    # ------------------------------------------------------------------
+    # telemetry metrics
+
+    def _observe_launch(self, report: EngineReport, rows: int,
+                        n_save_points: int) -> None:
+        """Histogram one launch's width and device working set."""
+        report.metrics.observe("launch.rows", rows)
+        report.metrics.observe(
+            "launch.working_set_doubles",
+            memory_footprint_doubles(rows, self.system.n_species,
+                                     self.system.n_reactions,
+                                     n_save_points, self.method))
+
+    @staticmethod
+    def _populate_metrics(report: EngineReport,
+                          result: BatchSolveResult) -> None:
+        """Fold the run's counters and logs into the metrics registry.
+
+        Everything here is a deterministic count — no timestamps — so
+        the registry is safe to journal in campaign checkpoints
+        (deep-lint rule DET005 keeps it that way).
+        """
+        metrics = report.metrics
+        metrics.count("steps.accepted", int(result.n_accepted.sum()))
+        metrics.count("steps.rejected", int(result.n_rejected.sum()))
+        counters = report.counters
+        metrics.count("kernel.rhs_launches", counters.rhs_kernel_launches)
+        metrics.count("kernel.rhs_evals",
+                      counters.rhs_simulation_evaluations)
+        metrics.count("kernel.jacobian_launches",
+                      counters.jacobian_kernel_launches)
+        metrics.count("kernel.jacobian_evals",
+                      counters.jacobian_simulation_evaluations)
+        metrics.count("newton.iterations", counters.newton_iterations)
+        metrics.count("newton.factorizations", counters.factorizations)
+        metrics.count("guard.clamped_steps",
+                      report.guard_log.n_clamped_steps)
+        for kind, count in report.guard_log.counts().items():
+            metrics.count(f"guard.violations.{kind}", count)
+        metrics.count("retry.retried_rows", report.n_retried_rows)
+        metrics.count("retry.recovered_rows", report.n_recovered_rows)
+        metrics.count("governor.splits", len(report.memory_events))
+        metrics.count("governor.segments",
+                      sum(event.n_splits for event in report.memory_events))
+        metrics.count("quarantine.rows", len(report.quarantine))
 
     # ------------------------------------------------------------------
     # numerical-integrity guards + memory governor
@@ -248,7 +385,8 @@ class BatchSimulator:
             invariant_monitor = InvariantMonitor(laws, config)
         return kernel_guard, invariant_monitor
 
-    def _check_invariants(self, monitor: InvariantMonitor, log: GuardLog,
+    def _check_invariants(self, monitor: InvariantMonitor,
+                          report: EngineReport,
                           problem: BatchedODEProblem,
                           result: BatchSolveResult) -> None:
         """Flag finished rows whose conserved totals drifted.
@@ -259,6 +397,7 @@ class BatchSimulator:
         ``failed_mask`` so the retry ladder / quarantine / analysis
         masking pick them up like any solver failure.
         """
+        log = report.guard_log
         ok_rows = np.flatnonzero(result.status_codes == OK)
         if ok_rows.size == 0:
             return
@@ -269,6 +408,7 @@ class BatchSimulator:
             return
         rows = ok_rows[violated]
         result.status_codes[rows] = GUARD
+        report.metrics.count("guard.invariant_restamps", int(rows.size))
         for local, row in zip(violated, rows):
             log.add(GuardViolation(
                 INVARIANT_DRIFT, int(problem.row_ids[row]),
@@ -355,7 +495,8 @@ class BatchSimulator:
                            chunk: BatchSolveResult,
                            t_span: tuple[float, float], t_eval: np.ndarray,
                            report: EngineReport,
-                           invariant_monitor: InvariantMonitor | None = None
+                           invariant_monitor: InvariantMonitor | None = None,
+                           launch_span: SpanHandle | None = None
                            ) -> None:
         """Climb the retry ladder for the launch's failed-row subset.
 
@@ -386,11 +527,18 @@ class BatchSimulator:
             options = stage.derive_options(self.options)
             solver = self._retry_solver(stage.method, options)
             subproblem = problem.subset(failed)
+            rung_span = self.tracer.start(
+                f"rung-{rung + 1}", "rung", parent=launch_span,
+                method=stage.method, rows=int(failed.size))
+            subproblem.trace_span = rung_span
             retried = solver.solve(subproblem, t_span, t_eval)
+            self.tracer.end(rung_span)
             if invariant_monitor is not None:
-                self._check_invariants(invariant_monitor, report.guard_log,
+                self._check_invariants(invariant_monitor, report,
                                        subproblem, retried)
             report.n_retried_rows += int(failed.size)
+            report.metrics.count(f"retry.rung{rung + 1}.rows",
+                                 int(failed.size))
             for local, row in enumerate(failed):
                 histories[int(row)].append(RetryAttempt(
                     f"retry-{rung + 1}", stage.method,
@@ -402,6 +550,8 @@ class BatchSimulator:
                 chunk.merge_rows(retried.take_rows(recovered),
                                  failed[recovered])
                 report.n_recovered_rows += int(recovered.size)
+                report.metrics.count(f"retry.rung{rung + 1}.recovered",
+                                     int(recovered.size))
             failed = failed[retried.status_codes != OK]
         for row in failed:
             global_row = int(problem.row_ids[row])

@@ -54,6 +54,19 @@ class RoutingDecision:
     def n_stiff(self) -> int:
         return int(np.sum(self.stiff_mask))
 
+    def to_dict(self) -> dict:
+        return {"stiff_mask": [bool(v) for v in self.stiff_mask],
+                "spectral_radii": [float(v) for v in self.spectral_radii],
+                "threshold": float(self.threshold),
+                "probe_skipped": bool(self.probe_skipped)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoutingDecision":
+        return cls(np.asarray(data["stiff_mask"], dtype=bool),
+                   np.asarray(data["spectral_radii"], dtype=np.float64),
+                   float(data["threshold"]),
+                   bool(data.get("probe_skipped", False)))
+
 
 def classify_batch(problem: BatchedODEProblem, t0: float,
                    threshold: float,

@@ -67,6 +67,15 @@ class DeepConfig:
     status_dict_name: str = "STATUS_NAMES"
     #: Relpath suffix identifying the exception-taxonomy module.
     errors_module: str = "errors.py"
+    #: Module globs of the sanctioned wall-clock boundary
+    #: (:mod:`repro.telemetry.clock`): raw ``time.*`` / ``datetime``
+    #: reads anywhere *else* are a DET005 warning, which is what keeps
+    #: the taint analysis sound — every clock read funnels through one
+    #: auditable module.
+    clock_modules: tuple[str, ...] = ("telemetry/clock.py", "clock.py")
+    #: Terminal call names that read the sanctioned clock; DET005
+    #: treats them as wall-clock taint sources exactly like ``time.*``.
+    clock_calls: tuple[str, ...] = ("monotonic", "walltime")
 
 
 DEFAULT_CONFIG = DeepConfig()

@@ -332,7 +332,9 @@ _HASH_SINKS = {"sha256", "sha1", "md5", "blake2b", "blake2s", "sha512"}
 _CHECKPOINT_SINKS = {"save_chunk", "set_payload", "write_payload"}
 
 
-def _is_time_source(node: ast.AST) -> bool:
+def _is_raw_time_source(node: ast.AST) -> bool:
+    """A direct ``time.*`` / ``datetime`` read (not the sanctioned
+    :mod:`repro.telemetry.clock` facade)."""
     if not isinstance(node, ast.Call):
         return False
     chain = attr_chain(node.func)
@@ -347,8 +349,21 @@ def _is_time_source(node: ast.AST) -> bool:
     return False
 
 
-def _contains_time_source(expression: ast.AST) -> bool:
-    return any(_is_time_source(node) for node in ast.walk(expression))
+def _is_time_source(node: ast.AST, clock_calls=()) -> bool:
+    if _is_raw_time_source(node):
+        return True
+    # Reads of the sanctioned clock (clock.monotonic() and friends)
+    # taint just like raw time.* — the boundary moves where the call
+    # is *allowed*, not what its value may flow into.
+    if isinstance(node, ast.Call):
+        chain = attr_chain(node.func)
+        return bool(chain) and chain[-1] in clock_calls
+    return False
+
+
+def _contains_time_source(expression: ast.AST, clock_calls=()) -> bool:
+    return any(_is_time_source(node, clock_calls)
+               for node in ast.walk(expression))
 
 
 def _hash_object_names(scope_node: ast.AST) -> set[str]:
@@ -406,13 +421,16 @@ def _sink_reason(module: ModuleInfo, use: ast.AST,
 
 
 def rule_det005(index: ProjectIndex, config, emit) -> None:
+    clock_calls = tuple(getattr(config, "clock_calls", ()))
+    clock_modules = tuple(getattr(config, "clock_modules", ()))
     for record in list(index.functions()) + list(index.module_records()):
         module = record.module
         in_fingerprint = "fingerprint" in record.name
         defuse = index.scope(record).defuse
         seeds = [definition for definition in defuse.definitions
                  if isinstance(defuse.value_of.get(definition), ast.AST)
-                 and _contains_time_source(defuse.value_of[definition])]
+                 and _contains_time_source(defuse.value_of[definition],
+                                           clock_calls)]
         if not seeds:
             continue
         hash_objects = _hash_object_names(record.node)
@@ -438,7 +456,7 @@ def rule_det005(index: ProjectIndex, config, emit) -> None:
                     and _is_sink_call(node, module_hash_objects):
                 for argument in list(node.args) + \
                         [k.value for k in node.keywords]:
-                    if _contains_time_source(argument):
+                    if _contains_time_source(argument, clock_calls):
                         chain = attr_chain(node.func)
                         emit("DET005", module, node.lineno,
                              f"wall-clock call passed directly to "
@@ -446,6 +464,23 @@ def rule_det005(index: ProjectIndex, config, emit) -> None:
                              "different on every run",
                              "derive fingerprints only from campaign "
                              "inputs")
+    # Boundary check: raw time.* / datetime reads are allowed only in
+    # the sanctioned clock module(s). Funnelling every read through
+    # repro.telemetry.clock is what lets the taint analysis above stay
+    # sound — a new raw read elsewhere is an untracked clock source.
+    for module in index.modules:
+        if module.matches(clock_modules):
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _is_raw_time_source(node):
+                chain = attr_chain(node.func)
+                emit("DET005", module, node.lineno,
+                     f"raw wall-clock read {'.'.join(chain)}(...) "
+                     "outside the sanctioned telemetry clock boundary",
+                     "read time via repro.telemetry.clock "
+                     "(monotonic()/walltime()) so wall-clock taint "
+                     "stays trackable",
+                     severity="warning")
 
 
 # ----------------------------------------------------------------------

@@ -19,7 +19,6 @@ optima through the same checkpoint payloads
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -28,6 +27,9 @@ import numpy as np
 from ..errors import CampaignInterrupted, ResilienceError
 from ..gpu.batch_result import (METHOD_DOPRI5, RUNNING, BatchSolveResult,
                                 allocate_result)
+from ..telemetry import clock
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.tracer import as_tracer
 from .faults import FaultPlan
 from .policy import RetryPolicy
 from .quarantine import QuarantineLog
@@ -83,6 +85,7 @@ class CampaignResult:
     resumed_chunks: int
     quarantine: QuarantineLog = field(default_factory=QuarantineLog)
     checkpoint_path: Path | None = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def n_quarantined(self) -> int:
@@ -123,6 +126,7 @@ def run_campaign(model, t_span: tuple[float, float],
                  options=None, config: CampaignConfig | None = None,
                  retry_policy: RetryPolicy | None = None,
                  fault_plan: FaultPlan | None = None,
+                 telemetry=None,
                  **engine_kwargs) -> CampaignResult:
     """Run a batch as a resilient, journaled, chunked campaign.
 
@@ -133,6 +137,16 @@ def run_campaign(model, t_span: tuple[float, float],
     :class:`~repro.errors.CampaignInterrupted` on an injected crash or
     ``KeyboardInterrupt``; completed chunks are journaled first, so the
     identical call resumes.
+
+    ``telemetry`` enables tracing: a trace-file path (JSONL, appended),
+    a :class:`~repro.telemetry.Tracer`, or ``None``. Span sinks flush
+    right after each chunk is journaled and the ``campaign`` root span
+    is written only when the campaign completes, so a crashed-and-
+    resumed campaign (each run passing the *same trace path*) appends
+    into one coherent tree with stable structural ids — no duplicate
+    roots, no orphaned chunks. Per-chunk engine metrics are journaled
+    as checkpoint payloads and rehydrated on resume, so
+    :attr:`CampaignResult.metrics` always aggregates the whole batch.
     """
     from ..core.simulate import _normalize
     from ..solvers.base import DEFAULT_OPTIONS
@@ -156,9 +170,14 @@ def run_campaign(model, t_span: tuple[float, float],
     merged = allocate_result(t_eval, batch.size, model.n_species,
                              METHOD_DOPRI5)
     quarantine = QuarantineLog()
+    metrics = MetricsRegistry()
     completed = resumed = executed = 0
     deadline_hit = False
-    started = time.perf_counter()
+    tracer = as_tracer(telemetry)
+    campaign_span = tracer.start("campaign", "campaign", model=model.name,
+                                 batch=int(batch.size),
+                                 chunks=int(total_chunks))
+    started = clock.monotonic()
 
     for index in range(total_chunks):
         start = index * config.chunk_size
@@ -169,9 +188,13 @@ def run_campaign(model, t_span: tuple[float, float],
             chunk_result, quarantine_dicts = checkpoint.load_chunk(index)
             _check_chunk_shape(chunk_result, rows.size, t_eval, index)
             quarantine.merge(QuarantineLog.from_dicts(quarantine_dicts))
+            chunk_metrics = checkpoint.get_payload(f"metrics-{index}")
+            if chunk_metrics is not None:
+                metrics.merge(MetricsRegistry.from_dict(chunk_metrics))
             merged.merge_rows(chunk_result, rows)
             completed += 1
             resumed += 1
+            metrics.count("campaign.chunks.resumed")
             continue
 
         if _deadline_exceeded(config, fault_plan, started, executed):
@@ -188,10 +211,13 @@ def run_campaign(model, t_span: tuple[float, float],
 
         chunk_plan = (None if fault_plan is None
                       else fault_plan.for_chunk(index, start, stop))
+        chunk_span = tracer.start(f"chunk-{index}", "chunk",
+                                  parent=campaign_span,
+                                  rows=int(rows.size))
         try:
-            chunk_result, chunk_quarantine = _run_chunk(
+            chunk_result, chunk_quarantine, report = _run_chunk(
                 model, batch.subset(rows), t_span, t_eval, engine, options,
-                retry_policy, chunk_plan, engine_kwargs)
+                retry_policy, chunk_plan, engine_kwargs, tracer, chunk_span)
         except KeyboardInterrupt:
             raise CampaignInterrupted(
                 f"campaign interrupted during chunk {index}; "
@@ -199,22 +225,42 @@ def run_campaign(model, t_span: tuple[float, float],
                 checkpoint_path=(None if checkpoint is None
                                  else checkpoint.path),
                 completed_chunks=completed) from None
+        tracer.end(chunk_span)
         quarantine.merge(chunk_quarantine, row_offset=start)
+        if report is not None:
+            metrics.merge(report.metrics)
         if checkpoint is not None:
             shifted = QuarantineLog()
             shifted.merge(chunk_quarantine, row_offset=start)
             checkpoint.save_chunk(index, chunk_result, shifted.to_dicts())
+            if report is not None:
+                checkpoint.set_payload(f"metrics-{index}",
+                                       report.metrics.to_dict())
+        # Flush spans only after the chunk is journaled: the trace file
+        # and the journal lose exactly the same chunk on a crash.
+        tracer.flush()
         merged.merge_rows(chunk_result, rows)
         completed += 1
         executed += 1
+        metrics.count("campaign.chunks.executed")
 
     # Unstarted rows stay NaN/'running': nothing was integrated, so they
     # must not masquerade as failures of the dynamics.
     incomplete = completed < total_chunks
-    merged.elapsed_seconds = time.perf_counter() - started
+    merged.elapsed_seconds = clock.monotonic() - started
+    if completed == total_chunks and executed:
+        # The campaign root is written only once, by the run that
+        # finishes the final chunk — a crashed run never flushes its
+        # root, so the resume's root adopts the earlier chunk spans.
+        # A fully-resumed run executed nothing and emits nothing:
+        # re-running a completed campaign leaves the trace unchanged
+        # instead of appending a duplicate root.
+        tracer.end(campaign_span)
+        tracer.flush()
     return CampaignResult(merged, incomplete, deadline_hit, completed,
                           total_chunks, resumed, quarantine,
-                          None if checkpoint is None else checkpoint.path)
+                          None if checkpoint is None else checkpoint.path,
+                          metrics)
 
 
 # ----------------------------------------------------------------------
@@ -224,7 +270,7 @@ def _deadline_exceeded(config: CampaignConfig,
                        fault_plan: FaultPlan | None, started: float,
                        executed: int) -> bool:
     if config.deadline_seconds is not None and \
-            time.perf_counter() - started > config.deadline_seconds:
+            clock.monotonic() - started > config.deadline_seconds:
         return True
     return (fault_plan is not None
             and fault_plan.deadline_after_chunks is not None
@@ -232,20 +278,23 @@ def _deadline_exceeded(config: CampaignConfig,
 
 
 def _run_chunk(model, sub_batch, t_span, t_eval, engine, options,
-               retry_policy, chunk_plan, engine_kwargs
-               ) -> tuple[BatchSolveResult, QuarantineLog]:
+               retry_policy, chunk_plan, engine_kwargs, tracer=None,
+               chunk_span=None):
     from ..core.simulate import simulate
 
     kwargs = dict(engine_kwargs)
     if engine == "batched":
         kwargs["retry_policy"] = retry_policy
         kwargs["fault_plan"] = chunk_plan
+        if tracer is not None:
+            kwargs["tracer"] = tracer
+            kwargs["trace_parent"] = chunk_span
     result = simulate(model, t_span, t_eval, sub_batch, engine, options,
                       **kwargs)
     report = result.engine_report
     chunk_quarantine = (report.quarantine if report is not None
                         else QuarantineLog())
-    return result.raw, chunk_quarantine
+    return result.raw, chunk_quarantine, report
 
 
 def _check_chunk_shape(chunk_result: BatchSolveResult, n_rows: int,

@@ -10,13 +10,12 @@ engine the stochastic parameter-space analyses run on.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..errors import SolverError
 from ..model import (Parameterization, ParameterizationBatch,
                      ReactionBasedModel)
+from ..telemetry import clock
 from .propensities import build_network, concentrations_to_counts
 from .results import StochasticBatchResult
 from .ssa import BatchSSA
@@ -78,7 +77,7 @@ class StochasticSimulator:
         shared_constants = np.allclose(batch.rate_constants,
                                        batch.rate_constants[0])
         rng = np.random.default_rng(self.seed)
-        started = time.perf_counter()
+        started = clock.monotonic()
         if shared_constants:
             network = build_network(self.model, self.volume,
                                     batch.rate_constants[0])
@@ -99,7 +98,7 @@ class StochasticSimulator:
                 partials.append(self._kernel().solve(
                     network, counts, t_span, t_eval, rng))
             result = _concatenate(partials)
-        result.elapsed_seconds = time.perf_counter() - started
+        result.elapsed_seconds = clock.monotonic() - started
         return result
 
     def _kernel(self):

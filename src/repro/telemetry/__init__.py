@@ -1,0 +1,59 @@
+"""Zero-dependency tracing and metrics for the campaign stack.
+
+Three layers:
+
+* :mod:`repro.telemetry.clock` — the sanctioned wall-clock boundary
+  (the only module in the package allowed to call ``time.*``; enforced
+  by deep-lint rule DET005).
+* :class:`Tracer` / :class:`Span` — hierarchical spans
+  (``campaign > chunk > launch > rung > phase``) with structural,
+  resume-stable ids; :data:`NULL_TRACER` is the <2%-overhead disabled
+  mode.
+* :class:`MetricsRegistry` — timestamp-free counters/gauges/histograms
+  embedded in :class:`~repro.gpu.engine.EngineReport` and campaign
+  checkpoints.
+
+Exporters produce JSONL, Chrome ``trace_event`` (Perfetto-loadable)
+and text summaries; the ``repro trace`` CLI wraps them.
+"""
+
+from . import clock
+from .export import (
+    read_trace_jsonl,
+    render_summary,
+    to_chrome_trace,
+    validate_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from .metrics import Histogram, MetricsRegistry
+from .spans import CATEGORIES, Span, nesting_allowed
+from .tracer import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    SpanHandle,
+    Tracer,
+    as_tracer,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "as_tracer",
+    "clock",
+    "nesting_allowed",
+    "read_trace_jsonl",
+    "render_summary",
+    "to_chrome_trace",
+    "validate_trace",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]

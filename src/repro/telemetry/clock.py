@@ -1,0 +1,63 @@
+"""The sanctioned wall-clock boundary of the package.
+
+Every wall-clock read in the package flows through this module. The
+deep determinism analyzer (``repro lint --deep``, rule ``DET005``)
+enforces the boundary in both directions: raw ``time.*`` /
+``datetime`` calls anywhere *outside* this module are flagged, and
+values produced *by* this module are treated as determinism taint that
+must never reach result arrays, checkpoint fingerprints or journal
+payloads — timestamps may only ever describe a run (trace spans,
+elapsed-seconds reporting), never parameterize it.
+
+Tests inject a :class:`FakeClock` into the tracer to make span
+timings deterministic without monkeypatching the time module.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+
+class Clock:
+    """The real wall clock.
+
+    ``monotonic`` is the timing clock (``perf_counter``: monotonic,
+    high resolution, process-relative); ``walltime`` is the epoch
+    clock for human-facing annotations only.
+    """
+
+    def monotonic(self) -> float:
+        return _time.perf_counter()
+
+    def walltime(self) -> float:
+        return _time.time()
+
+
+class FakeClock(Clock):
+    """Deterministic clock for tests: each read advances a fixed tick."""
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
+        self.now = float(start)
+        self.tick = float(tick)
+
+    def monotonic(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+    def walltime(self) -> float:
+        return self.monotonic()
+
+
+#: The process-wide default clock (the tracer's fallback).
+REAL_CLOCK = Clock()
+
+
+def monotonic() -> float:
+    """Monotonic seconds for elapsed-time measurement."""
+    return REAL_CLOCK.monotonic()
+
+
+def walltime() -> float:
+    """Epoch seconds for human-facing annotations."""
+    return REAL_CLOCK.walltime()

@@ -1,0 +1,144 @@
+"""Trace exporters: JSONL round-trip, Chrome trace_event, text summary.
+
+The Chrome-trace exporter writes the ``trace_event`` JSON format that
+``chrome://tracing`` and Perfetto both load: complete (``"ph": "X"``)
+events with microsecond timestamps normalized to the earliest span, so
+a trace recorded anywhere renders starting at t=0.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import TelemetryError
+from .spans import CATEGORIES, Span, nesting_allowed
+
+
+def write_trace_jsonl(spans, path: str | Path) -> Path:
+    """Write spans as one JSON object per line (the ``JsonlSink``
+    format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def read_trace_jsonl(path: str | Path) -> list[Span]:
+    """Load a JSONL trace file back into :class:`Span` records."""
+    path = Path(path)
+    spans = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not valid JSON: {error}") from None
+            spans.append(Span.from_dict(data))
+    return spans
+
+
+def validate_trace(spans, check_containment: bool = False) -> list[str]:
+    """Structural validation of a span collection; returns problems.
+
+    Checks duplicate span ids, parent references that never appear in
+    the trace, unknown categories, and category-rank violations
+    between child and parent. Time containment (child interval inside
+    parent interval) is opt-in: monotonic timestamps are
+    process-relative, so a trace assembled across a crash/resume mixes
+    epochs and containment is only meaningful for single-run traces.
+    """
+    problems = []
+    by_id: dict[str, Span] = {}
+    for span in spans:
+        if span.span_id in by_id:
+            problems.append(f"duplicate span id {span.span_id!r}")
+        by_id[span.span_id] = span
+        if span.category not in CATEGORIES:
+            problems.append(
+                f"span {span.span_id!r} has unknown category "
+                f"{span.category!r}")
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            problems.append(
+                f"span {span.span_id!r} references missing parent "
+                f"{span.parent_id!r}")
+            continue
+        if (span.category in CATEGORIES and parent.category in CATEGORIES
+                and not nesting_allowed(span.category, parent.category)):
+            problems.append(
+                f"span {span.span_id!r} ({span.category}) illegally "
+                f"nests under {parent.span_id!r} ({parent.category})")
+        if check_containment:
+            tolerance = 1.0e-9
+            child_end = span.t_start + span.duration
+            parent_end = parent.t_start + parent.duration
+            if (span.t_start < parent.t_start - tolerance
+                    or child_end > parent_end + tolerance):
+                problems.append(
+                    f"span {span.span_id!r} interval "
+                    f"[{span.t_start:.6f}, {child_end:.6f}] escapes "
+                    f"parent {parent.span_id!r} "
+                    f"[{parent.t_start:.6f}, {parent_end:.6f}]")
+    return problems
+
+
+def to_chrome_trace(spans) -> dict:
+    """Convert spans to a ``trace_event`` document (Perfetto-loadable)."""
+    spans = list(spans)
+    origin = min((span.t_start for span in spans), default=0.0)
+    events = []
+    for span in spans:
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": (span.t_start - origin) * 1.0e6,
+            "dur": span.duration * 1.0e6,
+            "pid": 1,
+            "tid": 1,
+            "args": {"id": span.span_id, "parent": span.parent_id,
+                     **span.attrs},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(spans), indent=2,
+                               sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def render_summary(spans) -> str:
+    """Text summary: per-category totals plus the slowest spans."""
+    spans = list(spans)
+    if not spans:
+        return "(empty trace)"
+    lines = [f"{len(spans)} spans"]
+    lines.append(f"{'category':<12} {'count':>7} {'total s':>12} "
+                 f"{'mean s':>12}")
+    for category in CATEGORIES:
+        members = [span for span in spans if span.category == category]
+        if not members:
+            continue
+        total = sum(span.duration for span in members)
+        lines.append(f"{category:<12} {len(members):>7} {total:>12.6f} "
+                     f"{total / len(members):>12.6f}")
+    lines.append("")
+    lines.append("slowest spans:")
+    slowest = sorted(spans, key=lambda span: span.duration,
+                     reverse=True)[:10]
+    for span in slowest:
+        lines.append(f"  {span.duration:>10.6f}s  {span.span_id}")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Typed counters, gauges and histograms for engine/campaign metrics.
+
+A :class:`MetricsRegistry` is the timestamp-free half of the
+telemetry layer: pure counts and sizes (accepted steps, Newton
+iterations, retry escalations, per-launch working sets) that *are*
+allowed into checkpoint payloads and reports, because they are a
+deterministic function of the campaign inputs — rerunning the same
+campaign reproduces them bit-for-bit, which rule DET005 cannot say of
+anything derived from the wall clock.
+
+Instruments are created on first use; serialized output is sorted so
+``to_dict`` is deterministic and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from ..errors import TelemetryError
+
+
+class Histogram:
+    """Power-of-two bucketed distribution summary.
+
+    ``buckets`` maps a bucket exponent ``k`` to the number of observed
+    values with ``2**(k-1) < value <= 2**k - 1``-style magnitude
+    (``k = int(value).bit_length()``, so bucket 0 holds zeros). The
+    exponent bucketing keeps merge deterministic and the payload tiny
+    regardless of how many launches a campaign runs.
+    """
+
+    __slots__ = ("n", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.n += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        exponent = max(0, int(abs(value))).bit_length()
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.n == 0:
+            return
+        self.n += other.n
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        for exponent, count in other.buckets.items():
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + count
+
+    def to_dict(self) -> dict:
+        return {"n": self.n, "total": self.total,
+                "min": self.minimum if self.n else None,
+                "max": self.maximum if self.n else None,
+                "buckets": {str(k): self.buckets[k]
+                            for k in sorted(self.buckets)}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        histogram = cls()
+        histogram.n = int(data["n"])
+        histogram.total = float(data["total"])
+        if histogram.n:
+            histogram.minimum = float(data["min"])
+            histogram.maximum = float(data["max"])
+        histogram.buckets = {int(k): int(v)
+                             for k, v in data.get("buckets", {}).items()}
+        return histogram
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of counters, gauges and histograms.
+
+    One name belongs to exactly one instrument kind; reusing a counter
+    name as a gauge (or vice versa) raises
+    :class:`~repro.errors.TelemetryError` instead of silently
+    shadowing.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        for other_kind, table in (("counter", self.counters),
+                                  ("gauge", self.gauges),
+                                  ("histogram", self.histograms)):
+            if other_kind != kind and name in table:
+                raise TelemetryError(
+                    f"metric {name!r} is already a {other_kind}, "
+                    f"cannot reuse it as a {kind}")
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add to a monotonically growing integer counter."""
+        self._check_kind(name, "counter")
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a last-value-wins measurement."""
+        self._check_kind(name, "gauge")
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample into a histogram."""
+        self._check_kind(name, "histogram")
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Absorb another registry (counters add, gauges overwrite,
+        histograms merge)."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, value in other.gauges.items():
+            self.gauge(name, value)
+        for name, histogram in other.histograms.items():
+            self._check_kind(name, "histogram")
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(histogram)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {name: self.counters[name]
+                         for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name]
+                       for name in sorted(self.gauges)},
+            "histograms": {name: self.histograms[name].to_dict()
+                           for name in sorted(self.histograms)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.counters[name] = int(value)
+        for name, value in data.get("gauges", {}).items():
+            registry.gauges[name] = float(value)
+        for name, payload in data.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_dict(payload)
+        return registry
+
+    def render(self) -> str:
+        """Human-readable block, one instrument per line, sorted."""
+        lines = []
+        for name in sorted(self.counters):
+            lines.append(f"{name:<36} {self.counters[name]:>12}")
+        for name in sorted(self.gauges):
+            lines.append(f"{name:<36} {self.gauges[name]:>12.6g}")
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            lines.append(
+                f"{name:<36} n={histogram.n} mean={histogram.mean:.6g} "
+                f"min={histogram.minimum:.6g} max={histogram.maximum:.6g}")
+        return "\n".join(lines) if lines else "(no metrics)"

@@ -1,0 +1,76 @@
+"""Span records and the hierarchy contract of the tracing layer.
+
+A span is one timed region of campaign execution. Spans form the
+fixed hierarchy::
+
+    campaign > chunk > launch > rung > phase
+
+where every child's category must rank strictly below its parent's —
+except phases, which may nest inside other phases. Span ids are
+*structural*, not random: a span's id is its slash-joined path from
+its root (``campaign/chunk-2/launch-0/rung-1/step-loop``), with a
+``#k`` suffix deduplicating repeated sibling names. Structural ids are
+what lets a campaign resumed from a checkpoint append to the same
+trace file and still form one coherent tree: the resumed run's
+``campaign`` root adopts the previous run's flushed chunk spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TelemetryError
+
+#: Category -> hierarchy rank (parents must rank above children).
+CATEGORIES = {"campaign": 0, "chunk": 1, "launch": 2, "rung": 3,
+              "phase": 4}
+
+
+def nesting_allowed(child_category: str, parent_category: str) -> bool:
+    """Whether a ``child_category`` span may nest under the parent.
+
+    Children must sit strictly deeper in the hierarchy; the one
+    exception is phase-in-phase, so instrumented sub-steps of a kernel
+    phase stay expressible. Levels may be *skipped* (a standalone
+    engine run roots its trace at ``launch`` with phases below it).
+    """
+    if child_category == "phase" and parent_category == "phase":
+        return True
+    return CATEGORIES[child_category] > CATEGORIES[parent_category]
+
+
+@dataclass
+class Span:
+    """One completed timed region.
+
+    ``t_start`` is monotonic (process-relative) seconds from the
+    sanctioned :mod:`repro.telemetry.clock` boundary; ``duration`` is
+    in seconds. ``attrs`` carries small JSON-safe annotations (row
+    counts, solver names) — never result data.
+    """
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    category: str
+    t_start: float
+    duration: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "id": self.span_id,
+                "parent": self.parent_id, "category": self.category,
+                "t_start": float(self.t_start),
+                "duration": float(self.duration),
+                "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        try:
+            return cls(str(data["name"]), str(data["id"]),
+                       data.get("parent"), str(data["category"]),
+                       float(data["t_start"]), float(data["duration"]),
+                       dict(data.get("attrs", {})))
+        except (KeyError, TypeError, ValueError) as error:
+            raise TelemetryError(
+                f"malformed span record {data!r}: {error}") from None

@@ -1,0 +1,217 @@
+"""Hierarchical tracer with explicit span handles.
+
+The :class:`Tracer` hands out :class:`SpanHandle` objects on
+``start()`` and records a :class:`~repro.telemetry.spans.Span` on
+``end()``. Spans reach the sink *only when they end*, and the sink
+buffers them until ``flush()`` — the campaign loop flushes right after
+each chunk is journaled, so the trace file and the checkpoint journal
+stay transactionally aligned: a crash loses exactly the spans of the
+chunk the journal also lost, and a resumed campaign appends to the
+same file without duplicating ids.
+
+:data:`NULL_TRACER` is the disabled mode: a singleton whose
+``start``/``end``/``span`` calls are attribute lookups and constant
+returns, cheap enough to leave threaded through the hot engine paths
+unconditionally (budgeted <2% by
+``benchmarks/bench_telemetry_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import TelemetryError
+from . import clock as _clock_module
+from .spans import CATEGORIES, Span, nesting_allowed
+
+
+class SpanHandle:
+    """An open span: identity plus start time, closed by
+    :meth:`Tracer.end`."""
+
+    __slots__ = ("name", "span_id", "parent_id", "category", "t_start",
+                 "attrs", "child_counts", "closed")
+
+    def __init__(self, name: str, span_id: str, parent_id: str | None,
+                 category: str, t_start: float, attrs: dict) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.category = category
+        self.t_start = t_start
+        self.attrs = attrs
+        self.child_counts: dict[str, int] = {}
+        self.closed = False
+
+
+class _TracerContext:
+    """Context manager backing :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "handle")
+
+    def __init__(self, tracer: "Tracer", handle: SpanHandle) -> None:
+        self.tracer = tracer
+        self.handle = handle
+
+    def __enter__(self) -> SpanHandle:
+        return self.handle
+
+    def __exit__(self, *exc_info) -> bool:
+        self.tracer.end(self.handle)
+        return False
+
+
+class JsonlSink:
+    """Buffered JSONL span sink (one span object per line, appended)."""
+
+    def __init__(self, path: str | Path, append: bool = True) -> None:
+        self.path = Path(path)
+        self._buffer: list[Span] = []
+        if not append and self.path.is_file():
+            self.path.unlink()
+
+    def emit(self, span: Span) -> None:
+        self._buffer.append(span)
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for span in self._buffer:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True)
+                             + "\n")
+        self._buffer.clear()
+
+
+class Tracer:
+    """Records hierarchical spans with structural, resume-stable ids.
+
+    Parameters
+    ----------
+    sink:
+        Optional :class:`JsonlSink` (or any object with
+        ``emit(span)``/``flush()``); without one, completed spans are
+        only kept on :attr:`spans` in memory.
+    clock:
+        Clock object with a ``monotonic()`` method; defaults to the
+        sanctioned real clock. Tests pass
+        :class:`~repro.telemetry.clock.FakeClock`.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: JsonlSink | None = None,
+                 clock=None) -> None:
+        self.sink = sink
+        self.clock = clock if clock is not None else _clock_module.REAL_CLOCK
+        self.spans: list[Span] = []
+        self._root_counts: dict[str, int] = {}
+
+    def start(self, name: str, category: str,
+              parent: SpanHandle | None = None, **attrs) -> SpanHandle:
+        """Open a span; returns the handle ``end`` expects back."""
+        if category not in CATEGORIES:
+            raise TelemetryError(
+                f"unknown span category {category!r}; expected one of "
+                f"{tuple(CATEGORIES)}")
+        if parent is not None and parent.category is not None \
+                and not nesting_allowed(category, parent.category):
+            raise TelemetryError(
+                f"a {category!r} span cannot nest under a "
+                f"{parent.category!r} span (hierarchy: "
+                f"{' > '.join(CATEGORIES)})")
+        counts = (self._root_counts if parent is None
+                  else parent.child_counts)
+        ordinal = counts.get(name, 0) + 1
+        counts[name] = ordinal
+        unique = name if ordinal == 1 else f"{name}#{ordinal}"
+        span_id = (unique if parent is None
+                   else f"{parent.span_id}/{unique}")
+        parent_id = None if parent is None else parent.span_id
+        return SpanHandle(name, span_id, parent_id, category,
+                          self.clock.monotonic(), attrs)
+
+    def end(self, handle: SpanHandle, **attrs) -> Span:
+        """Close a span, record it, and hand it to the sink buffer."""
+        if handle.closed:
+            raise TelemetryError(
+                f"span {handle.span_id!r} was already ended")
+        handle.closed = True
+        duration = self.clock.monotonic() - handle.t_start
+        merged = handle.attrs if not attrs else {**handle.attrs, **attrs}
+        span = Span(handle.name, handle.span_id, handle.parent_id,
+                    handle.category, handle.t_start, duration, merged)
+        self.spans.append(span)
+        if self.sink is not None:
+            self.sink.emit(span)
+        return span
+
+    def span(self, name: str, category: str,
+             parent: SpanHandle | None = None, **attrs) -> _TracerContext:
+        """``with tracer.span(...) as handle:`` convenience wrapper."""
+        return _TracerContext(self, self.start(name, category, parent,
+                                               **attrs))
+
+    def flush(self) -> None:
+        """Write every buffered completed span to the sink."""
+        if self.sink is not None:
+            self.sink.flush()
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_HANDLE
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+class NullTracer:
+    """Disabled telemetry: every operation is a constant-return no-op."""
+
+    enabled = False
+    spans: tuple = ()
+    sink = None
+
+    def start(self, name, category, parent=None, **attrs):
+        return _NULL_HANDLE
+
+    def end(self, handle, **attrs):
+        return None
+
+    def span(self, name, category, parent=None, **attrs):
+        return _NULL_CONTEXT
+
+    def flush(self) -> None:
+        return None
+
+
+#: Shared handle returned by the null tracer (never inspected).
+_NULL_HANDLE = SpanHandle("", "", None, "phase", 0.0, {})
+_NULL_CONTEXT = _NullContext()
+
+#: The singleton every component falls back to when tracing is off.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(telemetry) -> Tracer | NullTracer:
+    """Normalize the public ``telemetry=`` knob to a tracer.
+
+    ``None`` -> :data:`NULL_TRACER`; an existing tracer passes
+    through; a path string/``Path`` builds a :class:`Tracer` with an
+    appending :class:`JsonlSink` at that location (append mode is what
+    keeps resumed campaigns writing into one coherent trace file).
+    """
+    if telemetry is None:
+        return NULL_TRACER
+    if isinstance(telemetry, (Tracer, NullTracer)):
+        return telemetry
+    if isinstance(telemetry, (str, Path)):
+        return Tracer(sink=JsonlSink(telemetry, append=True))
+    raise TelemetryError(
+        f"telemetry must be None, a Tracer or a trace-file path, got "
+        f"{type(telemetry)!r}")

@@ -97,3 +97,58 @@ class TestConvertAndGenerate:
                      "--reactions", "8"]) == 0
         assert main(["simulate", str(destination), "--t-end", "0.5",
                      "--points", "3", "--max-steps", "100000"]) == 0
+
+
+class TestTrace:
+    @pytest.fixture
+    def lv_folder(self, tmp_path):
+        from repro.models import lotka_volterra
+        folder = tmp_path / "lv"
+        write_model(lotka_volterra(), folder)
+        return folder
+
+    def test_record_summarize_export(self, lv_folder, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(["trace", "record", str(lv_folder),
+                     "--out", str(trace), "--batch", "9",
+                     "--chunk-size", "4", "--t-end", "2",
+                     "--points", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign complete: 3/3 chunks" in out
+        assert "steps.accepted" in out
+
+        assert main(["trace", "summarize", str(trace)]) == 0
+        assert "campaign" in capsys.readouterr().out
+
+        exported = tmp_path / "trace.json"
+        assert main(["trace", "export", str(trace),
+                     "--out", str(exported)]) == 0
+        capsys.readouterr()
+        import json
+
+        events = json.loads(exported.read_text())["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+
+    def test_record_overwrites_stale_trace(self, lv_folder, tmp_path,
+                                           capsys):
+        trace = tmp_path / "trace.jsonl"
+        arguments = ["trace", "record", str(lv_folder), "--out",
+                     str(trace), "--batch", "4", "--chunk-size", "4",
+                     "--t-end", "1", "--points", "3"]
+        assert main(arguments) == 0
+        assert main(arguments) == 0
+        capsys.readouterr()
+        # A fresh (checkpoint-free) recording replaced the old trace:
+        # one campaign root, not two.
+        from repro.telemetry import read_trace_jsonl, validate_trace
+
+        spans = read_trace_jsonl(trace)
+        assert validate_trace(spans) == []
+        assert len([s for s in spans if s.category == "campaign"]) == 1
+
+    def test_summarize_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", "summarize", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err

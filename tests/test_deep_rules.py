@@ -233,7 +233,9 @@ class TestDET005:
                 return digest.hexdigest()
         """})
         hits = report.by_rule("DET005")
-        assert hits and hits[0].severity == "error"
+        # The raw time.time() read also draws the boundary warning;
+        # the taint flow itself must still be an error.
+        assert any(hit.severity == "error" for hit in hits)
 
     def test_direct_wall_clock_argument(self, tmp_path):
         report = analyze(tmp_path, {"checkpoint.py": """
@@ -252,17 +254,80 @@ class TestDET005:
         """})
         assert "DET005" in rule_ids(report)
 
+    #: The sanctioned clock facade every boundary test routes through.
+    CLOCK = """
+        import time
+        def monotonic():
+            return time.perf_counter()
+        def walltime():
+            return time.time()
+    """
+
     def test_elapsed_seconds_attribute_is_fine(self, tmp_path):
+        report = analyze(tmp_path, {
+            "telemetry/clock.py": self.CLOCK,
+            "engine.py": """
+                from telemetry import clock
+                def run(report):
+                    started = clock.monotonic()
+                    elapsed = clock.monotonic() - started
+                    report.elapsed_seconds = elapsed
+                    report.metadata.update({"elapsed": elapsed})
+                    return report
+            """})
+        assert report.findings == []
+
+    def test_sanctioned_clock_taints_result_arrays(self, tmp_path):
+        """clock.monotonic() values are tracked exactly like time.*:
+        storing one into a result array still fires DET005."""
+        report = analyze(tmp_path, {
+            "telemetry/clock.py": self.CLOCK,
+            "engine.py": """
+                from telemetry import clock
+                def record(results, row):
+                    finished = clock.monotonic()
+                    results[row] = finished
+            """})
+        assert "DET005" in rule_ids(report)
+
+    def test_sanctioned_clock_taints_checkpoint_payloads(self, tmp_path):
+        report = analyze(tmp_path, {
+            "telemetry/clock.py": self.CLOCK,
+            "campaign.py": """
+                from telemetry import clock
+                def journal(checkpoint, index):
+                    stamp = clock.walltime()
+                    checkpoint.set_payload("when", stamp)
+            """})
+        assert "DET005" in rule_ids(report)
+
+    def test_sanctioned_clock_taints_fingerprints(self, tmp_path):
+        report = analyze(tmp_path, {
+            "telemetry/clock.py": self.CLOCK,
+            "checkpoint.py": """
+                from telemetry import clock
+                def campaign_fingerprint(model):
+                    stamp = clock.walltime()
+                    return {"model": model.name, "stamp": stamp}
+            """})
+        assert "DET005" in rule_ids(report)
+
+    def test_raw_clock_outside_boundary_is_flagged(self, tmp_path):
+        """A raw time.* read anywhere but the clock module is an
+        untracked wall-clock source: DET005 warning."""
         report = analyze(tmp_path, {"engine.py": """
             import time
             def run(report):
-                started = time.perf_counter()
-                elapsed = time.perf_counter() - started
-                report.elapsed_seconds = elapsed
-                report.metadata.update({"elapsed": elapsed})
-                return report
+                report.elapsed_seconds = time.perf_counter()
         """})
-        assert report.findings == []
+        hits = report.by_rule("DET005")
+        assert hits and hits[0].severity == "warning"
+        assert "boundary" in hits[0].message
+
+    def test_clock_module_itself_is_exempt(self, tmp_path):
+        report = analyze(tmp_path,
+                         {"telemetry/clock.py": self.CLOCK})
+        assert report.by_rule("DET005") == []
 
 
 class TestDET006:
