@@ -1,0 +1,43 @@
+"""Array-backend protocol and substrates (``repro.backend``).
+
+The bridge between the batched integrators and the array library that
+executes them. Kernels import the namespace ``xp`` (and the ``Array``
+annotation alias) from this package and touch array math through it
+exclusively — the conformance rules ``BKD001``–``BKD003``
+(``repro lint --shapes``) keep that boundary from eroding — so the
+numpy substrate, and eventually a CuPy/torch drop-in, are selectable
+without touching kernel code.
+
+* :data:`xp` — the process-wide backend (numpy substrate today).
+* :data:`Array` — the backend's array type, for annotations.
+* :func:`get_backend` — look a substrate up by name; raises
+  :class:`~repro.errors.BackendError` for unknown names.
+* :func:`validate_backend` / :data:`REQUIRED_OPS` — the protocol
+  contract (see :mod:`repro.backend.protocol`).
+"""
+
+from __future__ import annotations
+
+from ..errors import BackendError
+from .numpy_backend import NumpyBackend, xp
+from .protocol import (ArrayBackend, REQUIRED_OPS, validate_backend)
+
+#: Array type of the active backend, for annotations and isinstance.
+Array = xp.ndarray
+
+#: Registered substrates by name.
+_BACKENDS = {"numpy": xp}
+
+
+def get_backend(name: str = "numpy"):
+    """The substrate registered under ``name`` (default: numpy)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: "
+            f"{', '.join(sorted(_BACKENDS))}") from None
+
+
+__all__ = ["Array", "ArrayBackend", "BackendError", "NumpyBackend",
+           "REQUIRED_OPS", "get_backend", "validate_backend", "xp"]

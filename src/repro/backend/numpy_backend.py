@@ -1,0 +1,52 @@
+"""NumPy substrate of the array-backend protocol.
+
+Every op delegates *directly* to the numpy callable it names — no
+wrappers, no copies — so results through ``xp`` are bit-identical to
+the raw numpy calls the kernels made before the protocol extraction
+(locked by ``tests/test_backend.py`` and the backend-overhead
+benchmark gate).
+
+Ops are bound as instance attributes (not class attributes): plain
+Python functions like ``np.mean`` are descriptors, and binding them on
+the class would turn calls into bound methods with a spurious ``self``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .protocol import REQUIRED_OPS, validate_backend
+
+#: Ops that exist on the numpy module under the same name.
+_NUMPY_DIRECT = tuple(op for op in REQUIRED_OPS
+                      if op not in ("batched_inv", "batched_matvec",
+                                    "inv", "norm"))
+
+
+def _batched_matvec(matrices: np.ndarray,
+                    vectors: np.ndarray) -> np.ndarray:
+    """Row-wise matrix-vector products ``(b, n, n) @ (b, n)``.
+
+    Contracted as a batch-preserving einsum: the leading (row) axis
+    stays in the output, so per-row rounding is independent of how many
+    rows are in flight (the launch-splitting bit-identity invariant).
+    """
+    return np.einsum("bij,bj->bi", matrices, vectors)
+
+
+class NumpyBackend:
+    """The numpy realization of :data:`~repro.backend.protocol.REQUIRED_OPS`."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        for op in _NUMPY_DIRECT:
+            setattr(self, op, getattr(np, op))
+        self.inv = np.linalg.inv
+        self.batched_inv = np.linalg.inv
+        self.norm = np.linalg.norm
+        self.batched_matvec = _batched_matvec
+
+
+#: The process-wide numpy substrate the gpu kernels call through.
+xp = validate_backend(NumpyBackend())

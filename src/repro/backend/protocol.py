@@ -1,0 +1,92 @@
+"""Array-backend protocol of the batched substrate.
+
+The batched integrators (:mod:`repro.gpu`) never import numpy; every
+array operation goes through the namespace ``xp`` exported by
+:mod:`repro.backend`. This module declares the contract that namespace
+must satisfy — the exact op surface (:data:`REQUIRED_OPS`) and the
+validator that refuses an incomplete backend before any kernel touches
+it — so a CuPy/torch substrate can drop in by implementing the same
+surface.
+
+The declared surface is also the source of truth for the
+backend-conformance lint (``BKD003``): an ``xp.<op>`` read inside a
+kernel must name an op declared here, which is what keeps the protocol
+and its consumers from drifting apart silently.
+"""
+
+from __future__ import annotations
+
+from ..errors import BackendError
+
+#: Scalar constants exposed as plain attributes.
+CONSTANT_OPS = ("nan", "inf")
+
+#: Dtype objects and the array type used in annotations/isinstance.
+DTYPE_OPS = ("float64", "int64", "complex128", "bool_", "ndarray")
+
+#: Array creation.
+CREATION_OPS = ("array", "asarray", "arange", "empty", "eye", "full",
+                "full_like", "linspace", "ones", "vander", "zeros",
+                "zeros_like")
+
+#: Elementwise math (ufunc-style, broadcast over the batch axis).
+ELEMENTWISE_OPS = ("abs", "clip", "isfinite", "maximum", "minimum",
+                   "sqrt", "where")
+
+#: Reductions (callers pass an explicit ``axis`` on batched arrays).
+REDUCTION_OPS = ("all", "any", "argmax", "mean", "sum")
+
+#: Shape / indexing / set ops.
+STRUCTURAL_OPS = ("concatenate", "flatnonzero", "setdiff1d", "stack")
+
+#: Linear algebra: the generic einsum passthrough plus the batched
+#: factor/solve surface the stiff integrators are built on.
+LINALG_OPS = ("batched_inv", "batched_matvec", "einsum", "inv", "norm")
+
+#: Numeric introspection and floating-point error control.
+CONTEXT_OPS = ("errstate", "finfo")
+
+#: The full op surface every backend must expose.
+REQUIRED_OPS: tuple[str, ...] = (CONSTANT_OPS + DTYPE_OPS + CREATION_OPS
+                                 + ELEMENTWISE_OPS + REDUCTION_OPS
+                                 + STRUCTURAL_OPS + LINALG_OPS
+                                 + CONTEXT_OPS)
+
+
+class ArrayBackend:
+    """Structural interface of an array backend.
+
+    A backend is any object exposing every op named in
+    :data:`REQUIRED_OPS` plus a ``name`` string. Ops mirror the numpy
+    call signatures; the named batched ops are:
+
+    ``batched_inv(matrices)``
+        Inverse of a stacked ``(b, n, n)`` matrix batch, one
+        factorization per row.
+    ``batched_matvec(matrices, vectors)``
+        Row-wise matrix-vector products: ``(b, n, n) @ (b, n) ->
+        (b, n)``, contracted as ``einsum("bij,bj->bi", ...)`` so the
+        batch axis is never reduced.
+
+    This base class only documents the contract; conformance is
+    structural and checked by :func:`validate_backend`.
+    """
+
+    name: str = "abstract"
+
+
+def validate_backend(backend) -> object:
+    """Check a backend against :data:`REQUIRED_OPS`.
+
+    Returns the backend unchanged when it conforms; raises
+    :class:`~repro.errors.BackendError` naming every missing op
+    otherwise, so a partial substrate fails loudly at selection time
+    instead of deep inside an integration loop.
+    """
+    missing = [op for op in REQUIRED_OPS if not hasattr(backend, op)]
+    if missing:
+        label = getattr(backend, "name", type(backend).__name__)
+        raise BackendError(
+            f"backend {label!r} does not satisfy the array protocol: "
+            f"missing op(s) {', '.join(missing)}")
+    return backend

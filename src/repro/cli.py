@@ -109,8 +109,8 @@ def _command_analyze(args) -> int:
 
 def _command_lint(args) -> int:
     from .lint import (iter_rules, lint_deep, lint_file, lint_gate,
-                       lint_kernels, lint_model, render_rule_table,
-                       write_baseline)
+                       lint_kernels, lint_model, lint_shapes,
+                       render_rule_table, write_baseline)
     import json as json_module
 
     if args.list_rules:
@@ -121,26 +121,27 @@ def _command_lint(args) -> int:
             print(render_rule_table())
         return 0
 
-    if args.deep:
+    if args.deep or args.shapes:
+        analyzer = lint_shapes if args.shapes else lint_deep
         paths, root = _deep_subject(args)
         if args.write_baseline:
             # Analyze without subtracting, then persist what's left
             # after waivers as the new accepted set.
-            report = lint_deep(
+            report = analyzer(
                 paths, root=root,
                 baseline_path=Path("/nonexistent-baseline"))
-            target = args.baseline or _default_baseline_path()
+            target = args.baseline or _default_baseline_path(args.shapes)
             count = write_baseline(report, target)
             print(f"wrote {count} baseline entr"
                   f"{'y' if count == 1 else 'ies'} to {target}")
             return 0
-        report = lint_deep(paths, root=root,
-                           baseline_path=args.baseline)
+        report = analyzer(paths, root=root,
+                          baseline_path=args.baseline)
     elif args.self:
         report = lint_kernels()
     elif args.model is None:
-        raise ReproError("lint needs a MODEL argument, --self, --deep "
-                         "or --list-rules")
+        raise ReproError("lint needs a MODEL argument, --self, --deep, "
+                         "--shapes or --list-rules")
     else:
         path = Path(args.model)
         if path.suffix == ".py":
@@ -158,8 +159,8 @@ def _command_lint(args) -> int:
 
 
 def _deep_subject(args) -> tuple[list[Path] | None, Path | None]:
-    """(files, report root) of the deep analysis; (None, None) means
-    the installed package."""
+    """(files, report root) of a deep/shapes analysis; (None, None)
+    means the installed package."""
     if args.model is None:
         return None, None
     path = Path(args.model)
@@ -167,16 +168,28 @@ def _deep_subject(args) -> tuple[list[Path] | None, Path | None]:
         files = sorted(path.rglob("*.py"))
         if not files:
             raise ReproError(f"no .py files under {path}")
-        return files, path
+        return files, _package_root(path)
     if path.suffix == ".py":
         return [path], path.parent
     raise ReproError(
-        f"--deep analyzes Python sources, not {path}")
+        f"--deep/--shapes analyze Python sources, not {path}")
 
 
-def _default_baseline_path() -> Path:
-    from .lint import DEFAULT_BASELINE
-    return DEFAULT_BASELINE
+def _package_root(path: Path) -> Path:
+    """Report root of a directory subject: when the directory is a
+    package (sub)tree, climb to the outermost package so findings keep
+    their in-package relative paths (``gpu/...``) and module globs
+    still match when only a subpackage is analyzed."""
+    root = path.resolve()
+    while (root / "__init__.py").exists() \
+            and (root.parent / "__init__.py").exists():
+        root = root.parent
+    return root
+
+
+def _default_baseline_path(shapes: bool = False) -> Path:
+    from .lint import DEFAULT_BASELINE, DEFAULT_SHAPES_BASELINE
+    return DEFAULT_SHAPES_BASELINE if shapes else DEFAULT_BASELINE
 
 
 def _command_convert(args) -> int:
@@ -325,14 +338,19 @@ def build_parser() -> argparse.ArgumentParser:
                            "analyzer (DET0xx/CON0xx) over the package "
                            "source (or MODEL when it is a .py file or "
                            "a directory)")
+    lint.add_argument("--shapes", action="store_true",
+                      help="run the symbolic shape/dtype and backend-"
+                           "conformance analyzer (SHP0xx/BKD0xx) over "
+                           "the package source (or MODEL when it is a "
+                           ".py file or a directory)")
     lint.add_argument("--baseline", metavar="PATH",
-                      help="baseline JSON to subtract from --deep "
-                           "findings (default: the committed package "
-                           "baseline)")
+                      help="baseline JSON to subtract from --deep/"
+                           "--shapes findings (default: the committed "
+                           "package baseline of that analyzer)")
     lint.add_argument("--write-baseline", action="store_true",
-                      help="with --deep: persist the current findings "
-                           "as the new baseline instead of reporting "
-                           "them")
+                      help="with --deep/--shapes: persist the current "
+                           "findings as the new baseline instead of "
+                           "reporting them")
     lint.add_argument("--list-rules", action="store_true",
                       help="print every registered rule (id, family, "
                            "severity, summary) and exit")

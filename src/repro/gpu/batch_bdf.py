@@ -16,8 +16,7 @@ original's per-thread sequential bookkeeping.
 
 from __future__ import annotations
 
-import numpy as np
-
+from ..backend import Array, xp
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions, validate_time_grid
 from ..solvers.bdf import (ALPHA, ERROR_CONST, GAMMA, MAX_ORDER,
                            NEWTON_MAXITER, change_difference_array)
@@ -42,15 +41,15 @@ class BatchBDF:
         self.max_order = max_order
 
     def solve(self, problem: BatchedODEProblem, t_span: tuple[float, float],
-              t_eval: np.ndarray | None = None,
-              initial_states: np.ndarray | None = None) -> BatchSolveResult:
+              t_eval: Array | None = None,
+              initial_states: Array | None = None) -> BatchSolveResult:
         options = self.options
         t_eval = validate_time_grid(t_span, t_eval)
         t0, t1 = float(t_span[0]), float(t_span[1])
         batch = problem.batch_size
         n = problem.n_species
-        identity = np.eye(n)
-        newton_tol = max(10 * np.finfo(float).eps / options.rtol,
+        identity = xp.eye(n)
+        newton_tol = max(10 * xp.finfo(float).eps / options.rtol,
                          min(0.03, options.rtol ** 0.5))
         tracer = problem.tracer or NULL_TRACER
         compile_span = tracer.start("compile", "phase",
@@ -58,35 +57,35 @@ class BatchBDF:
                                     solver=self.name, rows=batch)
 
         states = (problem.initial_states() if initial_states is None
-                  else np.array(initial_states, dtype=np.float64))
+                  else xp.array(initial_states, dtype=xp.float64))
         result = allocate_result(t_eval, batch, n, self.method_code)
         result.counters = problem.counters
 
-        times = np.full(batch, t0)
-        save_index = np.zeros(batch, dtype=np.int64)
+        times = xp.full(batch, t0)
+        save_index = xp.zeros(batch, dtype=xp.int64)
         if t_eval[0] == t0:
             result.y[:, 0, :] = states
             save_index[:] = 1
 
-        all_rows = np.arange(batch)
+        all_rows = xp.arange(batch)
         derivatives = problem.fun(times, states, all_rows)
         if options.first_step is not None:
-            steps = np.full(batch, options.first_step)
+            steps = xp.full(batch, options.first_step)
         else:
             steps = _initial_steps(problem, t0, states, derivatives, 1,
                                    options, t1 - t0)
         max_step = min(options.max_step, t1 - t0)
 
-        differences = np.zeros((batch, MAX_ORDER + 3, n))
+        differences = xp.zeros((batch, MAX_ORDER + 3, n))
         differences[:, 0, :] = states
         differences[:, 1, :] = derivatives * steps[:, None]
-        orders = np.ones(batch, dtype=np.int64)
-        steps_at_order = np.zeros(batch, dtype=np.int64)
+        orders = xp.ones(batch, dtype=xp.int64)
+        steps_at_order = xp.zeros(batch, dtype=xp.int64)
 
         jacobians = problem.jacobian(times, states, all_rows)
-        jac_current = np.ones(batch, dtype=bool)
-        inverses = np.zeros((batch, n, n))
-        c_factored = np.full(batch, -1.0)
+        jac_current = xp.ones(batch, dtype=bool)
+        inverses = xp.zeros((batch, n, n))
+        c_factored = xp.full(batch, -1.0)
 
         status = result.status_codes
         status[save_index >= t_eval.size] = OK
@@ -96,13 +95,13 @@ class BatchBDF:
                                  solver=self.name)
 
         while True:
-            active = np.flatnonzero(status == RUNNING)
+            active = xp.flatnonzero(status == RUNNING)
             if active.size == 0:
                 break
             exhausted = active[result.n_steps[active] >= options.max_steps]
             if exhausted.size:
                 status[exhausted] = EXHAUSTED
-                active = np.flatnonzero(status == RUNNING)
+                active = xp.flatnonzero(status == RUNNING)
                 if active.size == 0:
                     break
 
@@ -111,9 +110,9 @@ class BatchBDF:
             # state there (the drift is below the solver tolerance).
             behind = active[
                 (save_index[active] < t_eval.size)
-                & (t_eval[np.minimum(save_index[active], t_eval.size - 1)]
-                   < times[active] - _EDGE * np.maximum(
-                       1.0, np.abs(times[active])))]
+                & (t_eval[xp.minimum(save_index[active], t_eval.size - 1)]
+                   < times[active] - _EDGE * xp.maximum(
+                       1.0, xp.abs(times[active])))]
             # lint: skip=KRN001 -- rare FP-drift repair on a handful of rows
             for row in behind:
                 result.y[row, save_index[row], :] = differences[row, 0, :]
@@ -121,21 +120,21 @@ class BatchBDF:
                 if save_index[row] >= t_eval.size:
                     status[row] = OK
             if behind.size:
-                active = np.flatnonzero(status == RUNNING)
+                active = xp.flatnonzero(status == RUNNING)
                 if active.size == 0:
                     continue
 
             # Clip to the horizon and the next save point (per-sim D
             # rescale for real step changes).
             t_act = times[active]
-            limit = np.minimum(t1, t_eval[np.minimum(save_index[active],
+            limit = xp.minimum(t1, t_eval[xp.minimum(save_index[active],
                                                      t_eval.size - 1)])
             target = limit - t_act
             needs_clip = steps[active] > target * (1.0 + 1e-12)
             # Each row clips by a different factor and the difference-
             # table rescale is order-local, so this stays per-row.
             # lint: skip=KRN001 -- per-row D rescale, scalar by design
-            for local in np.flatnonzero(needs_clip):
+            for local in xp.flatnonzero(needs_clip):
                 row = active[local]
                 factor = target[local] / steps[row]
                 if factor <= 0.0:
@@ -145,9 +144,9 @@ class BatchBDF:
                                         factor)
                 steps[row] = target[local]
                 steps_at_order[row] = 0
-            underflow = (steps[active] <= np.abs(t_act) * 1e-15) | \
-                (steps[active] < 1e-300) | ~np.isfinite(steps[active])
-            if np.any(underflow):
+            underflow = (steps[active] <= xp.abs(t_act) * 1e-15) | \
+                (steps[active] < 1e-300) | ~xp.isfinite(steps[active])
+            if xp.any(underflow):
                 dead = active[underflow]
                 status[dead] = BROKEN
                 if problem.guard is not None:
@@ -191,16 +190,16 @@ class BatchBDF:
         t_new = times[rows] + h
         d_group = differences[rows]
         y_predict = d_group[:, :order + 1, :].sum(axis=1)
-        psi = np.einsum("bon,o->bn", d_group[:, 1:order + 1, :],
+        psi = xp.einsum("bon,o->bn", d_group[:, 1:order + 1, :],
                         GAMMA[1:order + 1]) / ALPHA[order]
         c = h / ALPHA[order]
 
         refactor = c_factored[rows] != c
-        if np.any(refactor):
+        if xp.any(refactor):
             ref_rows = rows[refactor]
             matrices = identity[None] - c[refactor, None, None] \
                 * jacobians[ref_rows]
-            inverses[ref_rows] = np.linalg.inv(matrices)
+            inverses[ref_rows] = xp.batched_inv(matrices)
             c_factored[ref_rows] = c[refactor]
             problem.counters.factorizations += ref_rows.size
 
@@ -208,7 +207,7 @@ class BatchBDF:
             problem, rows, t_new, y_predict, c, psi, inverses, newton_tol)
 
         failed = ~converged
-        if np.any(failed):
+        if xp.any(failed):
             failed_rows = rows[failed]
             stale = failed_rows[~jac_current[failed_rows]]
             if stale.size:
@@ -217,7 +216,7 @@ class BatchBDF:
                                                     stale)
                 jac_current[stale] = True
                 c_factored[stale] = -1.0
-            fresh = np.setdiff1d(failed_rows, stale, assume_unique=True)
+            fresh = xp.setdiff1d(failed_rows, stale, assume_unique=True)
             # lint: skip=KRN001 -- Newton-failure fallback on a small subset
             for row in fresh:
                 change_difference_array(differences[row], order, 0.5)
@@ -225,7 +224,7 @@ class BatchBDF:
                 steps_at_order[row] = 0
                 c_factored[row] = -1.0
             result.n_rejected[failed_rows] += 1
-        if not np.any(converged):
+        if not xp.any(converged):
             return
 
         conv_rows = rows[converged]
@@ -236,19 +235,19 @@ class BatchBDF:
         y_old = differences[conv_rows, 0, :]
         error = ERROR_CONST[order] * correction
         err = _scaled_error_norms(error, y_old, y_new, options)
-        finite = np.all(np.isfinite(y_new), axis=1)
-        err = np.where(finite, err, np.inf)
+        finite = xp.all(xp.isfinite(y_new), axis=1)
+        err = xp.where(finite, err, xp.inf)
         safety = 0.9 * (2 * NEWTON_MAXITER + 1) / \
             (2 * NEWTON_MAXITER + n_iter)
 
         rejected = err >= 1.0
-        if np.any(rejected):
+        if xp.any(rejected):
             rej_rows = conv_rows[rejected]
             result.n_rejected[rej_rows] += 1
             # lint: skip=KRN001 -- rejected rows shrink by per-row factors
-            for local, row in zip(np.flatnonzero(rejected), rej_rows):
+            for local, row in zip(xp.flatnonzero(rejected), rej_rows):
                 factor = options.min_step_factor
-                if np.isfinite(err[local]) and err[local] > 0:
+                if xp.isfinite(err[local]) and err[local] > 0:
                     factor = max(options.min_step_factor,
                                  safety[local]
                                  * err[local] ** (-1.0 / (order + 1)))
@@ -258,7 +257,7 @@ class BatchBDF:
                 c_factored[row] = -1.0
 
         accepted = ~rejected
-        if not np.any(accepted):
+        if not xp.any(accepted):
             return
         acc_rows = conv_rows[accepted]
         result.n_accepted[acc_rows] += 1
@@ -281,9 +280,9 @@ class BatchBDF:
                                        problem.row_ids[acc_rows],
                                        times[acc_rows], status)
 
-        tolerance = 1e-9 * np.maximum(1.0, np.abs(times[acc_rows]))
-        hits = acc_rows[np.abs(times[acc_rows]
-                               - t_eval[np.minimum(save_index[acc_rows],
+        tolerance = 1e-9 * xp.maximum(1.0, xp.abs(times[acc_rows]))
+        hits = acc_rows[xp.abs(times[acc_rows]
+                               - t_eval[xp.minimum(save_index[acc_rows],
                                                    t_eval.size - 1)])
                         <= tolerance]
         hit_valid = hits[save_index[hits] < t_eval.size]
@@ -298,7 +297,7 @@ class BatchBDF:
         adapt = acc_rows[steps_at_order[acc_rows] >= order + 1]
         # lint: skip=KRN002 -- scalar map feeding the per-row order change
         err_by_row = {int(row): float(err[local])
-                      for local, row in zip(np.flatnonzero(accepted),
+                      for local, row in zip(xp.flatnonzero(accepted),
                                             acc_rows)}
         # Order adaptation is per-row by construction: rows sit at
         # different BDF orders, so their difference tables have
@@ -314,35 +313,35 @@ class BatchBDF:
         options = self.options
         b = rows.size
         y = y_predict.copy()
-        correction = np.zeros_like(y)
-        scale = options.atol + options.rtol * np.abs(y_predict)
-        converged = np.zeros(b, dtype=bool)
-        failed = np.zeros(b, dtype=bool)
-        n_iterations = np.zeros(b, dtype=np.int64)
-        previous = np.full(b, -1.0)
+        correction = xp.zeros_like(y)
+        scale = options.atol + options.rtol * xp.abs(y_predict)
+        converged = xp.zeros(b, dtype=bool)
+        failed = xp.zeros(b, dtype=bool)
+        n_iterations = xp.zeros(b, dtype=xp.int64)
+        previous = xp.full(b, -1.0)
         for _ in range(NEWTON_MAXITER):
-            work = np.flatnonzero(~converged & ~failed)
+            work = xp.flatnonzero(~converged & ~failed)
             if work.size == 0:
                 break
             n_iterations[work] += 1
             problem.counters.newton_iterations += work.size
             f = problem.fun(t_new[work], y[work], rows[work])
-            bad = ~np.all(np.isfinite(f), axis=1)
-            if np.any(bad):
+            bad = ~xp.all(xp.isfinite(f), axis=1)
+            if xp.any(bad):
                 failed[work[bad]] = True
                 work = work[~bad]
                 if work.size == 0:
                     continue
                 f = f[~bad]
             residual = c[work, None] * f - psi[work] - correction[work]
-            delta = np.einsum("bij,bj->bi", inverses[rows[work]], residual)
-            norms = np.sqrt(np.mean((delta / scale[work]) ** 2, axis=1))
+            delta = xp.batched_matvec(inverses[rows[work]], residual)
+            norms = xp.sqrt(xp.mean((delta / scale[work]) ** 2, axis=1))
             have_prev = previous[work] > 0
-            with np.errstate(divide="ignore", invalid="ignore",
+            with xp.errstate(divide="ignore", invalid="ignore",
                              over="ignore"):
-                rate = np.where(have_prev,
-                                norms / np.maximum(previous[work], 1e-300),
-                                np.nan)
+                rate = xp.where(have_prev,
+                                norms / xp.maximum(previous[work], 1e-300),
+                                xp.nan)
                 hopeless = have_prev & ((rate >= 1.0)
                                         | (rate / (1 - rate) * norms > tol))
             failed[work[hopeless]] = True
@@ -354,11 +353,11 @@ class BatchBDF:
             norms = norms[keep]
             y[work] += delta
             correction[work] += delta
-            with np.errstate(divide="ignore", invalid="ignore"):
+            with xp.errstate(divide="ignore", invalid="ignore"):
                 done = (norms == 0.0) | (
                     (previous[work] > 0)
-                    & ((norms / np.maximum(previous[work], 1e-300))
-                       / (1 - np.minimum(norms / np.maximum(previous[work],
+                    & ((norms / xp.maximum(previous[work], 1e-300))
+                       / (1 - xp.minimum(norms / xp.maximum(previous[work],
                                                             1e-300),
                                          0.999)) * norms < tol))
             converged[work[done]] = True
@@ -369,10 +368,10 @@ class BatchBDF:
                      steps_at_order, c_factored, current_err, options,
                      max_step) -> None:
         scale = options.atol + options.rtol * \
-            np.abs(differences[row, 0, :])
+            xp.abs(differences[row, 0, :])
 
         def norm_of(vector):
-            return float(np.sqrt(np.mean((vector / scale) ** 2)))
+            return float(xp.sqrt(xp.mean((vector / scale) ** 2)))
 
         candidates = [order]
         norms = [max(current_err, 1e-10)]
@@ -388,9 +387,9 @@ class BatchBDF:
                              1e-10))
         factors = [norms[i] ** (-1.0 / (candidates[i] + 1))
                    for i in range(len(candidates))]
-        best = int(np.argmax(factors))
+        best = int(xp.argmax(factors))
         new_order = candidates[best]
-        factor = float(np.clip(0.9 * factors[best],
+        factor = float(xp.clip(0.9 * factors[best],
                                options.min_step_factor,
                                options.max_step_factor))
         orders[row] = new_order

@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from ..backend import Array, xp
 from ..lint.model_rules import STIFFNESS_SAFE_DECADES, stiffness_risk_score
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
 from ..solvers.stiffness import power_iteration_matvec
@@ -45,14 +44,14 @@ class RoutingDecision:
         probe never ran.
     """
 
-    stiff_mask: np.ndarray
-    spectral_radii: np.ndarray
+    stiff_mask: Array
+    spectral_radii: Array
     threshold: float
     probe_skipped: bool = False
 
     @property
     def n_stiff(self) -> int:
-        return int(np.sum(self.stiff_mask))
+        return int(xp.sum(self.stiff_mask))
 
     def to_dict(self) -> dict:
         return {"stiff_mask": [bool(v) for v in self.stiff_mask],
@@ -62,15 +61,15 @@ class RoutingDecision:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RoutingDecision":
-        return cls(np.asarray(data["stiff_mask"], dtype=bool),
-                   np.asarray(data["spectral_radii"], dtype=np.float64),
+        return cls(xp.asarray(data["stiff_mask"], dtype=bool),
+                   xp.asarray(data["spectral_radii"], dtype=xp.float64),
                    float(data["threshold"]),
                    bool(data.get("probe_skipped", False)))
 
 
 def classify_batch(problem: BatchedODEProblem, t0: float,
                    threshold: float,
-                   initial_states: np.ndarray | None = None,
+                   initial_states: Array | None = None,
                    static_risk: float | None = None) -> RoutingDecision:
     """Stiffness classification of every simulation in a batch.
 
@@ -88,17 +87,17 @@ def classify_batch(problem: BatchedODEProblem, t0: float,
     """
     if static_risk is not None and static_risk < STIFFNESS_SAFE_DECADES:
         batch = problem.batch_size
-        return RoutingDecision(np.zeros(batch, dtype=bool),
-                               np.zeros(batch), threshold,
+        return RoutingDecision(xp.zeros(batch, dtype=bool),
+                               xp.zeros(batch), threshold,
                                probe_skipped=True)
     states = (problem.initial_states() if initial_states is None
-              else np.asarray(initial_states, dtype=np.float64))
-    rows = np.arange(problem.batch_size)
-    times = np.full(rows.size, t0)
+              else xp.asarray(initial_states, dtype=xp.float64))
+    rows = xp.arange(problem.batch_size)
+    times = xp.full(rows.size, t0)
     base = problem.fun(times, states, rows)
-    scale = 1e-7 * (np.linalg.norm(states, axis=1, keepdims=True) + 1.0)
+    scale = 1e-7 * (xp.norm(states, axis=1, keepdims=True) + 1.0)
 
-    def jacobian_action(directions: np.ndarray) -> np.ndarray:
+    def jacobian_action(directions: Array) -> Array:
         probes = states + scale * directions
         return (problem.fun(times, probes, rows) - base) / scale
 
@@ -120,8 +119,8 @@ class StiffnessRouter:
         self.use_static_prefilter = use_static_prefilter
 
     def solve(self, problem: BatchedODEProblem, t_span: tuple[float, float],
-              t_eval: np.ndarray | None = None,
-              initial_states: np.ndarray | None = None
+              t_eval: Array | None = None,
+              initial_states: Array | None = None
               ) -> tuple[BatchSolveResult, RoutingDecision]:
         """Integrate a batch with per-simulation method selection."""
         static_risk = None
@@ -132,18 +131,18 @@ class StiffnessRouter:
                                   self.options.stiffness_threshold,
                                   initial_states, static_risk)
         states = (problem.initial_states() if initial_states is None
-                  else np.asarray(initial_states, dtype=np.float64))
+                  else xp.asarray(initial_states, dtype=xp.float64))
 
         batch = problem.batch_size
         if t_eval is None:
-            t_eval = np.array([float(t_span[0]), float(t_span[1])])
-        t_eval = np.asarray(t_eval, dtype=np.float64)
+            t_eval = xp.array([float(t_span[0]), float(t_span[1])])
+        t_eval = xp.asarray(t_eval, dtype=xp.float64)
         merged = allocate_result(t_eval, batch, problem.n_species,
                                  METHOD_DOPRI5)
         merged.counters = problem.counters
 
-        nonstiff_rows = np.flatnonzero(~decision.stiff_mask)
-        stiff_rows = np.flatnonzero(decision.stiff_mask)
+        nonstiff_rows = xp.flatnonzero(~decision.stiff_mask)
+        stiff_rows = xp.flatnonzero(decision.stiff_mask)
 
         if nonstiff_rows.size:
             explicit = BatchDopri5(
@@ -168,7 +167,7 @@ class StiffnessRouter:
 
     @staticmethod
     def _splice(merged: BatchSolveResult, part: BatchSolveResult,
-                rows: np.ndarray) -> None:
+                rows: Array) -> None:
         merged.y[rows] = part.y
         merged.status_codes[rows] = part.status_codes
         merged.method_codes[rows] = part.method_codes

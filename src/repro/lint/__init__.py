@@ -20,6 +20,14 @@ Three analyzers with flake8-style rule IDs and a shared report layer:
   ``DET001``–``DET006`` and cross-layer contract rules
   ``CON001``–``CON004``, gated by a committed baseline
   (:data:`~repro.lint.deep.DEFAULT_BASELINE`) that may only shrink.
+* :func:`lint_shapes` — the symbolic shape/dtype analyzer
+  (``repro lint --shapes``): an abstract interpreter over the same
+  dataflow engine propagates symbolic axis lengths (B batch, S
+  species, R reactions, K stages) and dtypes through def-use chains,
+  powering the shape rules ``SHP001``–``SHP006`` and the
+  backend-conformance rules ``BKD001``–``BKD003``, gated by
+  :data:`~repro.lint.shapes.DEFAULT_SHAPES_BASELINE` (committed
+  empty).
 
 :func:`lint_gate` is the one-call pre-sweep guard used by the PSA / SA
 / PE hooks: it raises :class:`~repro.errors.LintGateError` when a
@@ -40,9 +48,12 @@ from .model_rules import (MODEL_RULES, STIFFNESS_RISK_DECADES,
 from .registry import (DEEP_RULES, META_RULES, RuleInfo, iter_rules,
                        render_rule_table, rule_info)
 from .report import (SEVERITIES, LintFinding, LintReport, severity_rank)
+from .shapes import (DEFAULT_SHAPES_BASELINE, SHAPE_RULES, ShapeConfig,
+                     lint_shapes)
 
 #: Every shipped rule ID -> (default severity, one-line description).
-ALL_RULES = {**MODEL_RULES, **KERNEL_RULES, **DEEP_RULES, **META_RULES}
+ALL_RULES = {**MODEL_RULES, **KERNEL_RULES, **DEEP_RULES, **SHAPE_RULES,
+             **META_RULES}
 
 
 def lint_gate(model: ReactionBasedModel,
@@ -73,13 +84,15 @@ def lint_gate(model: ReactionBasedModel,
 
 __all__ = [
     "ALL_RULES", "DEEP_RULES", "KERNEL_RULES", "META_RULES",
-    "MODEL_RULES",
-    "DEFAULT_BASELINE", "DeepConfig",
+    "MODEL_RULES", "SHAPE_RULES",
+    "DEFAULT_BASELINE", "DEFAULT_SHAPES_BASELINE", "DeepConfig",
+    "ShapeConfig",
     "LintError", "LintFinding", "LintGateError", "LintReport",
     "RuleInfo", "SEVERITIES", "severity_rank",
     "STIFFNESS_RISK_DECADES", "STIFFNESS_SAFE_DECADES",
     "iter_rules", "lint_callable", "lint_deep", "lint_file",
-    "lint_gate", "lint_kernels", "lint_model", "lint_source",
+    "lint_gate", "lint_kernels", "lint_model", "lint_shapes",
+    "lint_source",
     "package_source_files", "render_rule_table", "rule_info",
     "shipped_kernel_paths", "stiffness_risk_score", "write_baseline",
 ]

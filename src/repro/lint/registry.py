@@ -1,20 +1,24 @@
 """Unified rule registry: every lint rule with family, severity, docs.
 
-Aggregates the three analyzer registries — model rules (``RBM0xx``),
-shallow kernel rules (``KRN0xx``) and deep dataflow/contract rules
-(``DET0xx``/``CON0xx``) — plus the meta rules the tooling itself emits
-(``LNT0xx``), into :class:`RuleInfo` records consumed by
-``repro lint --list-rules`` and the JSON report's rule documentation.
+Aggregates the analyzer registries — model rules (``RBM0xx``),
+shallow kernel rules (``KRN0xx``), deep dataflow/contract rules
+(``DET0xx``/``CON0xx``), symbolic shape/dtype rules (``SHP0xx``) and
+backend-conformance rules (``BKD0xx``) — plus the meta rules the
+tooling itself emits (``LNT0xx``), into :class:`RuleInfo` records
+consumed by ``repro lint --list-rules`` and the JSON report's rule
+documentation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .backend_rules import BKD_RULES
 from .contract_rules import CON_RULES
 from .deep_rules import DET_RULES
 from .kernel_rules import KERNEL_RULES
 from .model_rules import MODEL_RULES
+from .shape_rules import SHP_RULES
 
 #: Meta rules emitted by the lint infrastructure itself.
 META_RULES = {
@@ -92,8 +96,41 @@ RULE_DOCS = {
     "CON004": "A deep-analysis waiver pragma no longer suppresses any "
               "finding: the defect it excused is gone, so the pragma "
               "is dead weight that can mask future regressions.",
-    "LNT000": "A shallow-linter waiver pragma no longer suppresses any "
-              "finding and should be removed.",
+    "SHP001": "A row-contracting op (tensordot/dot/@, an einsum that "
+              "drops the leading subscript, or an axis=0 reduction) "
+              "consumes an operand whose inferred symbolic shape is "
+              "batch-led: the B axis is summed away or reblocked, so "
+              "per-row results change with the rows in flight.",
+    "SHP002": "A broadcast pairs the batch axis B with a different "
+              "symbolic axis (S, R or K): the expression only runs "
+              "when the two lengths coincide, and then silently "
+              "combines values across simulations.",
+    "SHP003": "A value whose inferred dtype is float32/float16/int32 "
+              "flows into state or accumulator arithmetic: the "
+              "downcast truncates solver state and the drift moves "
+              "with evaluation order.",
+    "SHP004": "Definitions with conflicting symbolic shapes (different "
+              "rank, or different leading axis symbol) reach one use "
+              "site: the variable's shape depends on which branch "
+              "executed.",
+    "SHP005": "reshape/ravel/flatten folds a batch-led array of rank "
+              "two or more without keeping B as the leading target "
+              "dimension: row boundaries are mixed into other axes.",
+    "SHP006": "An out= destination's inferred dtype is narrower than "
+              "the widest input dtype: every store silently "
+              "downcasts at a point that moves with the expression.",
+    "BKD001": "A backend-ported gpu module imports numpy: kernels "
+              "must touch array ops only through the xp namespace so "
+              "substrates stay swappable.",
+    "BKD002": "A gpu module reads an attribute through a numpy-bound "
+              "alias or a from-numpy import: the op bypasses the "
+              "backend substrate protocol.",
+    "BKD003": "An xp.<op> read names an op the backend protocol does "
+              "not declare: it resolves on the numpy substrate by "
+              "accident and breaks on every other backend.",
+    "LNT000": "A waiver pragma of the shallow linter or the shapes "
+              "analyzer no longer suppresses any finding and should "
+              "be removed.",
     "LNT001": "A committed baseline entry matched no finding in this "
               "run: regenerate the baseline so it only shrinks.",
 }
@@ -120,7 +157,8 @@ class RuleInfo:
 
 def _family_table() -> list[tuple[str, dict]]:
     return [("model", MODEL_RULES), ("kernel", KERNEL_RULES),
-            ("deep", DEEP_RULES), ("meta", META_RULES)]
+            ("deep", DEEP_RULES), ("shape", SHP_RULES),
+            ("backend", BKD_RULES), ("meta", META_RULES)]
 
 
 def iter_rules() -> list[RuleInfo]:

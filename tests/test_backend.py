@@ -1,0 +1,154 @@
+"""Backend-protocol contract and bit-identity of the ported kernels.
+
+The protocol extraction (``repro.backend``) must be invisible to the
+numbers: each batched integrator run through the ``xp`` substrate must
+produce byte-for-byte the arrays it produces through a raw numpy
+namespace assembled independently of :class:`NumpyBackend`. Exact
+``tobytes`` comparison — not allclose — because the whole point of the
+indirection is that it adds *nothing* numerically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (Array, BackendError, NumpyBackend,
+                           REQUIRED_OPS, get_backend, validate_backend,
+                           xp)
+from repro.gpu import (BatchBDF, BatchDopri5, BatchRadau5,
+                       BatchedODEProblem)
+from repro.model import ODESystem, perturbed_batch
+from repro.models import decay_chain, robertson
+from repro.solvers import SolverOptions
+
+
+def _problem(model, batch_size=6, seed=3, spread=0.2):
+    system = ODESystem.from_model(model)
+    batch = perturbed_batch(model.nominal_parameterization(), batch_size,
+                            np.random.default_rng(seed), spread)
+    return BatchedODEProblem(system, batch)
+
+
+def _raw_numpy_namespace():
+    """A protocol-complete namespace built straight from numpy,
+    bypassing :class:`NumpyBackend` entirely."""
+
+    class _Raw:
+        name = "raw-numpy"
+
+    raw = _Raw()
+    for op in REQUIRED_OPS:
+        if hasattr(np, op):
+            setattr(raw, op, getattr(np, op))
+    raw.inv = np.linalg.inv
+    raw.batched_inv = np.linalg.inv
+    raw.norm = np.linalg.norm
+    raw.batched_matvec = (
+        lambda matrices, vectors: np.einsum("bij,bj->bi",
+                                            matrices, vectors))
+    return raw
+
+
+#: Every gpu module that binds ``xp`` at import time.
+_XP_MODULES = ("batch_dopri5", "batch_radau5", "batch_bdf",
+               "batch_result", "batched_ode", "engine", "router")
+
+
+def _swap_backend(monkeypatch, namespace):
+    import repro.gpu as gpu_package
+    for name in _XP_MODULES:
+        module = getattr(__import__(f"repro.gpu.{name}",
+                                    fromlist=[name]), "__dict__")
+        monkeypatch.setitem(module, "xp", namespace)
+    return gpu_package
+
+
+def _run(solver_cls, model, span, grid, **options):
+    problem = _problem(model)
+    result = solver_cls(SolverOptions(**options)).solve(
+        problem, span, grid)
+    return result
+
+
+def _fingerprint(result):
+    return (result.y.tobytes(), result.t.tobytes(),
+            result.status_codes.tobytes(), result.n_steps.tobytes())
+
+
+CASES = [
+    (BatchDopri5, decay_chain(3), (0, 5),
+     np.linspace(0, 5, 9), {"rtol": 1e-7, "atol": 1e-10}),
+    (BatchRadau5, robertson(), (0, 1.0),
+     np.array([0.0, 0.5, 1.0]), {"rtol": 1e-6, "atol": 1e-9}),
+    (BatchBDF, robertson(), (0, 1.0),
+     np.array([0.0, 0.5, 1.0]), {"rtol": 1e-6, "atol": 1e-9}),
+]
+
+
+class TestBitIdentityThroughBackend:
+    @pytest.mark.parametrize(
+        "solver_cls,model,span,grid,options", CASES,
+        ids=["dopri5", "radau5", "bdf"])
+    def test_integrator_matches_raw_numpy_exactly(
+            self, monkeypatch, solver_cls, model, span, grid, options):
+        through_backend = _fingerprint(
+            _run(solver_cls, model, span, grid, **options))
+        _swap_backend(monkeypatch, validate_backend(
+            _raw_numpy_namespace()))
+        through_raw = _fingerprint(
+            _run(solver_cls, model, span, grid, **options))
+        assert through_backend == through_raw
+
+    def test_repeated_runs_are_deterministic(self):
+        first = _fingerprint(_run(*CASES[0][:4], **CASES[0][4]))
+        second = _fingerprint(_run(*CASES[0][:4], **CASES[0][4]))
+        assert first == second
+
+
+class TestProtocolContract:
+    def test_shipped_substrate_conforms(self):
+        assert validate_backend(xp) is xp
+        assert xp.name == "numpy"
+
+    def test_array_alias_is_the_substrate_array_type(self):
+        assert Array is xp.ndarray
+        assert isinstance(np.zeros(3), Array)
+
+    def test_fresh_numpy_backend_conforms(self):
+        assert validate_backend(NumpyBackend()) is not xp
+
+    def test_incomplete_backend_rejected_with_named_ops(self):
+        class Partial:
+            name = "partial"
+
+        with pytest.raises(BackendError) as err:
+            validate_backend(Partial())
+        message = str(err.value)
+        assert "partial" in message
+        assert "einsum" in message and "batched_matvec" in message
+
+    def test_required_ops_have_no_duplicates(self):
+        assert len(REQUIRED_OPS) == len(set(REQUIRED_OPS))
+
+    def test_batched_ops_preserve_the_batch_axis(self):
+        rng = np.random.default_rng(7)
+        matrices = rng.standard_normal((4, 3, 3)) + 3 * np.eye(3)
+        vectors = rng.standard_normal((4, 3))
+        products = xp.batched_matvec(matrices, vectors)
+        assert products.shape == (4, 3)
+        expected = np.stack([m @ v for m, v in zip(matrices, vectors)])
+        assert np.allclose(products, expected)
+        inverses = xp.batched_inv(matrices)
+        assert inverses.shape == (4, 3, 3)
+        assert np.allclose(inverses @ matrices,
+                           np.broadcast_to(np.eye(3), (4, 3, 3)),
+                           atol=1e-10)
+
+
+class TestBackendRegistry:
+    def test_default_lookup_is_the_numpy_substrate(self):
+        assert get_backend() is xp
+        assert get_backend("numpy") is xp
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendError, match="cupy"):
+            get_backend("cupy")
