@@ -245,7 +245,8 @@ def _command_trace_record(args) -> int:
         # checkpointed campaigns append across runs.
         out.unlink()
     config = CampaignConfig(chunk_size=args.chunk_size,
-                            checkpoint_path=args.checkpoint)
+                            checkpoint_path=args.checkpoint,
+                            workers=args.workers)
     t_eval = np.linspace(0.0, args.t_end, args.points)
     campaign = run_campaign(model, (0.0, args.t_end), t_eval, parameters,
                             engine=args.engine, config=config,
@@ -389,6 +390,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="perturbed rows when the folder has no "
                              "sweep batch")
     record.add_argument("--chunk-size", type=int, default=32)
+    record.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the supervised shard "
+                             "executor (0 = in-process serial loop)")
     record.add_argument("--t-end", type=float, default=10.0)
     record.add_argument("--points", type=int, default=51)
     record.add_argument("--engine", default="batched",

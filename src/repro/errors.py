@@ -68,8 +68,10 @@ class BackendError(ReproError):
 
 class ResilienceError(ReproError):
     """A resilience component (retry policy, fault plan, campaign
-    checkpoint) is misconfigured or a journal is inconsistent with the
-    campaign it claims to belong to (see :mod:`repro.resilience`)."""
+    checkpoint, shard-executor configuration) is misconfigured, or a
+    journal is inconsistent with the campaign it claims to belong to —
+    a mismatched fingerprint (including differing solver numerics) or a
+    corrupt chunk archive (see :mod:`repro.resilience`)."""
 
 
 class GuardError(ReproError):
@@ -92,7 +94,8 @@ class CampaignInterrupted(ResilienceError):
     """A chunked campaign stopped before all launches completed.
 
     Raised on an injected crash (:class:`repro.resilience.FaultPlan`)
-    or a ``KeyboardInterrupt`` during campaign execution. Launches that
+    or a ``KeyboardInterrupt`` during campaign execution — by the
+    serial loop and the supervised shard executor alike. Launches that
     finished before the interruption are already journaled, so re-running
     the same campaign with the same checkpoint path resumes instead of
     recomputing them.

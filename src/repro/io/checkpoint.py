@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..errors import ResilienceError
+from ..errors import FormatError, ResilienceError
 from ..gpu.batch_result import BatchSolveResult
 from .results import load_result, save_result
 
@@ -110,11 +111,25 @@ class CampaignCheckpoint:
         self._write()
 
     def load_chunk(self, index: int) -> tuple[BatchSolveResult, list[dict]]:
-        """Reload a completed chunk's result and quarantine entries."""
+        """Reload a completed chunk's result and quarantine entries.
+
+        A corrupt or truncated chunk archive raises
+        :class:`~repro.errors.ResilienceError` naming the file: delete
+        it (the journal entry is then ignored by :meth:`has_chunk`) and
+        re-run the campaign to re-execute just that chunk.
+        """
         if index not in self.chunks:
             raise ResilienceError(
                 f"journal {self.path} has no chunk {index}")
-        result, _ = load_result(self.chunk_file(index))
+        file = self.chunk_file(index)
+        try:
+            result, _ = load_result(file)
+        except (FormatError, OSError, EOFError,
+                zipfile.BadZipFile) as error:
+            raise ResilienceError(
+                f"chunk archive {file} is corrupt or truncated "
+                f"({error}); delete {file.name} and re-run the campaign "
+                f"to re-execute chunk {index}") from None
         return result, list(self.chunks[index].get("quarantine", []))
 
     # -- free-form payloads ---------------------------------------------

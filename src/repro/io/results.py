@@ -9,6 +9,7 @@ species names needed to interpret them) through a single compressed
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -21,25 +22,36 @@ _FORMAT_VERSION = 1
 
 def save_result(path: str | Path, result: BatchSolveResult,
                 species_names: list[str] | None = None) -> Path:
-    """Write a batch result (and optional species labels) to ``path``."""
+    """Write a batch result (and optional species labels) to ``path``.
+
+    The write is atomic (temp file + ``os.replace``): readers — in
+    particular a campaign resuming from its chunk journal — never see
+    a truncated archive, only the old file or the complete new one.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     names = np.array(species_names if species_names is not None else [],
                      dtype=np.str_)
-    np.savez_compressed(
-        path,
-        format_version=np.array(_FORMAT_VERSION),
-        t=result.t,
-        y=result.y,
-        status_codes=result.status_codes,
-        method_codes=result.method_codes,
-        n_steps=result.n_steps,
-        n_accepted=result.n_accepted,
-        n_rejected=result.n_rejected,
-        elapsed_seconds=np.array(result.elapsed_seconds),
-        species_names=names,
-    )
+    temporary = path.with_suffix(path.suffix + ".tmp.npz")
+    try:
+        np.savez_compressed(
+            temporary,
+            format_version=np.array(_FORMAT_VERSION),
+            t=result.t,
+            y=result.y,
+            status_codes=result.status_codes,
+            method_codes=result.method_codes,
+            n_steps=result.n_steps,
+            n_accepted=result.n_accepted,
+            n_rejected=result.n_rejected,
+            elapsed_seconds=np.array(result.elapsed_seconds),
+            species_names=names,
+        )
+        os.replace(temporary, path)
+    finally:
+        if temporary.is_file():
+            temporary.unlink()
     return path
 
 

@@ -17,8 +17,12 @@ thread together:
   (:class:`~repro.io.checkpoint.CampaignCheckpoint`) for crash
   resume and a wall-clock deadline that degrades to a partial result.
 * :class:`FaultPlan` — deterministic fault injection (NaN rows, forced
-  launch failures, simulated crashes and deadlines) proving every
-  degradation path end-to-end.
+  launch failures, simulated crashes, deadlines and worker-process
+  kills/hangs) proving every degradation path end-to-end.
+* :func:`run_sharded` / :class:`WorkerFailure` — the supervised
+  multiprocess shard executor behind ``CampaignConfig.workers``
+  (:mod:`repro.resilience.executor`) and the quarantine record it
+  files for rows of poison chunks.
 
 ``campaign`` is imported lazily (PEP 562) because it sits *above*
 :mod:`repro.core.simulate` in the layering while the leaf modules here
@@ -30,16 +34,20 @@ from __future__ import annotations
 from .faults import FaultPlan
 from .policy import (DEFAULT_RETRY_LADDER, RETRY_METHODS, RetryPolicy,
                      RetryStage, default_retry_policy)
-from .quarantine import FailureRecord, QuarantineLog, RetryAttempt
+from .quarantine import (FailureRecord, QuarantineLog, RetryAttempt,
+                         WorkerFailure)
 
-_CAMPAIGN_NAMES = ("CampaignConfig", "CampaignResult", "run_campaign")
+_CAMPAIGN_NAMES = ("CampaignConfig", "CampaignResult", "run_campaign",
+                   "campaign_fingerprint")
+_EXECUTOR_NAMES = ("ExecutorOutcome", "ShardSupervisor", "run_sharded")
 
 __all__ = [
     "FaultPlan",
     "DEFAULT_RETRY_LADDER", "RETRY_METHODS", "RetryPolicy", "RetryStage",
     "default_retry_policy",
-    "FailureRecord", "QuarantineLog", "RetryAttempt",
+    "FailureRecord", "QuarantineLog", "RetryAttempt", "WorkerFailure",
     *_CAMPAIGN_NAMES,
+    *_EXECUTOR_NAMES,
 ]
 
 
@@ -47,4 +55,7 @@ def __getattr__(name: str):
     if name in _CAMPAIGN_NAMES:
         from . import campaign
         return getattr(campaign, name)
+    if name in _EXECUTOR_NAMES:
+        from . import executor
+        return getattr(executor, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -19,7 +19,8 @@ optima through the same checkpoint payloads
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -50,12 +51,47 @@ class CampaignConfig:
     deadline_seconds:
         Wall-clock budget for the whole campaign; once exceeded no
         further chunk is started and the partial result is returned
-        with ``incomplete=True``.
+        with ``incomplete=True``. With workers, the remaining budget
+        also bounds every in-flight chunk (it is terminated, not
+        merely not-started).
+    workers:
+        Worker processes for the supervised shard executor
+        (:mod:`repro.resilience.executor`); ``0`` keeps the in-process
+        serial loop. The merged result is byte-identical either way.
+    heartbeat_interval:
+        Seconds between worker liveness heartbeats.
+    heartbeat_timeout:
+        Heartbeat silence after which the supervisor declares a worker
+        hung, terminates it and reassigns its chunk.
+    chunk_timeout:
+        Wall-clock cap per chunk attempt under the executor; ``None``
+        leaves attempts bounded only by the campaign deadline.
+    max_chunk_attempts:
+        Attempt budget per chunk (or split piece) before the poison
+        ladder kicks in: wider-than-one pieces split in half, width-one
+        pieces quarantine their rows as ``WorkerFailure`` records.
+    max_worker_restarts:
+        Pool-wide restart budget; once spent, a collapsed pool degrades
+        to in-process execution (``CampaignResult.degraded``).
+    restart_backoff / restart_backoff_cap:
+        Capped exponential backoff (seconds) between worker restarts.
+    slow_chunk_seconds:
+        Chunks taking longer than this are counted in
+        ``campaign.executor.slow_chunks``; ``None`` disables the count.
     """
 
     chunk_size: int = 256
     checkpoint_path: str | Path | None = None
     deadline_seconds: float | None = None
+    workers: int = 0
+    heartbeat_interval: float = 0.05
+    heartbeat_timeout: float = 2.0
+    chunk_timeout: float | None = None
+    max_chunk_attempts: int = 3
+    max_worker_restarts: int = 8
+    restart_backoff: float = 0.05
+    restart_backoff_cap: float = 1.0
+    slow_chunk_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.chunk_size < 1:
@@ -66,6 +102,36 @@ class CampaignConfig:
             raise ResilienceError(
                 f"deadline_seconds must be > 0, got "
                 f"{self.deadline_seconds}")
+        if self.workers < 0:
+            raise ResilienceError(
+                f"workers must be >= 0, got {self.workers}")
+        if not (self.heartbeat_interval > 0.0):
+            raise ResilienceError(
+                f"heartbeat_interval must be > 0, got "
+                f"{self.heartbeat_interval}")
+        if not (self.heartbeat_timeout > self.heartbeat_interval):
+            raise ResilienceError(
+                "heartbeat_timeout must exceed heartbeat_interval, got "
+                f"{self.heartbeat_timeout} <= {self.heartbeat_interval}")
+        if self.chunk_timeout is not None \
+                and not (self.chunk_timeout > 0.0):
+            raise ResilienceError(
+                f"chunk_timeout must be > 0, got {self.chunk_timeout}")
+        if self.max_chunk_attempts < 1:
+            raise ResilienceError(
+                f"max_chunk_attempts must be >= 1, got "
+                f"{self.max_chunk_attempts}")
+        if self.max_worker_restarts < 0:
+            raise ResilienceError(
+                f"max_worker_restarts must be >= 0, got "
+                f"{self.max_worker_restarts}")
+        if self.restart_backoff < 0.0 or self.restart_backoff_cap < 0.0:
+            raise ResilienceError("restart backoff values must be >= 0")
+        if self.slow_chunk_seconds is not None \
+                and not (self.slow_chunk_seconds > 0.0):
+            raise ResilienceError(
+                f"slow_chunk_seconds must be > 0, got "
+                f"{self.slow_chunk_seconds}")
 
 
 @dataclass
@@ -86,6 +152,9 @@ class CampaignResult:
     quarantine: QuarantineLog = field(default_factory=QuarantineLog)
     checkpoint_path: Path | None = None
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: True when the worker pool collapsed and the remaining chunks ran
+    #: on the supervisor's in-process fallback.
+    degraded: bool = False
 
     @property
     def n_quarantined(self) -> int:
@@ -102,12 +171,32 @@ class CampaignResult:
                 f"{self.total_chunks} chunks "
                 f"({self.resumed_chunks} resumed), "
                 f"{self.n_quarantined} quarantined row(s)"
-                + (", deadline hit" if self.deadline_hit else ""))
+                + (", deadline hit" if self.deadline_hit else "")
+                + (", degraded to serial" if self.degraded else ""))
+
+
+def _numerics_digest(options, retry_policy) -> str:
+    """Digest of everything that shapes the journaled *numbers*.
+
+    Solver options (tolerances, step caps, controller constants) and
+    the retry-policy ladder both change the trajectories a chunk
+    produces; resuming a journal written under different numerics would
+    silently splice mismatched results, so their digest is part of the
+    campaign fingerprint. ``None`` (engine-default) policies hash as a
+    sentinel distinct from any explicit ladder.
+    """
+    payload = {
+        "options": None if options is None else asdict(options),
+        "retry": None if retry_policy is None else asdict(retry_policy),
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]
 
 
 def campaign_fingerprint(model, batch_size: int, chunk_size: int,
                          t_span: tuple[float, float],
-                         t_eval: np.ndarray, engine: str) -> dict:
+                         t_eval: np.ndarray, engine: str,
+                         options=None, retry_policy=None) -> dict:
     """Identity of a campaign, compared when re-opening a journal."""
     grid = hashlib.sha256(
         np.ascontiguousarray(t_eval, dtype=np.float64).tobytes()
@@ -117,7 +206,8 @@ def campaign_fingerprint(model, batch_size: int, chunk_size: int,
             "n_reactions": int(model.n_reactions),
             "batch_size": int(batch_size), "chunk_size": int(chunk_size),
             "t_span": [float(t_span[0]), float(t_span[1])],
-            "t_eval_sha": grid, "engine": engine}
+            "t_eval_sha": grid, "engine": engine,
+            "numerics_sha": _numerics_digest(options, retry_policy)}
 
 
 def run_campaign(model, t_span: tuple[float, float],
@@ -165,84 +255,130 @@ def run_campaign(model, t_span: tuple[float, float],
         checkpoint = CampaignCheckpoint.open(
             config.checkpoint_path,
             campaign_fingerprint(model, batch.size, config.chunk_size,
-                                 t_span, t_eval, engine))
+                                 t_span, t_eval, engine, options,
+                                 retry_policy))
 
     merged = allocate_result(t_eval, batch.size, model.n_species,
                              METHOD_DOPRI5)
     quarantine = QuarantineLog()
     metrics = MetricsRegistry()
     completed = resumed = executed = 0
-    deadline_hit = False
+    deadline_hit = degraded = False
     tracer = as_tracer(telemetry)
     campaign_span = tracer.start("campaign", "campaign", model=model.name,
                                  batch=int(batch.size),
                                  chunks=int(total_chunks))
     started = clock.monotonic()
 
+    # Pass 1 — resume everything the journal already holds (cheap, no
+    # integration), leaving a work-list of chunks still to execute.
+    remaining: list[tuple[int, int, int]] = []
     for index in range(total_chunks):
         start = index * config.chunk_size
         stop = min(start + config.chunk_size, batch.size)
-        rows = np.arange(start, stop)
-
-        if checkpoint is not None and checkpoint.has_chunk(index):
-            chunk_result, quarantine_dicts = checkpoint.load_chunk(index)
-            _check_chunk_shape(chunk_result, rows.size, t_eval, index)
-            quarantine.merge(QuarantineLog.from_dicts(quarantine_dicts))
-            chunk_metrics = checkpoint.get_payload(f"metrics-{index}")
-            if chunk_metrics is not None:
-                metrics.merge(MetricsRegistry.from_dict(chunk_metrics))
-            merged.merge_rows(chunk_result, rows)
-            completed += 1
-            resumed += 1
-            metrics.count("campaign.chunks.resumed")
+        if checkpoint is None or not checkpoint.has_chunk(index):
+            remaining.append((index, start, stop))
             continue
-
-        if _deadline_exceeded(config, fault_plan, started, executed):
-            deadline_hit = True
-            break
-        if fault_plan is not None and \
-                fault_plan.crash_after_launches is not None and \
-                executed >= fault_plan.crash_after_launches:
-            raise CampaignInterrupted(
-                f"injected crash before campaign chunk {index}",
-                checkpoint_path=(None if checkpoint is None
-                                 else checkpoint.path),
-                completed_chunks=completed)
-
-        chunk_plan = (None if fault_plan is None
-                      else fault_plan.for_chunk(index, start, stop))
-        chunk_span = tracer.start(f"chunk-{index}", "chunk",
-                                  parent=campaign_span,
-                                  rows=int(rows.size))
-        try:
-            chunk_result, chunk_quarantine, report = _run_chunk(
-                model, batch.subset(rows), t_span, t_eval, engine, options,
-                retry_policy, chunk_plan, engine_kwargs, tracer, chunk_span)
-        except KeyboardInterrupt:
-            raise CampaignInterrupted(
-                f"campaign interrupted during chunk {index}; "
-                f"{completed} chunk(s) already journaled",
-                checkpoint_path=(None if checkpoint is None
-                                 else checkpoint.path),
-                completed_chunks=completed) from None
-        tracer.end(chunk_span)
-        quarantine.merge(chunk_quarantine, row_offset=start)
-        if report is not None:
-            metrics.merge(report.metrics)
-        if checkpoint is not None:
-            shifted = QuarantineLog()
-            shifted.merge(chunk_quarantine, row_offset=start)
-            checkpoint.save_chunk(index, chunk_result, shifted.to_dicts())
-            if report is not None:
-                checkpoint.set_payload(f"metrics-{index}",
-                                       report.metrics.to_dict())
-        # Flush spans only after the chunk is journaled: the trace file
-        # and the journal lose exactly the same chunk on a crash.
-        tracer.flush()
+        rows = np.arange(start, stop)
+        chunk_result, quarantine_dicts = checkpoint.load_chunk(index)
+        _check_chunk_shape(chunk_result, rows.size, t_eval, index)
+        quarantine.merge(QuarantineLog.from_dicts(quarantine_dicts))
+        chunk_metrics = checkpoint.get_payload(f"metrics-{index}")
+        if chunk_metrics is not None:
+            metrics.merge(MetricsRegistry.from_dict(chunk_metrics))
         merged.merge_rows(chunk_result, rows)
         completed += 1
-        executed += 1
-        metrics.count("campaign.chunks.executed")
+        resumed += 1
+        metrics.count("campaign.chunks.resumed")
+
+    # Pass 2 — execute the work-list: supervised worker pool when
+    # configured, the in-process serial loop otherwise.
+    if config.workers > 0 and remaining:
+        from .executor import run_sharded
+        from .worker import WorkerSpec
+        spec = WorkerSpec(model=model, t_span=t_span, t_eval=t_eval,
+                          engine=engine, options=options,
+                          retry_policy=retry_policy,
+                          fault_plan=fault_plan,
+                          heartbeat_interval=config.heartbeat_interval,
+                          engine_kwargs=dict(engine_kwargs))
+        outcome = run_sharded(spec, batch, config, fault_plan, remaining,
+                              checkpoint, merged, model.n_species, t_eval,
+                              started, completed, tracer, campaign_span)
+        for index in sorted(outcome.chunk_quarantines):
+            quarantine.merge(outcome.chunk_quarantines[index],
+                             row_offset=index * config.chunk_size)
+        for index in sorted(outcome.chunk_metrics):
+            chunk_metrics = outcome.chunk_metrics[index]
+            if chunk_metrics is not None:
+                metrics.merge(chunk_metrics)
+        metrics.merge(outcome.metrics)
+        executed = outcome.executed
+        completed += outcome.executed
+        deadline_hit = outcome.deadline_hit
+        degraded = outcome.degraded
+        if executed:
+            metrics.count("campaign.chunks.executed", executed)
+    else:
+        for index, start, stop in remaining:
+            rows = np.arange(start, stop)
+            if _deadline_exceeded(config, fault_plan, started, executed):
+                deadline_hit = True
+                break
+            if fault_plan is not None and \
+                    fault_plan.crash_after_launches is not None and \
+                    executed >= fault_plan.crash_after_launches:
+                raise CampaignInterrupted(
+                    f"injected crash before campaign chunk {index}",
+                    checkpoint_path=(None if checkpoint is None
+                                     else checkpoint.path),
+                    completed_chunks=completed)
+
+            chunk_plan = (None if fault_plan is None
+                          else fault_plan.for_chunk(index, start, stop))
+            chunk_span = tracer.start(f"chunk-{index}", "chunk",
+                                      parent=campaign_span,
+                                      rows=int(rows.size))
+            try:
+                chunk_result, chunk_quarantine, report = _run_chunk(
+                    model, batch.subset(rows), t_span, t_eval, engine,
+                    options, retry_policy, chunk_plan, engine_kwargs,
+                    tracer, chunk_span)
+            except KeyboardInterrupt:
+                raise CampaignInterrupted(
+                    f"campaign interrupted during chunk {index}; "
+                    f"{completed} chunk(s) already journaled",
+                    checkpoint_path=(None if checkpoint is None
+                                     else checkpoint.path),
+                    completed_chunks=completed) from None
+            tracer.end(chunk_span)
+            quarantine.merge(chunk_quarantine, row_offset=start)
+            if report is not None:
+                metrics.merge(report.metrics)
+            if checkpoint is not None:
+                shifted = QuarantineLog()
+                shifted.merge(chunk_quarantine, row_offset=start)
+                checkpoint.save_chunk(index, chunk_result,
+                                      shifted.to_dicts())
+                if report is not None:
+                    checkpoint.set_payload(f"metrics-{index}",
+                                           report.metrics.to_dict())
+            # Flush spans only after the chunk is journaled: the trace
+            # file and the journal lose exactly the same chunk on a
+            # crash.
+            tracer.flush()
+            merged.merge_rows(chunk_result, rows)
+            completed += 1
+            executed += 1
+            metrics.count("campaign.chunks.executed")
+            # Post-chunk wall-clock check: a chunk that overshot the
+            # deadline mid-flight must mark the result, not wait for
+            # the next pre-chunk check that may never come.
+            if config.deadline_seconds is not None and \
+                    clock.monotonic() - started > config.deadline_seconds \
+                    and completed < total_chunks:
+                deadline_hit = True
+                break
 
     # Unstarted rows stay NaN/'running': nothing was integrated, so they
     # must not masquerade as failures of the dynamics.
@@ -260,7 +396,7 @@ def run_campaign(model, t_span: tuple[float, float],
     return CampaignResult(merged, incomplete, deadline_hit, completed,
                           total_chunks, resumed, quarantine,
                           None if checkpoint is None else checkpoint.path,
-                          metrics)
+                          metrics, degraded)
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,17 @@ campaign runner honor:
 * ``deadline_after_chunks`` — the campaign runner pretends the
   wall-clock deadline expired after this many freshly executed chunks,
   degrading to a partial result with ``incomplete=True``.
+* ``worker_kill_chunks`` / ``worker_hang_chunks`` /
+  ``worker_slow_chunks`` — process-level faults honored by the shard
+  executor's worker entry point (:mod:`repro.resilience.worker`): a
+  worker assigned a listed chunk dies (``os._exit``), hangs (stops
+  heartbeating), or runs slow (``worker_slow_seconds`` of extra
+  latency, heartbeats intact). Each fault fires on the first
+  ``worker_fault_attempts`` attempts of the chunk, so the default of 1
+  is a *transient* fault the supervisor recovers from by restarting
+  the worker and reassigning the chunk, while a large value makes the
+  chunk *poison*: every attempt kills its worker, driving the
+  supervisor down the split-then-quarantine ladder.
 
 The plan is pure data, so injecting the same plan twice produces the
 same degradation path — the property the resilience test suite builds
@@ -52,6 +63,11 @@ class FaultPlan:
     drift_rate: float = 1.0
     oom_launches: tuple[int, ...] = ()
     oom_fit_rows: int | None = None
+    worker_kill_chunks: tuple[int, ...] = ()
+    worker_hang_chunks: tuple[int, ...] = ()
+    worker_slow_chunks: tuple[int, ...] = ()
+    worker_fault_attempts: int = 1
+    worker_slow_seconds: float = 0.25
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nan_rows",
@@ -62,6 +78,16 @@ class FaultPlan:
                            tuple(int(r) for r in self.drift_rows))
         object.__setattr__(self, "oom_launches",
                            tuple(int(i) for i in self.oom_launches))
+        for name in ("worker_kill_chunks", "worker_hang_chunks",
+                     "worker_slow_chunks"):
+            object.__setattr__(self, name,
+                               tuple(int(i) for i in getattr(self, name)))
+            if any(i < 0 for i in getattr(self, name)):
+                raise ResilienceError(f"{name} must be non-negative")
+        if self.worker_fault_attempts < 1:
+            raise ResilienceError("worker_fault_attempts must be >= 1")
+        if not (self.worker_slow_seconds >= 0.0):
+            raise ResilienceError("worker_slow_seconds must be >= 0")
         if any(r < 0 for r in self.nan_rows):
             raise ResilienceError("nan_rows must be non-negative")
         if any(i < 0 for i in self.fail_launches):
@@ -115,6 +141,23 @@ class FaultPlan:
         return (self.crash_after_launches is not None
                 and launch_index >= self.crash_after_launches)
 
+    # -- worker-process faults (shard executor) --------------------------
+
+    def kills_worker(self, chunk_index: int, attempt: int) -> bool:
+        """The worker executing this attempt of the chunk dies."""
+        return chunk_index in self.worker_kill_chunks \
+            and attempt <= self.worker_fault_attempts
+
+    def hangs_worker(self, chunk_index: int, attempt: int) -> bool:
+        """The worker stops heartbeating instead of executing."""
+        return chunk_index in self.worker_hang_chunks \
+            and attempt <= self.worker_fault_attempts
+
+    def slows_worker(self, chunk_index: int, attempt: int) -> bool:
+        """The worker sleeps ``worker_slow_seconds`` before executing."""
+        return chunk_index in self.worker_slow_chunks \
+            and attempt <= self.worker_fault_attempts
+
     # -- campaign remapping ----------------------------------------------
 
     def for_chunk(self, chunk_index: int, start: int,
@@ -125,7 +168,8 @@ class FaultPlan:
         chunk's local row space; a chunk listed in ``fail_launches``
         fails its (first) launch, one listed in ``oom_launches``
         pressures it. Crash and deadline triggers are handled by the
-        campaign runner itself, so they are stripped here.
+        campaign runner itself, and the ``worker_*`` faults by the
+        shard executor's worker entry point, so they are stripped here.
         """
         local_nan = tuple(r - start for r in self.nan_rows
                           if start <= r < stop)
@@ -136,4 +180,6 @@ class FaultPlan:
         return replace(self, nan_rows=local_nan, fail_launches=local_fail,
                        crash_after_launches=None,
                        deadline_after_chunks=None,
-                       drift_rows=local_drift, oom_launches=local_oom)
+                       drift_rows=local_drift, oom_launches=local_oom,
+                       worker_kill_chunks=(), worker_hang_chunks=(),
+                       worker_slow_chunks=())

@@ -12,7 +12,7 @@ region offline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -84,6 +84,44 @@ class FailureRecord:
 
 
 @dataclass
+class WorkerFailure(FailureRecord):
+    """A row quarantined by the shard executor, not the integrators.
+
+    The supervisor records one of these for every row of a *poison*
+    chunk: a chunk whose every attempt killed or hung its worker
+    process, even after splitting down to minimum width (see
+    :mod:`repro.resilience.executor`). No integration result exists for
+    the row — the worker died before producing one — so ``attempts``
+    is empty and ``reason`` carries the supervision verdict
+    (``"worker-killed"``, ``"worker-hung"``, ``"chunk-timeout"``)
+    instead.
+    """
+
+    reason: str = "worker-failure"
+    worker_attempts: int = 0
+
+    @property
+    def final_status(self) -> str:
+        return self.reason
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["kind"] = "worker"
+        data["reason"] = self.reason
+        data["worker_attempts"] = int(self.worker_attempts)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkerFailure":
+        return cls(int(data["row"]),
+                   np.asarray(data["rate_constants"], dtype=np.float64),
+                   np.asarray(data["initial_state"], dtype=np.float64),
+                   [RetryAttempt.from_dict(a) for a in data["attempts"]],
+                   reason=str(data.get("reason", "worker-failure")),
+                   worker_attempts=int(data.get("worker_attempts", 0)))
+
+
+@dataclass
 class QuarantineLog:
     """Collected failure records of one launch, engine run or campaign."""
 
@@ -115,18 +153,26 @@ class QuarantineLog:
         return mask
 
     def merge(self, other: "QuarantineLog", row_offset: int = 0) -> None:
-        """Absorb another log, shifting its rows into this index space."""
+        """Absorb another log, shifting its rows into this index space.
+
+        Records keep their concrete type (a :class:`WorkerFailure`
+        stays a worker failure after the campaign re-bases it into the
+        global row space).
+        """
         for record in other.records:
-            self.records.append(FailureRecord(
-                record.row + row_offset, record.rate_constants,
-                record.initial_state, list(record.attempts)))
+            self.records.append(replace(
+                record, row=record.row + row_offset,
+                attempts=list(record.attempts)))
 
     def to_dicts(self) -> list[dict]:
         return [record.to_dict() for record in self.records]
 
     @classmethod
     def from_dicts(cls, data: list[dict]) -> "QuarantineLog":
-        return cls([FailureRecord.from_dict(entry) for entry in data])
+        return cls([WorkerFailure.from_dict(entry)
+                    if entry.get("kind") == "worker"
+                    else FailureRecord.from_dict(entry)
+                    for entry in data])
 
     def summary(self) -> str:
         """One line per quarantined row: attempts and status history."""

@@ -1,0 +1,163 @@
+"""Worker entry point of the supervised shard executor.
+
+One worker process executes one campaign chunk (or split piece) at a
+time, exactly the way the serial campaign loop would —
+:func:`repro.resilience.campaign._run_chunk` on the chunk's row
+subset — so the bytes it produces are indistinguishable from an
+in-process run. What the worker adds is *liveness*: a daemon heartbeat
+thread streams :data:`MSG_HEARTBEAT` messages over the shared result
+queue while the chunk integrates, so the supervisor
+(:mod:`repro.resilience.executor`) can tell a slow worker from a hung
+one and a hung one from a dead one.
+
+Message protocol (every message is ``(kind, token, task, payload)``
+where ``token`` is the supervisor-issued ``(slot, generation)`` pair
+and ``task`` is the ``(chunk_index, start, stop, attempt)`` tuple):
+
+* :data:`MSG_READY` — the worker process is up and waiting for work.
+* :data:`MSG_HEARTBEAT` — the current task is still making progress.
+* :data:`MSG_DONE` — payload carries ``(BatchSolveResult,
+  quarantine_dicts, metrics_dict)`` for the finished task.
+* :data:`MSG_FAILED` — the chunk raised inside the worker; payload is
+  the formatted error. The supervisor treats this like any other
+  attempt failure (retry budget, then split/quarantine).
+
+Fault injection: a :class:`~repro.resilience.FaultPlan` with
+``worker_kill_chunks`` / ``worker_hang_chunks`` / ``worker_slow_chunks``
+is honored *here*, at the process level — a kill is a hard
+``os._exit`` (no message, no cleanup, exactly like the OOM killer), a
+hang stops heartbeating while the process stays alive, and a slow
+worker sleeps ``worker_slow_seconds`` before executing, heartbeats
+intact. Engine-level faults are re-based with
+:meth:`~repro.resilience.FaultPlan.for_chunk` and forwarded into the
+chunk execution, identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Message kinds on the supervisor's result queue.
+MSG_READY = "ready"
+MSG_HEARTBEAT = "heartbeat"
+MSG_DONE = "done"
+MSG_FAILED = "failed"
+
+#: Exit code of an injected worker kill (distinguishable from crashes).
+KILLED_EXIT_CODE = 117
+
+#: How long an injected hang sleeps. The supervisor terminates the
+#: worker long before this elapses (heartbeat timeout); the constant
+#: only bounds the leak if supervision itself is broken.
+_HANG_SLEEP_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to execute any chunk of one campaign.
+
+    Shipped once per worker process at spawn time; individual task
+    messages then only carry ``(chunk_index, start, stop, attempt)``.
+    ``engine_kwargs`` must be picklable — the supervisor strips the
+    tracer before building the spec (workers run untraced; the
+    supervisor records per-worker spans from its own clock).
+    """
+
+    model: object
+    t_span: tuple[float, float]
+    t_eval: np.ndarray
+    engine: str
+    options: object
+    retry_policy: object
+    fault_plan: object
+    heartbeat_interval: float
+    engine_kwargs: dict = field(default_factory=dict)
+
+
+def _heartbeat_loop(result_queue, token, task, interval: float,
+                    stop_event: threading.Event) -> None:
+    while not stop_event.wait(interval):
+        result_queue.put((MSG_HEARTBEAT, token, task, None))
+
+
+def execute_chunk(spec: WorkerSpec, batch, chunk_index: int, start: int,
+                  stop: int):
+    """Run one chunk's row range exactly like the serial campaign loop.
+
+    Returns ``(BatchSolveResult, quarantine_dicts, metrics_dict)``
+    with the quarantine rows local to the piece and the metrics
+    already serialized. Shared by the worker process and the
+    supervisor's degraded in-process fallback, which is what keeps the
+    two paths bit-identical by construction.
+    """
+    from .campaign import _run_chunk
+
+    rows = np.arange(start, stop)
+    plan = spec.fault_plan
+    chunk_plan = (None if plan is None
+                  else plan.for_chunk(chunk_index, start, stop))
+    result, quarantine, report = _run_chunk(
+        spec.model, batch.subset(rows), spec.t_span, spec.t_eval,
+        spec.engine, spec.options, spec.retry_policy, chunk_plan,
+        spec.engine_kwargs)
+    metrics = None if report is None else report.metrics.to_dict()
+    return result, quarantine.to_dicts(), metrics
+
+
+def _execute_task(spec: WorkerSpec, batch, token, task,
+                  result_queue) -> None:
+    chunk_index, start, stop, attempt = task
+    plan = spec.fault_plan
+
+    if plan is not None and plan.kills_worker(chunk_index, attempt):
+        # A hard process death: no farewell message, no flushing —
+        # the supervisor must find out from the exit code alone.
+        os._exit(KILLED_EXIT_CODE)
+    if plan is not None and plan.hangs_worker(chunk_index, attempt):
+        # Alive but silent: no heartbeats, no result. Only the
+        # supervisor's heartbeat timeout can break this stalemate.
+        time.sleep(_HANG_SLEEP_SECONDS)
+        return
+
+    stop_event = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(result_queue, token, task, spec.heartbeat_interval,
+              stop_event),
+        daemon=True)
+    beat.start()
+    try:
+        if plan is not None and plan.slows_worker(chunk_index, attempt):
+            time.sleep(plan.worker_slow_seconds)
+        payload = execute_chunk(spec, batch, chunk_index, start, stop)
+    except Exception as error:  # noqa: BLE001 — forwarded, not dropped
+        stop_event.set()
+        beat.join()
+        result_queue.put((MSG_FAILED, token, task,
+                          f"{type(error).__name__}: {error}"))
+    else:
+        stop_event.set()
+        beat.join()
+        result_queue.put((MSG_DONE, token, task, payload))
+
+
+def worker_main(token, spec: WorkerSpec, batch, task_queue,
+                result_queue) -> None:
+    """Worker process main loop: announce, then execute until sentinel.
+
+    ``token`` is the supervisor-issued ``(slot, generation)`` identity;
+    a restarted slot gets a fresh generation so messages a terminated
+    predecessor left in the queue can never be attributed to its
+    replacement.
+    """
+    result_queue.put((MSG_READY, token, None, None))
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        _execute_task(spec, batch, token, task, result_queue)

@@ -3,15 +3,17 @@
 A span is one timed region of campaign execution. Spans form the
 fixed hierarchy::
 
-    campaign > chunk > launch > rung > phase
+    campaign > worker > chunk > launch > rung > phase
 
 where every child's category must rank strictly below its parent's —
-except phases, which may nest inside other phases. Span ids are
-*structural*, not random: a span's id is its slash-joined path from
-its root (``campaign/chunk-2/launch-0/rung-1/step-loop``), with a
-``#k`` suffix deduplicating repeated sibling names. Structural ids are
-what lets a campaign resumed from a checkpoint append to the same
-trace file and still form one coherent tree: the resumed run's
+except phases, which may nest inside other phases. The ``worker``
+level is the shard executor's lane (``campaign/worker-3/chunk-7``);
+serial campaigns skip it, which the skip-friendly rank rule allows.
+Span ids are *structural*, not random: a span's id is its slash-joined
+path from its root (``campaign/chunk-2/launch-0/rung-1/step-loop``),
+with a ``#k`` suffix deduplicating repeated sibling names. Structural
+ids are what lets a campaign resumed from a checkpoint append to the
+same trace file and still form one coherent tree: the resumed run's
 ``campaign`` root adopts the previous run's flushed chunk spans.
 """
 
@@ -22,8 +24,8 @@ from dataclasses import dataclass, field
 from ..errors import TelemetryError
 
 #: Category -> hierarchy rank (parents must rank above children).
-CATEGORIES = {"campaign": 0, "chunk": 1, "launch": 2, "rung": 3,
-              "phase": 4}
+CATEGORIES = {"campaign": 0, "worker": 1, "chunk": 2, "launch": 3,
+              "rung": 4, "phase": 5}
 
 
 def nesting_allowed(child_category: str, parent_category: str) -> bool:

@@ -133,8 +133,11 @@ class TestRunCampaign:
                                fault_plan=FaultPlan(nan_rows=(1, 6)))
         assert outcome.quarantine.rows().tolist() == [1, 6]
         # resume path restores the same quarantine from the journal
+        # (the retry ladder is part of the numerics fingerprint, so the
+        # resume must present the same policy)
         resumed = run_campaign(lv_model, (0.0, 2.0), T_EVAL, lv_batch,
-                               config=config)
+                               config=config,
+                               retry_policy=default_retry_policy())
         assert resumed.resumed_chunks == resumed.total_chunks
         assert resumed.quarantine.rows().tolist() == [1, 6]
 

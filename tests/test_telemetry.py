@@ -74,7 +74,10 @@ class TestTracer:
         assert nesting_allowed("phase", "phase")
         assert not nesting_allowed("chunk", "launch")
         assert sorted(CATEGORIES) == ["campaign", "chunk", "launch",
-                                      "phase", "rung"]
+                                      "phase", "rung", "worker"]
+        assert nesting_allowed("worker", "campaign")
+        assert nesting_allowed("chunk", "worker")
+        assert not nesting_allowed("worker", "chunk")
 
     def test_unknown_category_rejected(self):
         with pytest.raises(TelemetryError):
