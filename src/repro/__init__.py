@@ -46,7 +46,19 @@ from .model import (Hill, MassAction, MichaelisMenten, ODESystem,
                     perturbed_batch)
 from .solvers import SolverOptions
 
+_SERVICE_NAMES = ("CampaignService", "JobRequest", "ServiceConfig",
+                  "TenantQuota", "submit_campaign")
+
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # The serving layer sits above everything else (asyncio, sockets),
+    # so it loads lazily — importing repro stays cheap for library use.
+    if name in _SERVICE_NAMES:
+        from . import service
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "FreeParameter", "ParameterEstimation", "ParameterRange",
@@ -69,5 +81,6 @@ __all__ = [
     "Parameterization", "ParameterizationBatch", "ReactionBasedModel",
     "Reaction", "Species", "parse_reaction", "perturbed_batch",
     "SolverOptions",
+    *_SERVICE_NAMES,
     "__version__",
 ]

@@ -286,6 +286,52 @@ def _command_trace_export(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from .service import ServiceConfig, TenantQuota, serve
+
+    config = ServiceConfig(
+        max_running_jobs=args.max_running,
+        max_inflight_chunks=args.max_inflight,
+        queue_capacity=args.queue_capacity,
+        default_quota=TenantQuota(max_queued=args.tenant_queue,
+                                  max_inflight_chunks=args.tenant_inflight),
+        max_job_attempts=args.job_attempts,
+        attempt_timeout=args.attempt_timeout)
+    print(f"serving campaigns on {args.host}:{args.port} "
+          f"({args.max_running} running / {args.max_inflight} chunks "
+          f"in flight; queue {args.queue_capacity})")
+    serve(args.host, args.port, config=config, telemetry=args.telemetry)
+    return 0
+
+
+def _command_submit(args) -> int:
+    from .service import Client
+
+    with Client(args.host, args.port) as client:
+        options = {"tenant": args.tenant, "priority": args.priority,
+                   "chunk_size": args.chunk_size, "workers": args.workers,
+                   "engine": args.engine}
+        if args.points:
+            t_eval = np.linspace(0.0, args.t_end, args.points)
+            options["t_eval"] = [float(t) for t in t_eval]
+        if args.deadline is not None:
+            options["deadline_seconds"] = args.deadline
+        if args.checkpoint is not None:
+            options["checkpoint_path"] = args.checkpoint
+        job_id = client.submit(args.model, t_span=(0.0, args.t_end),
+                               **options)
+        print(f"job {job_id} submitted (tenant {args.tenant!r}, "
+              f"priority {args.priority})")
+        if args.no_wait:
+            return 0
+        job = client.wait(job_id, timeout=args.timeout)
+        print(f"job {job_id} {job['state']}"
+              + (f" ({job['reason']})" if job.get("reason") else ""))
+        if job.get("result"):
+            print(job["result"])
+        return 0 if job["state"] == "completed" else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -415,6 +461,49 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--out", required=True,
                         help="Chrome-trace JSON output path")
     export.set_defaults(handler=_command_trace_export)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant campaign service (TCP)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8753)
+    serve.add_argument("--max-running", type=int, default=4,
+                       help="campaigns executing concurrently")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="service-wide concurrent chunk grants")
+    serve.add_argument("--queue-capacity", type=int, default=64)
+    serve.add_argument("--tenant-queue", type=int, default=16,
+                       help="default per-tenant queued-job quota")
+    serve.add_argument("--tenant-inflight", type=int, default=4,
+                       help="default per-tenant chunk-grant cap")
+    serve.add_argument("--job-attempts", type=int, default=2)
+    serve.add_argument("--attempt-timeout", type=float, default=None,
+                       help="wall-clock bound per job attempt (seconds)")
+    serve.add_argument("--telemetry", default=None,
+                       help="JSONL trace path for the service span tree")
+    serve.set_defaults(handler=_command_serve)
+
+    submit = commands.add_parser(
+        "submit", help="submit a campaign to a running service")
+    submit.add_argument("model", help="model folder or SBML path, as "
+                                      "seen by the *server*")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8753)
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--chunk-size", type=int, default=64)
+    submit.add_argument("--workers", type=int, default=0)
+    submit.add_argument("--engine", default="batched")
+    submit.add_argument("--t-end", type=float, default=10.0)
+    submit.add_argument("--points", type=int, default=51)
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="per-job deadline in seconds from submission")
+    submit.add_argument("--checkpoint", default=None,
+                        help="server-side campaign journal path")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="submit and return without waiting")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="wait timeout in seconds")
+    submit.set_defaults(handler=_command_submit)
     return parser
 
 

@@ -90,6 +90,42 @@ class TelemetryError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The multi-tenant campaign service was misused or misconfigured
+    (see :mod:`repro.service`): an invalid quota or scheduler setting,
+    a request against a stopped service, or an operation on an unknown
+    job id."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused to admit a job at submission time.
+
+    Base class for all typed rejections; carries the ``tenant`` the
+    decision applied to. Callers that do not care which limit fired
+    can catch this single class.
+    """
+
+    def __init__(self, message: str, tenant: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class QuotaExceeded(AdmissionError):
+    """The submitting tenant is at its ``max_queued`` job quota."""
+
+
+class QueueFull(AdmissionError):
+    """The global queue is at capacity and no queued job has strictly
+    lower priority than the new one, so nothing could be shed to make
+    room."""
+
+
+class WorkingSetExceeded(AdmissionError):
+    """The job's estimated working set (from
+    :func:`repro.gpu.perfmodel.memory_footprint_doubles`) exceeds the
+    tenant's ``working_set_doubles`` budget."""
+
+
 class CampaignInterrupted(ResilienceError):
     """A chunked campaign stopped before all launches completed.
 

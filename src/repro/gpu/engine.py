@@ -88,6 +88,10 @@ class EngineReport:
             "modeled_device_time": (None if modeled is None
                                     else asdict(modeled)),
             "quarantine": self.quarantine.to_dicts(),
+            # Derived headline count, so dashboards reading the JSON
+            # need not parse the full quarantine records; from_dict
+            # rebuilds it from "quarantine", keeping round-trips exact.
+            "n_quarantined": len(self.quarantine),
             "n_retried_rows": int(self.n_retried_rows),
             "n_recovered_rows": int(self.n_recovered_rows),
             "guard_log": {

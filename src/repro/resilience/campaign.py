@@ -155,6 +155,9 @@ class CampaignResult:
     #: True when the worker pool collapsed and the remaining chunks ran
     #: on the supervisor's in-process fallback.
     degraded: bool = False
+    #: True when a ``cancel_event`` stopped the campaign at a chunk
+    #: boundary; everything journaled so far resumes exact-once.
+    cancelled: bool = False
 
     @property
     def n_quarantined(self) -> int:
@@ -172,6 +175,7 @@ class CampaignResult:
                 f"({self.resumed_chunks} resumed), "
                 f"{self.n_quarantined} quarantined row(s)"
                 + (", deadline hit" if self.deadline_hit else "")
+                + (", cancelled" if self.cancelled else "")
                 + (", degraded to serial" if self.degraded else ""))
 
 
@@ -216,7 +220,8 @@ def run_campaign(model, t_span: tuple[float, float],
                  options=None, config: CampaignConfig | None = None,
                  retry_policy: RetryPolicy | None = None,
                  fault_plan: FaultPlan | None = None,
-                 telemetry=None,
+                 telemetry=None, chunk_gate=None, cancel_event=None,
+                 trace_parent=None,
                  **engine_kwargs) -> CampaignResult:
     """Run a batch as a resilient, journaled, chunked campaign.
 
@@ -227,6 +232,20 @@ def run_campaign(model, t_span: tuple[float, float],
     :class:`~repro.errors.CampaignInterrupted` on an injected crash or
     ``KeyboardInterrupt``; completed chunks are journaled first, so the
     identical call resumes.
+
+    ``chunk_gate`` and ``cancel_event`` are the campaign service's
+    hooks (:mod:`repro.service`). The gate arbitrates chunk starts
+    across concurrent campaigns: every chunk acquires a permit for its
+    row width before executing and releases it after, so a scheduler
+    can enforce fair-share and in-flight caps without knowing chunk
+    internals (``acquire(width, cancel_event) -> bool`` /
+    ``try_acquire(width) -> bool`` / ``release(width)``). The
+    ``cancel_event`` (a ``threading.Event``) requests *cooperative*
+    cancellation: checked at every chunk boundary, so a cancelled
+    campaign stops after at most one more chunk with its journal
+    intact (``CampaignResult.cancelled``) and resumes exact-once later.
+    ``trace_parent`` nests the campaign's root span under a service
+    ``job`` span.
 
     ``telemetry`` enables tracing: a trace-file path (JSONL, appended),
     a :class:`~repro.telemetry.Tracer`, or ``None``. Span sinks flush
@@ -263,9 +282,10 @@ def run_campaign(model, t_span: tuple[float, float],
     quarantine = QuarantineLog()
     metrics = MetricsRegistry()
     completed = resumed = executed = 0
-    deadline_hit = degraded = False
+    deadline_hit = degraded = cancelled = False
     tracer = as_tracer(telemetry)
-    campaign_span = tracer.start("campaign", "campaign", model=model.name,
+    campaign_span = tracer.start("campaign", "campaign",
+                                 parent=trace_parent, model=model.name,
                                  batch=int(batch.size),
                                  chunks=int(total_chunks))
     started = clock.monotonic()
@@ -304,7 +324,9 @@ def run_campaign(model, t_span: tuple[float, float],
                           engine_kwargs=dict(engine_kwargs))
         outcome = run_sharded(spec, batch, config, fault_plan, remaining,
                               checkpoint, merged, model.n_species, t_eval,
-                              started, completed, tracer, campaign_span)
+                              started, completed, tracer, campaign_span,
+                              chunk_gate=chunk_gate,
+                              cancel_event=cancel_event)
         for index in sorted(outcome.chunk_quarantines):
             quarantine.merge(outcome.chunk_quarantines[index],
                              row_offset=index * config.chunk_size)
@@ -317,12 +339,29 @@ def run_campaign(model, t_span: tuple[float, float],
         completed += outcome.executed
         deadline_hit = outcome.deadline_hit
         degraded = outcome.degraded
+        cancelled = outcome.cancelled
         if executed:
             metrics.count("campaign.chunks.executed", executed)
     else:
+        min_chunk_seconds: float | None = None
         for index, start, stop in remaining:
             rows = np.arange(start, stop)
-            if _deadline_exceeded(config, fault_plan, started, executed):
+            now = clock.monotonic()
+            if cancel_event is not None and cancel_event.is_set():
+                cancelled = True
+                break
+            if _deadline_exceeded(config, fault_plan, started, executed,
+                                  now):
+                deadline_hit = True
+                break
+            # Predictive budget check: even with wall-clock budget left,
+            # starting a chunk the fastest chunk so far could not finish
+            # within would only burn time past the deadline — skip
+            # straight to the incomplete result instead.
+            if config.deadline_seconds is not None and \
+                    min_chunk_seconds is not None and \
+                    config.deadline_seconds - (now - started) \
+                    < min_chunk_seconds:
                 deadline_hit = True
                 break
             if fault_plan is not None and \
@@ -334,6 +373,13 @@ def run_campaign(model, t_span: tuple[float, float],
                                      else checkpoint.path),
                     completed_chunks=completed)
 
+            if chunk_gate is not None:
+                if not chunk_gate.acquire(int(rows.size), cancel_event):
+                    cancelled = True
+                    break
+                # The gate may have blocked for a while; restart the
+                # chunk timer so the wait is not billed as compute.
+                now = clock.monotonic()
             chunk_plan = (None if fault_plan is None
                           else fault_plan.for_chunk(index, start, stop))
             chunk_span = tracer.start(f"chunk-{index}", "chunk",
@@ -351,6 +397,9 @@ def run_campaign(model, t_span: tuple[float, float],
                     checkpoint_path=(None if checkpoint is None
                                      else checkpoint.path),
                     completed_chunks=completed) from None
+            finally:
+                if chunk_gate is not None:
+                    chunk_gate.release(int(rows.size))
             tracer.end(chunk_span)
             quarantine.merge(chunk_quarantine, row_offset=start)
             if report is not None:
@@ -371,11 +420,15 @@ def run_campaign(model, t_span: tuple[float, float],
             completed += 1
             executed += 1
             metrics.count("campaign.chunks.executed")
+            after = clock.monotonic()
+            duration = after - now
+            if min_chunk_seconds is None or duration < min_chunk_seconds:
+                min_chunk_seconds = duration
             # Post-chunk wall-clock check: a chunk that overshot the
             # deadline mid-flight must mark the result, not wait for
             # the next pre-chunk check that may never come.
             if config.deadline_seconds is not None and \
-                    clock.monotonic() - started > config.deadline_seconds \
+                    after - started > config.deadline_seconds \
                     and completed < total_chunks:
                 deadline_hit = True
                 break
@@ -391,12 +444,15 @@ def run_campaign(model, t_span: tuple[float, float],
         # A fully-resumed run executed nothing and emits nothing:
         # re-running a completed campaign leaves the trace unchanged
         # instead of appending a duplicate root.
-        tracer.end(campaign_span)
+        tracer.end(campaign_span, degraded=bool(degraded),
+                   deadline_hit=bool(deadline_hit),
+                   cancelled=bool(cancelled),
+                   quarantined=len(quarantine))
         tracer.flush()
     return CampaignResult(merged, incomplete, deadline_hit, completed,
                           total_chunks, resumed, quarantine,
                           None if checkpoint is None else checkpoint.path,
-                          metrics, degraded)
+                          metrics, degraded, cancelled)
 
 
 # ----------------------------------------------------------------------
@@ -404,9 +460,11 @@ def run_campaign(model, t_span: tuple[float, float],
 
 def _deadline_exceeded(config: CampaignConfig,
                        fault_plan: FaultPlan | None, started: float,
-                       executed: int) -> bool:
+                       executed: int, now: float | None = None) -> bool:
+    if now is None:
+        now = clock.monotonic()
     if config.deadline_seconds is not None and \
-            clock.monotonic() - started > config.deadline_seconds:
+            now - started > config.deadline_seconds:
         return True
     return (fault_plan is not None
             and fault_plan.deadline_after_chunks is not None

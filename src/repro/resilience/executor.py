@@ -149,6 +149,9 @@ class ExecutorOutcome:
     executed: int = 0
     deadline_hit: bool = False
     degraded: bool = False
+    #: True when a cooperative ``cancel_event`` stopped the run; the
+    #: journal keeps everything finalized before the stop.
+    cancelled: bool = False
     #: chunk index -> quarantine log in chunk-local row space.
     chunk_quarantines: dict = field(default_factory=dict)
     #: chunk index -> per-chunk engine metrics (None: engine had none).
@@ -172,7 +175,8 @@ class ShardSupervisor:
     def __init__(self, spec: WorkerSpec, batch, config, fault_plan,
                  chunk_indices, checkpoint, merged: BatchSolveResult,
                  n_species: int, t_eval: np.ndarray, started: float,
-                 completed_before: int, tracer, campaign_span) -> None:
+                 completed_before: int, tracer, campaign_span,
+                 chunk_gate=None, cancel_event=None) -> None:
         self.spec = spec
         self.batch = batch
         self.config = config
@@ -185,6 +189,8 @@ class ShardSupervisor:
         self.completed_before = completed_before
         self.tracer = tracer
         self.campaign_span = campaign_span
+        self.chunk_gate = chunk_gate
+        self.cancel_event = cancel_event
 
         self.outcome = ExecutorOutcome()
         self.outcome.metrics.gauge("campaign.executor.workers",
@@ -203,6 +209,7 @@ class ShardSupervisor:
         self._block_index = 0
         self._lanes_ended = False
         self._open_spans: dict[tuple, object] = {}
+        self._gate_held: dict[tuple, int] = {}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -214,7 +221,8 @@ class ShardSupervisor:
         try:
             try:
                 self._supervise()
-                if self._work_remaining() and not self.outcome.deadline_hit:
+                if self._work_remaining() and not self.outcome.deadline_hit \
+                        and not self.outcome.cancelled:
                     self._degrade()
             except KeyboardInterrupt:
                 raise CampaignInterrupted(
@@ -229,6 +237,10 @@ class ShardSupervisor:
 
     def _supervise(self) -> None:
         while self._work_remaining():
+            if self.cancel_event is not None \
+                    and self.cancel_event.is_set():
+                self.outcome.cancelled = True
+                return
             self._check_crash()
             if self._deadline_exceeded():
                 self.outcome.deadline_hit = True
@@ -385,8 +397,16 @@ class ShardSupervisor:
                 return
             if not slot.idle:
                 continue
-            task = self.pending.popleft()
+            task = self.pending[0]
             key = (task.chunk_index, task.start, task.stop)
+            if self.chunk_gate is not None \
+                    and not self.chunk_gate.try_acquire(task.width):
+                # Non-blocking on purpose: a blocked acquire here would
+                # starve heartbeat processing; the next supervise tick
+                # retries once the scheduler frees a grant.
+                return
+            self.pending.popleft()
+            self._gate_held[key] = task.width
             attempt = self.attempts.get(key, 0) + 1
             self.attempts[key] = attempt
             slot.task = task
@@ -408,11 +428,17 @@ class ShardSupervisor:
         return (f"chunk-{task.chunk_index}"
                 f"[{task.start - start}:{task.stop - start}]")
 
+    def _gate_release(self, key: tuple) -> None:
+        width = self._gate_held.pop(key, None)
+        if width is not None and self.chunk_gate is not None:
+            self.chunk_gate.release(width)
+
     def _attempt_failed(self, slot: _Slot, reason: str) -> None:
         task, attempt = slot.task, slot.attempt
         slot.task = None
         slot.deadline_at = None
         key = (task.chunk_index, task.start, task.stop)
+        self._gate_release(key)
         span = self._open_spans.pop(key, None)
         if span is not None:
             self.tracer.end(span, outcome=reason)
@@ -511,6 +537,7 @@ class ShardSupervisor:
             slot.chunks_done += 1
             self._note_slowness(slot, task, now)
             key = (task.chunk_index, task.start, task.stop)
+            self._gate_release(key)
             span = self._open_spans.pop(key, None)
             if span is not None:
                 self.tracer.end(span, outcome="done")
@@ -585,17 +612,29 @@ class ShardSupervisor:
         self.outcome.metrics.count("campaign.executor.degradations")
         self.pending = deque(sorted(self.pending))
         while self.pending:
+            if self.cancel_event is not None \
+                    and self.cancel_event.is_set():
+                self.outcome.cancelled = True
+                return
             self._check_crash()
             if self._deadline_exceeded():
                 self.outcome.deadline_hit = True
                 return
             task = self.pending.popleft()
+            if self.chunk_gate is not None and not self.chunk_gate.acquire(
+                    task.width, self.cancel_event):
+                self.outcome.cancelled = True
+                return
             span = self.tracer.start(self._task_span_name(task), "chunk",
                                      parent=self.campaign_span,
                                      rows=task.width, degraded=True)
-            payload = execute_chunk(self.spec, self.batch,
-                                    task.chunk_index, task.start,
-                                    task.stop)
+            try:
+                payload = execute_chunk(self.spec, self.batch,
+                                        task.chunk_index, task.start,
+                                        task.stop)
+            finally:
+                if self.chunk_gate is not None:
+                    self.chunk_gate.release(task.width)
             self.tracer.end(span, outcome="done")
             self._absorb_piece(task, payload)
 
@@ -630,17 +669,23 @@ class ShardSupervisor:
             # Abandoned in-flight spans (deadline/crash teardown).
             self.tracer.end(span, outcome="abandoned")
             del self._open_spans[key]
+        for key in list(self._gate_held):
+            # Grants of abandoned in-flight tasks go back to the
+            # scheduler, or other campaigns starve on our teardown.
+            self._gate_release(key)
 
 
 def run_sharded(spec: WorkerSpec, batch, config, fault_plan,
                 chunk_indices, checkpoint, merged: BatchSolveResult,
                 n_species: int, t_eval: np.ndarray, started: float,
-                completed_before: int, tracer,
-                campaign_span) -> ExecutorOutcome:
+                completed_before: int, tracer, campaign_span,
+                chunk_gate=None, cancel_event=None) -> ExecutorOutcome:
     """Execute the given ``(index, start, stop)`` chunks on a
     supervised worker pool; see the module docstring for the ladder."""
     supervisor = ShardSupervisor(spec, batch, config, fault_plan,
                                  chunk_indices, checkpoint, merged,
                                  n_species, t_eval, started,
-                                 completed_before, tracer, campaign_span)
+                                 completed_before, tracer, campaign_span,
+                                 chunk_gate=chunk_gate,
+                                 cancel_event=cancel_event)
     return supervisor.run()

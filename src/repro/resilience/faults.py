@@ -25,6 +25,14 @@ campaign runner honor:
 * ``deadline_after_chunks`` — the campaign runner pretends the
   wall-clock deadline expired after this many freshly executed chunks,
   degrading to a partial result with ``incomplete=True``.
+* ``sched_kill_jobs`` / ``sched_hang_jobs`` — scheduler-level faults
+  honored by the campaign service (:mod:`repro.service`): a listed job
+  (by admission order, 0-based) has its campaign thread killed before
+  any chunk runs, or hangs until the service's attempt timeout fires.
+  Like the worker faults, each fires on the first
+  ``sched_fault_attempts`` attempts of the job, so the default of 1 is
+  a transient fault the service retries past, while a large value
+  exhausts ``max_job_attempts`` and drives the job into quarantine.
 * ``worker_kill_chunks`` / ``worker_hang_chunks`` /
   ``worker_slow_chunks`` — process-level faults honored by the shard
   executor's worker entry point (:mod:`repro.resilience.worker`): a
@@ -68,6 +76,9 @@ class FaultPlan:
     worker_slow_chunks: tuple[int, ...] = ()
     worker_fault_attempts: int = 1
     worker_slow_seconds: float = 0.25
+    sched_kill_jobs: tuple[int, ...] = ()
+    sched_hang_jobs: tuple[int, ...] = ()
+    sched_fault_attempts: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "nan_rows",
@@ -84,8 +95,15 @@ class FaultPlan:
                                tuple(int(i) for i in getattr(self, name)))
             if any(i < 0 for i in getattr(self, name)):
                 raise ResilienceError(f"{name} must be non-negative")
+        for name in ("sched_kill_jobs", "sched_hang_jobs"):
+            object.__setattr__(self, name,
+                               tuple(int(i) for i in getattr(self, name)))
+            if any(i < 0 for i in getattr(self, name)):
+                raise ResilienceError(f"{name} must be non-negative")
         if self.worker_fault_attempts < 1:
             raise ResilienceError("worker_fault_attempts must be >= 1")
+        if self.sched_fault_attempts < 1:
+            raise ResilienceError("sched_fault_attempts must be >= 1")
         if not (self.worker_slow_seconds >= 0.0):
             raise ResilienceError("worker_slow_seconds must be >= 0")
         if any(r < 0 for r in self.nan_rows):
@@ -158,6 +176,18 @@ class FaultPlan:
         return chunk_index in self.worker_slow_chunks \
             and attempt <= self.worker_fault_attempts
 
+    # -- scheduler-level faults (campaign service) -----------------------
+
+    def kills_job(self, job_index: int, attempt: int) -> bool:
+        """The campaign thread for this attempt of the job dies."""
+        return job_index in self.sched_kill_jobs \
+            and attempt <= self.sched_fault_attempts
+
+    def hangs_job(self, job_index: int, attempt: int) -> bool:
+        """The job hangs until the service attempt timeout fires."""
+        return job_index in self.sched_hang_jobs \
+            and attempt <= self.sched_fault_attempts
+
     # -- campaign remapping ----------------------------------------------
 
     def for_chunk(self, chunk_index: int, start: int,
@@ -168,8 +198,9 @@ class FaultPlan:
         chunk's local row space; a chunk listed in ``fail_launches``
         fails its (first) launch, one listed in ``oom_launches``
         pressures it. Crash and deadline triggers are handled by the
-        campaign runner itself, and the ``worker_*`` faults by the
-        shard executor's worker entry point, so they are stripped here.
+        campaign runner itself, the ``worker_*`` faults by the shard
+        executor's worker entry point, and the ``sched_*`` faults by
+        the campaign service, so they are stripped here.
         """
         local_nan = tuple(r - start for r in self.nan_rows
                           if start <= r < stop)
@@ -182,4 +213,5 @@ class FaultPlan:
                        deadline_after_chunks=None,
                        drift_rows=local_drift, oom_launches=local_oom,
                        worker_kill_chunks=(), worker_hang_chunks=(),
-                       worker_slow_chunks=())
+                       worker_slow_chunks=(),
+                       sched_kill_jobs=(), sched_hang_jobs=())

@@ -1,0 +1,44 @@
+"""Multi-tenant campaign service: admission, scheduling, supervision.
+
+The serving layer of the stack. A :class:`CampaignService` owns an
+asyncio event loop's worth of concurrent campaigns: it **admits** jobs
+against per-tenant quotas (queue depth, in-flight chunks, working-set
+budget), **schedules** chunk grants across the running campaigns with
+deficit-weighted round-robin fairness, **supervises** each job through
+retries, per-job deadlines and cooperative cancellation, and
+**degrades** — sheds queued work, shrinks the chunk pool, drains to
+serial — instead of failing opaquely when overloaded.
+
+Execution itself is unchanged: every job runs through
+:func:`repro.resilience.run_campaign` (serial or sharded), so
+journaling, bit-identical resume, quarantine and telemetry all carry
+over; the service only adds the arbitration *between* campaigns that a
+single campaign cannot express.
+
+`repro serve` wraps the service in a JSON-line TCP server
+(:func:`serve`) with a synchronous :class:`Client`;
+:mod:`benchmarks.bench_service` is the load-generator harness.
+"""
+
+from .config import ServiceConfig, TenantQuota
+from .core import CampaignService, submit_campaign
+from .jobs import (JOB_STATES, TERMINAL_STATES, JobRecord, JobRequest,
+                   JobState)
+from .scheduler import ChunkScheduler, DegradationLadder
+from .server import Client, serve
+
+__all__ = [
+    "CampaignService",
+    "ChunkScheduler",
+    "Client",
+    "DegradationLadder",
+    "JOB_STATES",
+    "JobRecord",
+    "JobRequest",
+    "JobState",
+    "ServiceConfig",
+    "TERMINAL_STATES",
+    "TenantQuota",
+    "serve",
+    "submit_campaign",
+]

@@ -1,0 +1,226 @@
+"""JSON-line TCP front-end for the campaign service, plus a client.
+
+The wire protocol is one JSON object per line, request/response::
+
+    -> {"op": "submit", "model": "models/lv", "t_span": [0, 10], ...}
+    <- {"ok": true, "job_id": 0, "state": "queued"}
+
+    -> {"op": "wait", "job_id": 0, "timeout": 30}
+    <- {"ok": true, "job": {"job_id": 0, "state": "completed", ...}}
+
+Operations: ``submit``, ``status``, ``wait``, ``cancel``, ``stats``,
+``shutdown``. Admission rejections and service errors come back as
+``{"ok": false, "error": "...", "kind": "QueueFull"}`` — the error
+*type name* crosses the wire so clients can distinguish the typed
+rejections without sharing exception classes.
+
+Models are referenced **by path** and loaded (and cached) server-side:
+result arrays never cross this protocol — clients get states and
+summaries, results land in the job's checkpoint journal when one was
+requested.
+
+:func:`serve` is what ``repro serve`` runs; :class:`Client` is a small
+blocking socket wrapper for scripts and ``repro submit``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from pathlib import Path
+
+from ..errors import ReproError, ServiceError
+from .config import ServiceConfig
+from .core import CampaignService
+from .jobs import JobRequest
+
+
+def _load_model(path: Path):
+    from ..io import read_model, read_sbml
+    if path.is_dir():
+        return read_model(path)
+    if path.suffix.lower() in (".xml", ".sbml"):
+        return read_sbml(path)
+    raise ServiceError(
+        f"{path} is neither a model folder nor an SBML file")
+
+
+class _ServerState:
+    """One running server: the service plus the model cache."""
+
+    def __init__(self, service: CampaignService) -> None:
+        self.service = service
+        self.models: dict[str, object] = {}
+        self.shutdown = asyncio.Event()
+
+    def model(self, path_text: str):
+        model = self.models.get(path_text)
+        if model is None:
+            model = self.models[path_text] = _load_model(Path(path_text))
+        return model
+
+
+def _request_from_payload(state: _ServerState, payload: dict) -> JobRequest:
+    model = state.model(str(payload["model"]))
+    t_span = payload.get("t_span", [0.0, 1.0])
+    request = JobRequest(model=model,
+                         t_span=(float(t_span[0]), float(t_span[1])))
+    if payload.get("t_eval") is not None:
+        request.t_eval = [float(t) for t in payload["t_eval"]]
+    if payload.get("parameters") is not None:
+        request.parameters = payload["parameters"]
+    for key in ("engine", "tenant"):
+        if payload.get(key) is not None:
+            setattr(request, key, str(payload[key]))
+    for key in ("chunk_size", "workers", "priority"):
+        if payload.get(key) is not None:
+            setattr(request, key, int(payload[key]))
+    if payload.get("deadline_seconds") is not None:
+        request.deadline_seconds = float(payload["deadline_seconds"])
+    if payload.get("checkpoint_path") is not None:
+        request.checkpoint_path = str(payload["checkpoint_path"])
+    return request
+
+
+async def _handle_request(state: _ServerState, payload: dict) -> dict:
+    service = state.service
+    op = payload.get("op")
+    if op == "submit":
+        job = service.submit(_request_from_payload(state, payload))
+        return {"ok": True, "job_id": job.job_id, "state": job.state}
+    if op == "status":
+        job = service.get(int(payload["job_id"]))
+        return {"ok": True, "job": job.to_dict()}
+    if op == "wait":
+        job = await service.wait(int(payload["job_id"]),
+                                 timeout=payload.get("timeout"))
+        return {"ok": True, "job": job.to_dict()}
+    if op == "cancel":
+        job = service.cancel(int(payload["job_id"]))
+        return {"ok": True, "job_id": job.job_id, "state": job.state}
+    if op == "stats":
+        return {"ok": True, "stats": service.snapshot()}
+    if op == "shutdown":
+        state.shutdown.set()
+        return {"ok": True}
+    raise ServiceError(f"unknown operation {op!r}")
+
+
+async def _handle_connection(state: _ServerState, reader, writer) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                payload = json.loads(line)
+                response = await _handle_request(state, payload)
+            except ReproError as error:
+                # Typed rejections (QueueFull, QuotaExceeded, ...) and
+                # service misuse travel back as data, not as a dropped
+                # connection.
+                response = {"ok": False, "error": str(error),
+                            "kind": type(error).__name__}
+            except (KeyError, TypeError, ValueError,
+                    json.JSONDecodeError) as error:
+                response = {"ok": False, "error": f"bad request: {error}",
+                            "kind": "BadRequest"}
+            writer.write(json.dumps(response, sort_keys=True).encode()
+                         + b"\n")
+            await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return
+    finally:
+        writer.close()
+
+
+async def serve_async(host: str = "127.0.0.1", port: int = 8753,
+                      config: ServiceConfig | None = None,
+                      telemetry=None, ready=None) -> None:
+    """Run the service behind a TCP server until ``shutdown`` arrives.
+
+    ``ready`` (optional callable) receives the bound ``(host, port)``
+    once the socket is listening — tests use it to learn an ephemeral
+    port.
+    """
+    service = CampaignService(config=config, telemetry=telemetry)
+    await service.start()
+    state = _ServerState(service)
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(state, r, w), host, port)
+    bound = server.sockets[0].getsockname()[:2]
+    if ready is not None:
+        ready(bound)
+    async with server:
+        await state.shutdown.wait()
+    await service.stop()
+
+
+def serve(host: str = "127.0.0.1", port: int = 8753,
+          config: ServiceConfig | None = None, telemetry=None) -> None:
+    """Blocking entry point of ``repro serve``."""
+    asyncio.run(serve_async(host, port, config=config,
+                            telemetry=telemetry))
+
+
+class Client:
+    """Blocking JSON-line client for one server connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8753,
+                 timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def call(self, payload: dict) -> dict:
+        """One request/response round-trip; raises
+        :class:`~repro.errors.ServiceError` on an error response."""
+        self._file.write(json.dumps(payload, sort_keys=True).encode()
+                         + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(
+                f"{response.get('kind', 'ServiceError')}: "
+                f"{response.get('error', 'unknown error')}")
+        return response
+
+    def submit(self, model_path: str, t_span=(0.0, 1.0),
+               **options) -> int:
+        payload = {"op": "submit", "model": str(model_path),
+                   "t_span": list(t_span)}
+        payload.update(options)
+        return int(self.call(payload)["job_id"])
+
+    def status(self, job_id: int) -> dict:
+        return self.call({"op": "status", "job_id": job_id})["job"]
+
+    def wait(self, job_id: int, timeout: float | None = None) -> dict:
+        return self.call({"op": "wait", "job_id": job_id,
+                          "timeout": timeout})["job"]
+
+    def cancel(self, job_id: int) -> dict:
+        return self.call({"op": "cancel", "job_id": job_id})
+
+    def stats(self) -> dict:
+        return self.call({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        self.call({"op": "shutdown"})

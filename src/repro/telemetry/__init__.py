@@ -6,9 +6,9 @@ Three layers:
   (the only module in the package allowed to call ``time.*``; enforced
   by deep-lint rule DET005).
 * :class:`Tracer` / :class:`Span` — hierarchical spans
-  (``campaign > chunk > launch > rung > phase``) with structural,
-  resume-stable ids; :data:`NULL_TRACER` is the <2%-overhead disabled
-  mode.
+  (``service > job > campaign > worker > chunk > launch > rung >
+  phase``) with structural, resume-stable ids; :data:`NULL_TRACER` is
+  the <2%-overhead disabled mode.
 * :class:`MetricsRegistry` — timestamp-free counters/gauges/histograms
   embedded in :class:`~repro.gpu.engine.EngineReport` and campaign
   checkpoints.
@@ -21,6 +21,7 @@ from . import clock
 from .export import (
     read_trace_jsonl,
     render_summary,
+    summarize_outcomes,
     to_chrome_trace,
     validate_trace,
     write_chrome_trace,
@@ -52,6 +53,7 @@ __all__ = [
     "nesting_allowed",
     "read_trace_jsonl",
     "render_summary",
+    "summarize_outcomes",
     "to_chrome_trace",
     "validate_trace",
     "write_chrome_trace",

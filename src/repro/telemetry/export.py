@@ -120,8 +120,37 @@ def write_chrome_trace(spans, path: str | Path) -> Path:
     return path
 
 
+def summarize_outcomes(spans) -> dict:
+    """Aggregate degradation/termination markers out of span attrs.
+
+    Campaign roots carry ``degraded``/``deadline_hit``/``cancelled``
+    flags and a ``quarantined`` row count; service ``job`` spans carry
+    their terminal ``state``. Both are invisible in duration tables,
+    so the summary surfaces them explicitly: a trace whose campaigns
+    silently degraded to serial should say so.
+    """
+    outcome = {"campaigns": 0, "degraded": 0, "deadline_hit": 0,
+               "cancelled": 0, "quarantined_rows": 0,
+               "job_states": {}}
+    for span in spans:
+        if span.category == "campaign":
+            outcome["campaigns"] += 1
+            for flag in ("degraded", "deadline_hit", "cancelled"):
+                if span.attrs.get(flag):
+                    outcome[flag] += 1
+            outcome["quarantined_rows"] += int(
+                span.attrs.get("quarantined", 0))
+        elif span.category == "job":
+            state = str(span.attrs.get("state", "unknown"))
+            states = outcome["job_states"]
+            states[state] = states.get(state, 0) + 1
+    outcome["job_states"] = dict(sorted(outcome["job_states"].items()))
+    return outcome
+
+
 def render_summary(spans) -> str:
-    """Text summary: per-category totals plus the slowest spans."""
+    """Text summary: per-category totals, outcome flags, slowest
+    spans."""
     spans = list(spans)
     if not spans:
         return "(empty trace)"
@@ -135,6 +164,19 @@ def render_summary(spans) -> str:
         total = sum(span.duration for span in members)
         lines.append(f"{category:<12} {len(members):>7} {total:>12.6f} "
                      f"{total / len(members):>12.6f}")
+    outcome = summarize_outcomes(spans)
+    if outcome["campaigns"] or outcome["job_states"]:
+        lines.append("")
+        lines.append("outcomes:")
+        if outcome["campaigns"]:
+            lines.append(
+                f"  campaigns: {outcome['campaigns']} "
+                f"({outcome['degraded']} degraded, "
+                f"{outcome['deadline_hit']} deadline-hit, "
+                f"{outcome['cancelled']} cancelled, "
+                f"{outcome['quarantined_rows']} quarantined row(s))")
+        for state, count in outcome["job_states"].items():
+            lines.append(f"  jobs {state}: {count}")
     lines.append("")
     lines.append("slowest spans:")
     slowest = sorted(spans, key=lambda span: span.duration,

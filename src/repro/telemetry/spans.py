@@ -3,12 +3,16 @@
 A span is one timed region of campaign execution. Spans form the
 fixed hierarchy::
 
-    campaign > worker > chunk > launch > rung > phase
+    service > job > campaign > worker > chunk > launch > rung > phase
 
 where every child's category must rank strictly below its parent's —
-except phases, which may nest inside other phases. The ``worker``
-level is the shard executor's lane (``campaign/worker-3/chunk-7``);
-serial campaigns skip it, which the skip-friendly rank rule allows.
+except phases, which may nest inside other phases. The ``service`` and
+``job`` levels belong to the multi-tenant campaign service
+(:mod:`repro.service`): one root span per service lifetime with one
+``job-<id>`` child per admitted campaign. The ``worker`` level is the
+shard executor's lane (``campaign/worker-3/chunk-7``); serial
+campaigns skip it — and standalone campaigns skip the service levels —
+which the skip-friendly rank rule allows.
 Span ids are *structural*, not random: a span's id is its slash-joined
 path from its root (``campaign/chunk-2/launch-0/rung-1/step-loop``),
 with a ``#k`` suffix deduplicating repeated sibling names. Structural
@@ -24,8 +28,8 @@ from dataclasses import dataclass, field
 from ..errors import TelemetryError
 
 #: Category -> hierarchy rank (parents must rank above children).
-CATEGORIES = {"campaign": 0, "worker": 1, "chunk": 2, "launch": 3,
-              "rung": 4, "phase": 5}
+CATEGORIES = {"service": 0, "job": 1, "campaign": 2, "worker": 3,
+              "chunk": 4, "launch": 5, "rung": 6, "phase": 7}
 
 
 def nesting_allowed(child_category: str, parent_category: str) -> bool:

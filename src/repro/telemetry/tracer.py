@@ -19,6 +19,7 @@ unconditionally (budgeted <2% by
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 from ..errors import TelemetryError
@@ -63,26 +64,34 @@ class _TracerContext:
 
 
 class JsonlSink:
-    """Buffered JSONL span sink (one span object per line, appended)."""
+    """Buffered JSONL span sink (one span object per line, appended).
+
+    Emit and flush are serialized by a lock: the campaign service runs
+    many campaign threads against one shared tracer, and a flush racing
+    a concurrent emit must not drop the in-flight span.
+    """
 
     def __init__(self, path: str | Path, append: bool = True) -> None:
         self.path = Path(path)
         self._buffer: list[Span] = []
+        self._lock = threading.Lock()
         if not append and self.path.is_file():
             self.path.unlink()
 
     def emit(self, span: Span) -> None:
-        self._buffer.append(span)
+        with self._lock:
+            self._buffer.append(span)
 
     def flush(self) -> None:
-        if not self._buffer:
-            return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            for span in self._buffer:
-                handle.write(json.dumps(span.to_dict(), sort_keys=True)
-                             + "\n")
-        self._buffer.clear()
+        with self._lock:
+            if not self._buffer:
+                return
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                for span in self._buffer:
+                    handle.write(json.dumps(span.to_dict(),
+                                            sort_keys=True) + "\n")
+            self._buffer.clear()
 
 
 class Tracer:

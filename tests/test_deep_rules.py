@@ -474,6 +474,30 @@ class TestCON002:
         report = lint_deep()
         assert report.by_rule("CON002") == []
 
+    def test_orphan_scheduler_fault_field(self, tmp_path):
+        """Reintroducing a sched_* fault field nothing consumes (the
+        service-layer regression CON002 now guards) must fire."""
+        report = analyze(tmp_path, {
+            "faults.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class FaultPlan:
+                    sched_kill_jobs: tuple = ()
+                    sched_starve_jobs: tuple = ()
+
+                    def kills_job(self, index, attempt):
+                        return index in self.sched_kill_jobs
+            """,
+            "service.py": """
+                def supervise(plan, job):
+                    if plan.kills_job(job.index, job.attempts):
+                        job.fail()
+            """,
+        })
+        hits = report.by_rule("CON002")
+        assert len(hits) == 1 and "sched_starve_jobs" in hits[0].message
+
 
 class TestCON003:
     def test_never_raised_exception(self, tmp_path):

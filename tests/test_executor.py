@@ -307,6 +307,92 @@ class TestDegradation:
         assert not resumed.degraded
 
 
+class AllowThenCancel:
+    """Chunk gate granting ``allow`` chunks, then firing the cancel
+    event — drives a deterministic mid-flight cooperative cancel."""
+
+    def __init__(self, allow, cancel_event):
+        self.allow = allow
+        self.cancel_event = cancel_event
+
+    def _grant(self):
+        if self.allow <= 0:
+            self.cancel_event.set()
+            return False
+        self.allow -= 1
+        return True
+
+    def acquire(self, width, cancel_event=None):
+        return self._grant()
+
+    def try_acquire(self, width):
+        return self._grant()
+
+    def release(self, width):
+        pass
+
+
+class TestCooperativeCancel:
+    def test_preset_cancel_stops_before_first_chunk(self, lv_model,
+                                                    lv_batch):
+        import threading
+
+        cancel = threading.Event()
+        cancel.set()
+        outcome = run_campaign(lv_model, T_SPAN, T_EVAL, lv_batch,
+                               config=CampaignConfig(chunk_size=3),
+                               cancel_event=cancel)
+        assert outcome.cancelled
+        assert outcome.incomplete
+        assert outcome.completed_chunks == 0
+        assert "cancelled" in outcome.summary()
+
+    def test_serial_cancel_mid_flight_resumes_exact_once(
+            self, lv_model, lv_batch, serial, tmp_path):
+        import threading
+
+        journal = tmp_path / "campaign.json"
+        config = CampaignConfig(chunk_size=3, checkpoint_path=journal)
+        cancel = threading.Event()
+        first = run_campaign(lv_model, T_SPAN, T_EVAL, lv_batch,
+                             config=config,
+                             chunk_gate=AllowThenCancel(2, cancel),
+                             cancel_event=cancel)
+        assert first.cancelled and first.incomplete
+        assert first.completed_chunks == 2
+        assert first.pending_mask.sum() == 4  # rows 6..9 never ran
+
+        resumed = run_campaign(lv_model, T_SPAN, T_EVAL, lv_batch,
+                               config=config)
+        assert not resumed.cancelled and not resumed.incomplete
+        assert resumed.resumed_chunks == 2
+        assert resumed.metrics.counters["campaign.chunks.executed"] == 2
+        assert_bit_identical(resumed, serial)
+
+    def test_sharded_cancel_resumes_exact_once(self, lv_model, lv_batch,
+                                               serial, tmp_path):
+        import threading
+
+        journal = tmp_path / "campaign.json"
+        cancel = threading.Event()
+        first = run_campaign(
+            lv_model, T_SPAN, T_EVAL, lv_batch,
+            config=CampaignConfig(workers=2, checkpoint_path=journal,
+                                  **FAST),
+            chunk_gate=AllowThenCancel(2, cancel), cancel_event=cancel)
+        assert first.cancelled
+        assert not first.degraded
+        assert first.completed_chunks < 4
+
+        resumed = run_campaign(
+            lv_model, T_SPAN, T_EVAL, lv_batch,
+            config=CampaignConfig(workers=2, checkpoint_path=journal,
+                                  **FAST))
+        assert not resumed.incomplete and not resumed.cancelled
+        assert resumed.resumed_chunks == first.completed_chunks
+        assert_bit_identical(resumed, serial)
+
+
 class TestDeadlines:
     def test_sharded_deadline_partial_result(self, lv_model, lv_batch):
         outcome = run_campaign(
@@ -334,6 +420,25 @@ class TestDeadlines:
         assert outcome.deadline_hit
         assert outcome.incomplete
         assert outcome.completed_chunks == 1
+
+    def test_serial_predictive_deadline_check(self, lv_model, lv_batch,
+                                              monkeypatch):
+        # Chunk 0 takes 2s of a 5s budget. Before chunk 1 the clock
+        # reads 4s: one wall-second of budget remains, but no chunk has
+        # ever finished in under 2s — the predictive check must stop
+        # the campaign *before* starting a chunk doomed to overshoot.
+        from repro.telemetry import clock
+
+        times = iter([0.0, 0.0, 0.0, 2.0, 4.0])
+        monkeypatch.setattr(clock, "monotonic",
+                            lambda: next(times, 4.0))
+        outcome = run_campaign(
+            lv_model, T_SPAN, T_EVAL, lv_batch,
+            config=CampaignConfig(chunk_size=3, deadline_seconds=5.0))
+        assert outcome.deadline_hit
+        assert outcome.incomplete
+        assert outcome.completed_chunks == 1
+        assert outcome.pending_mask.sum() == 7
 
 
 class TestConfigValidation:

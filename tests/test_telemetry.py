@@ -73,11 +73,14 @@ class TestTracer:
     def test_phase_in_phase_allowed(self):
         assert nesting_allowed("phase", "phase")
         assert not nesting_allowed("chunk", "launch")
-        assert sorted(CATEGORIES) == ["campaign", "chunk", "launch",
-                                      "phase", "rung", "worker"]
+        assert sorted(CATEGORIES) == ["campaign", "chunk", "job", "launch",
+                                      "phase", "rung", "service", "worker"]
         assert nesting_allowed("worker", "campaign")
         assert nesting_allowed("chunk", "worker")
         assert not nesting_allowed("worker", "chunk")
+        assert nesting_allowed("job", "service")
+        assert nesting_allowed("campaign", "job")
+        assert not nesting_allowed("service", "job")
 
     def test_unknown_category_rejected(self):
         with pytest.raises(TelemetryError):
@@ -170,6 +173,41 @@ class TestValidateAndExport:
     def test_render_summary_mentions_categories(self):
         text = render_summary(self.spans())
         assert "campaign" in text and "chunk" in text
+
+    def outcome_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        service = tracer.start("service", "service")
+        for index, state in enumerate(["completed", "quarantined"]):
+            job = tracer.start(f"job-{index}", "job", parent=service)
+            campaign = tracer.start("campaign", "campaign", parent=job)
+            tracer.end(campaign, degraded=index == 1,
+                       deadline_hit=False, cancelled=False,
+                       quarantined=3 * index)
+            tracer.end(job, state=state)
+        tracer.end(service)
+        return tracer.spans
+
+    def test_summarize_outcomes(self):
+        from repro.telemetry import summarize_outcomes
+
+        spans = self.outcome_spans()
+        assert validate_trace(spans) == []
+        outcome = summarize_outcomes(spans)
+        assert outcome["campaigns"] == 2
+        assert outcome["degraded"] == 1
+        assert outcome["cancelled"] == 0
+        assert outcome["quarantined_rows"] == 3
+        assert outcome["job_states"] == {"completed": 1,
+                                         "quarantined": 1}
+
+    def test_render_summary_surfaces_outcomes(self):
+        text = render_summary(self.outcome_spans())
+        assert "outcomes:" in text
+        assert "1 degraded" in text
+        assert "jobs completed: 1" in text
+        assert "jobs quarantined: 1" in text
+        # a trace with no campaign/job spans has no outcomes section
+        assert "outcomes:" not in render_summary(self.spans()[:1])
 
 
 class TestMetrics:
@@ -270,10 +308,14 @@ class TestEngineIntegration:
         report = simulator.last_report
         assert len(report.quarantine) == 1
         assert report.memory_events
-        restored = EngineReport.from_dict(
-            json.loads(report.to_json()))
+        exported = json.loads(report.to_json())
+        # the derived headline count travels in the dict...
+        assert exported["n_quarantined"] == 1
+        restored = EngineReport.from_dict(exported)
         assert restored.n_launches == report.n_launches
         assert restored.quarantine.rows().tolist() == [2]
+        # ...and the round-trip re-derives it identically
+        assert json.loads(restored.to_json())["n_quarantined"] == 1
         assert restored.memory_events == report.memory_events
         assert restored.guard_log.n_clamped_steps == \
             report.guard_log.n_clamped_steps
