@@ -108,8 +108,8 @@ def _command_analyze(args) -> int:
 
 
 def _command_lint(args) -> int:
-    from .lint import (iter_rules, lint_deep, lint_file, lint_gate,
-                       lint_kernels, lint_model, lint_shapes,
+    from .lint import (iter_rules, lint_conc, lint_deep, lint_file,
+                       lint_gate, lint_kernels, lint_model, lint_shapes,
                        render_rule_table, write_baseline)
     import json as json_module
 
@@ -121,8 +121,13 @@ def _command_lint(args) -> int:
             print(render_rule_table())
         return 0
 
-    if args.deep or args.shapes:
-        analyzer = lint_shapes if args.shapes else lint_deep
+    if args.deep or args.shapes or args.conc:
+        if args.conc:
+            analyzer = lint_conc
+        elif args.shapes:
+            analyzer = lint_shapes
+        else:
+            analyzer = lint_deep
         paths, root = _deep_subject(args)
         if args.write_baseline:
             # Analyze without subtracting, then persist what's left
@@ -130,7 +135,8 @@ def _command_lint(args) -> int:
             report = analyzer(
                 paths, root=root,
                 baseline_path=Path("/nonexistent-baseline"))
-            target = args.baseline or _default_baseline_path(args.shapes)
+            target = args.baseline or _default_baseline_path(
+                shapes=args.shapes, conc=args.conc)
             count = write_baseline(report, target)
             print(f"wrote {count} baseline entr"
                   f"{'y' if count == 1 else 'ies'} to {target}")
@@ -141,7 +147,7 @@ def _command_lint(args) -> int:
         report = lint_kernels()
     elif args.model is None:
         raise ReproError("lint needs a MODEL argument, --self, --deep, "
-                         "--shapes or --list-rules")
+                         "--shapes, --conc or --list-rules")
     else:
         path = Path(args.model)
         if path.suffix == ".py":
@@ -172,7 +178,7 @@ def _deep_subject(args) -> tuple[list[Path] | None, Path | None]:
     if path.suffix == ".py":
         return [path], path.parent
     raise ReproError(
-        f"--deep/--shapes analyze Python sources, not {path}")
+        f"--deep/--shapes/--conc analyze Python sources, not {path}")
 
 
 def _package_root(path: Path) -> Path:
@@ -187,8 +193,12 @@ def _package_root(path: Path) -> Path:
     return root
 
 
-def _default_baseline_path(shapes: bool = False) -> Path:
-    from .lint import DEFAULT_BASELINE, DEFAULT_SHAPES_BASELINE
+def _default_baseline_path(shapes: bool = False,
+                           conc: bool = False) -> Path:
+    from .lint import (DEFAULT_BASELINE, DEFAULT_CONC_BASELINE,
+                       DEFAULT_SHAPES_BASELINE)
+    if conc:
+        return DEFAULT_CONC_BASELINE
     return DEFAULT_SHAPES_BASELINE if shapes else DEFAULT_BASELINE
 
 
@@ -390,14 +400,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "conformance analyzer (SHP0xx/BKD0xx) over "
                            "the package source (or MODEL when it is a "
                            ".py file or a directory)")
+    lint.add_argument("--conc", action="store_true",
+                      help="run the concurrency-safety analyzer "
+                           "(CNC0xx: async/thread/process boundary "
+                           "rules) over the package source (or MODEL "
+                           "when it is a .py file or a directory)")
     lint.add_argument("--baseline", metavar="PATH",
                       help="baseline JSON to subtract from --deep/"
-                           "--shapes findings (default: the committed "
-                           "package baseline of that analyzer)")
+                           "--shapes/--conc findings (default: the "
+                           "committed package baseline of that "
+                           "analyzer)")
     lint.add_argument("--write-baseline", action="store_true",
-                      help="with --deep/--shapes: persist the current "
-                           "findings as the new baseline instead of "
-                           "reporting them")
+                      help="with --deep/--shapes/--conc: persist the "
+                           "current findings as the new baseline "
+                           "instead of reporting them")
     lint.add_argument("--list-rules", action="store_true",
                       help="print every registered rule (id, family, "
                            "severity, summary) and exit")

@@ -28,6 +28,14 @@ Three analyzers with flake8-style rule IDs and a shared report layer:
   backend-conformance rules ``BKD001``–``BKD003``, gated by
   :data:`~repro.lint.shapes.DEFAULT_SHAPES_BASELINE` (committed
   empty).
+* :func:`lint_conc` — the concurrency-safety analyzer
+  (``repro lint --conc``): a sync-primitive registry, call-only call
+  graph, execution-context closures (event loop, thread targets,
+  ``to_thread`` offloads) and a lexical lock-held abstract state
+  power the async/thread/process rules ``CNC001``–``CNC009`` over
+  the serving stack, gated by
+  :data:`~repro.lint.concurrency.DEFAULT_CONC_BASELINE` (committed
+  empty).
 
 :func:`lint_gate` is the one-call pre-sweep guard used by the PSA / SA
 / PE hooks: it raises :class:`~repro.errors.LintGateError` when a
@@ -38,6 +46,8 @@ from __future__ import annotations
 
 from ..errors import LintError, LintGateError
 from ..model import Parameterization, ReactionBasedModel
+from .concurrency import (CONC_RULES, ConcConfig, DEFAULT_CONC_BASELINE,
+                          lint_conc)
 from .deep import (DEFAULT_BASELINE, DeepConfig, lint_deep,
                    package_source_files, write_baseline)
 from .kernel_rules import (KERNEL_RULES, lint_callable, lint_file,
@@ -53,7 +63,7 @@ from .shapes import (DEFAULT_SHAPES_BASELINE, SHAPE_RULES, ShapeConfig,
 
 #: Every shipped rule ID -> (default severity, one-line description).
 ALL_RULES = {**MODEL_RULES, **KERNEL_RULES, **DEEP_RULES, **SHAPE_RULES,
-             **META_RULES}
+             **CONC_RULES, **META_RULES}
 
 
 def lint_gate(model: ReactionBasedModel,
@@ -83,16 +93,17 @@ def lint_gate(model: ReactionBasedModel,
 
 
 __all__ = [
-    "ALL_RULES", "DEEP_RULES", "KERNEL_RULES", "META_RULES",
-    "MODEL_RULES", "SHAPE_RULES",
-    "DEFAULT_BASELINE", "DEFAULT_SHAPES_BASELINE", "DeepConfig",
+    "ALL_RULES", "CONC_RULES", "DEEP_RULES", "KERNEL_RULES",
+    "META_RULES", "MODEL_RULES", "SHAPE_RULES",
+    "DEFAULT_BASELINE", "DEFAULT_CONC_BASELINE",
+    "DEFAULT_SHAPES_BASELINE", "ConcConfig", "DeepConfig",
     "ShapeConfig",
     "LintError", "LintFinding", "LintGateError", "LintReport",
     "RuleInfo", "SEVERITIES", "severity_rank",
     "STIFFNESS_RISK_DECADES", "STIFFNESS_SAFE_DECADES",
-    "iter_rules", "lint_callable", "lint_deep", "lint_file",
-    "lint_gate", "lint_kernels", "lint_model", "lint_shapes",
-    "lint_source",
+    "iter_rules", "lint_callable", "lint_conc", "lint_deep",
+    "lint_file", "lint_gate", "lint_kernels", "lint_model",
+    "lint_shapes", "lint_source",
     "package_source_files", "render_rule_table", "rule_info",
     "shipped_kernel_paths", "stiffness_risk_score", "write_baseline",
 ]

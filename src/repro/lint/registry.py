@@ -2,9 +2,10 @@
 
 Aggregates the analyzer registries — model rules (``RBM0xx``),
 shallow kernel rules (``KRN0xx``), deep dataflow/contract rules
-(``DET0xx``/``CON0xx``), symbolic shape/dtype rules (``SHP0xx``) and
-backend-conformance rules (``BKD0xx``) — plus the meta rules the
-tooling itself emits (``LNT0xx``), into :class:`RuleInfo` records
+(``DET0xx``/``CON0xx``), symbolic shape/dtype rules (``SHP0xx``),
+backend-conformance rules (``BKD0xx``) and concurrency-safety rules
+(``CNC0xx``) — plus the meta rules the tooling itself emits
+(``LNT0xx``), into :class:`RuleInfo` records
 consumed by ``repro lint --list-rules`` and the JSON report's rule
 documentation.
 """
@@ -14,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .backend_rules import BKD_RULES
+from .conc_rules import CNC_RULES
 from .contract_rules import CON_RULES
 from .deep_rules import DET_RULES
 from .kernel_rules import KERNEL_RULES
@@ -128,9 +130,57 @@ RULE_DOCS = {
     "BKD003": "An xp.<op> read names an op the backend protocol does "
               "not declare: it resolves on the numpy substrate by "
               "accident and breaks on every other backend.",
-    "LNT000": "A waiver pragma of the shallow linter or the shapes "
-              "analyzer no longer suppresses any finding and should "
-              "be removed.",
+    "CNC001": "A blocking operation (time.sleep, a sync-primitive "
+              "wait/acquire/get, file or socket IO, a direct campaign "
+              "run) is reachable from an async def through the "
+              "synchronous call closure: the event loop stalls for "
+              "its full duration. Transitive findings are reported "
+              "at the first async-to-sync call edge, where an "
+              "asyncio.to_thread offload belongs.",
+    "CNC002": "A coroutine awaits while lexically inside "
+              "`with <threading lock>:`. The coroutine parks on the "
+              "loop holding the lock, and every thread contending "
+              "for it blocks — the async/sync deadlock inversion.",
+    "CNC003": "In a coroutine, a bare except / except BaseException / "
+              "except CancelledError without a re-raise absorbs the "
+              "cancellation the service's cooperative-cancel "
+              "discipline depends on; except Exception wrapped "
+              "around an await gets the same warning for hiding "
+              "task failures.",
+    "CNC004": "A coroutine object is created and dropped (called as "
+              "a bare statement, never awaited — its body never "
+              "runs), or a create_task/ensure_future result is "
+              "discarded without a retained reference or "
+              "done-callback, so the task is collectable mid-flight "
+              "and its exception is never observed.",
+    "CNC005": "A shared attribute is written without its lock: "
+              "either the owning class has a lock and the same "
+              "attribute is written both under and outside it, or "
+              "the attribute is written by functions reachable from "
+              "two different execution contexts (event loop, thread "
+              "targets, to_thread offloads) with no dominating lock. "
+              "Lock state is lexical `with` ancestry plus helpers "
+              "whose every module-local call site holds the lock.",
+    "CNC006": "Condition.wait returning proves nothing about the "
+              "predicate (spurious and stolen wakeups): a wait "
+              "without an enclosing while-predicate loop proceeds "
+              "with the condition still false.",
+    "CNC007": "An object built from an unpicklable or "
+              "post-fork-stale constructor (open handles, sockets, "
+              "live locks, tracers) is put onto a multiprocessing "
+              "or thread queue: it fails to pickle or silently goes "
+              "stale on the far side of the fork.",
+    "CNC008": "A consumer that unpacks a (slot, generation) routing "
+              "token must compare the generation before touching the "
+              "payload, or a message from a killed-and-restarted "
+              "slot corrupts the new generation's bookkeeping.",
+    "CNC009": "lock.acquire() outside a `with` statement needs its "
+              "release() in a finally block: any exception between "
+              "acquire and release otherwise leaks the lock and "
+              "deadlocks every later waiter.",
+    "LNT000": "A waiver pragma of the shallow linter, the shapes "
+              "analyzer or the concurrency analyzer no longer "
+              "suppresses any finding and should be removed.",
     "LNT001": "A committed baseline entry matched no finding in this "
               "run: regenerate the baseline so it only shrinks.",
 }
@@ -158,7 +208,8 @@ class RuleInfo:
 def _family_table() -> list[tuple[str, dict]]:
     return [("model", MODEL_RULES), ("kernel", KERNEL_RULES),
             ("deep", DEEP_RULES), ("shape", SHP_RULES),
-            ("backend", BKD_RULES), ("meta", META_RULES)]
+            ("backend", BKD_RULES), ("conc", CNC_RULES),
+            ("meta", META_RULES)]
 
 
 def iter_rules() -> list[RuleInfo]:

@@ -128,7 +128,11 @@ class QuarantineLog:
     records: list[FailureRecord] = field(default_factory=list)
 
     def add(self, record: FailureRecord) -> None:
-        self.records.append(record)
+        # Confined to one campaign run: built and appended to inside a
+        # single worker, merged single-threaded afterwards. The
+        # cross-context reachability CNC005 sees is a simple-name
+        # over-approximation of `.add(...)` receivers.
+        self.records.append(record)  # lint: skip=CNC005
 
     def __len__(self) -> int:
         return len(self.records)

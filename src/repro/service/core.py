@@ -76,6 +76,7 @@ class CampaignService:
         self._started = False
         self._service_span = None
         self._dispatcher: asyncio.Task | None = None
+        self._dispatcher_error: BaseException | None = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -85,6 +86,7 @@ class CampaignService:
         self._started = True
         self._service_span = self.tracer.start("service", "service")
         self._dispatcher = asyncio.create_task(self._dispatch())
+        self._dispatcher.add_done_callback(self._dispatcher_done)
 
     async def stop(self, drain: bool = True) -> None:
         """Stop the service; with ``drain`` (default) every queued and
@@ -107,7 +109,8 @@ class CampaignService:
         self.tracer.end(self._service_span,
                         jobs=int(self._admitted),
                         ladder=self.ladder.state)
-        self.tracer.flush()
+        # The sink flush opens and writes the trace file: off the loop.
+        await asyncio.to_thread(self.tracer.flush)
 
     async def drain(self) -> None:
         """Wait until no job is queued or running."""
@@ -267,8 +270,10 @@ class CampaignService:
             while self._queue and len(self._running) < limit:
                 job = self._pick_next()
                 self._queue.remove(job)
-                self._running[job.job_id] = asyncio.create_task(
-                    self._run_job(job))
+                task = asyncio.create_task(self._run_job(job))
+                task.add_done_callback(
+                    lambda task, job=job: self._job_task_done(job, task))
+                self._running[job.job_id] = task
             self.metrics.gauge("service.queue.depth", len(self._queue))
             await asyncio.sleep(self.config.poll_interval)
 
@@ -330,7 +335,8 @@ class CampaignService:
                             attempts=int(job.attempts),
                             degraded=bool(job.degraded),
                             requeued=requeued)
-            self.tracer.flush()
+            # Per-job trace flush does file IO: off the loop.
+            await asyncio.to_thread(self.tracer.flush)
             if requeued:
                 self._queue.append(job)
 
@@ -456,6 +462,37 @@ class CampaignService:
         job.cancel.clear()
         job.state = JobState.QUEUED
         self.metrics.count("service.jobs.preempted")
+
+    # -- supervisor-crash surfacing --------------------------------------
+
+    def _dispatcher_done(self, task: asyncio.Task) -> None:
+        """A crashed dispatcher must not die silently: the failure is
+        recorded and every job it was responsible for starting reaches
+        a terminal state, so ``wait()`` callers wake instead of
+        polling a queue nobody will ever drain again."""
+        if task.cancelled() or task.exception() is None:
+            return
+        error = task.exception()
+        self._dispatcher_error = error
+        self.metrics.count("service.supervisor.crashes")
+        for job in list(self._queue):
+            job.error = f"dispatcher crashed: {error!r}"
+            self._finish_queued(job, JobState.QUARANTINED,
+                                "supervisor-crash")
+        self._queue.clear()
+
+    def _job_task_done(self, job: JobRecord, task: asyncio.Task) -> None:
+        """Exception-surfacing backstop of one job-supervisor task: an
+        unexpected error (anything the attempt loop's ``ReproError``
+        handling did not absorb) quarantines the job instead of
+        leaving it ``running`` forever with ``done`` never set."""
+        if task.cancelled() or task.exception() is None:
+            return
+        error = task.exception()
+        self.metrics.count("service.supervisor.crashes")
+        if not job.terminal:
+            job.error = f"job supervisor crashed: {error!r}"
+            self._finish(job, JobState.QUARANTINED, "supervisor-crash")
 
     # -- terminal bookkeeping --------------------------------------------
 

@@ -87,7 +87,11 @@ async def _handle_request(state: _ServerState, payload: dict) -> dict:
     service = state.service
     op = payload.get("op")
     if op == "submit":
-        job = service.submit(_request_from_payload(state, payload))
+        # Building the request may load (and cache) a model from disk:
+        # keep that IO off the event loop.
+        request = await asyncio.to_thread(_request_from_payload,
+                                          state, payload)
+        job = service.submit(request)
         return {"ok": True, "job_id": job.job_id, "state": job.state}
     if op == "status":
         job = service.get(int(payload["job_id"]))

@@ -15,6 +15,7 @@ timings deterministic without monkeypatching the time module.
 
 from __future__ import annotations
 
+import threading
 import time as _time
 
 
@@ -39,11 +40,16 @@ class FakeClock(Clock):
     def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
         self.now = float(start)
         self.tick = float(tick)
+        # A tracer's clock is read from the loop and worker threads at
+        # once; the read-advance pair must be atomic to stay
+        # deterministic.
+        self._lock = threading.Lock()
 
     def monotonic(self) -> float:
-        value = self.now
-        self.now += self.tick
-        return value
+        with self._lock:
+            value = self.now
+            self.now += self.tick
+            return value
 
     def walltime(self) -> float:
         return self.monotonic()

@@ -14,6 +14,8 @@ Instruments are created on first use; serialized output is sorted so
 
 from __future__ import annotations
 
+import threading
+
 from ..errors import TelemetryError
 
 
@@ -92,6 +94,10 @@ class MetricsRegistry:
         self.counters: dict[str, int] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
+        # One registry is written from the event loop (service
+        # bookkeeping) and from to_thread workers (per-chunk engine
+        # counts) at once; every read-modify-write below holds this.
+        self._lock = threading.Lock()
 
     def _check_kind(self, name: str, kind: str) -> None:
         for other_kind, table in (("counter", self.counters),
@@ -105,20 +111,23 @@ class MetricsRegistry:
     def count(self, name: str, value: int = 1) -> None:
         """Add to a monotonically growing integer counter."""
         self._check_kind(name, "counter")
-        self.counters[name] = self.counters.get(name, 0) + int(value)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(value)
 
     def gauge(self, name: str, value: float) -> None:
         """Record a last-value-wins measurement."""
         self._check_kind(name, "gauge")
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
         """Feed one sample into a histogram."""
         self._check_kind(name, "histogram")
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(value)
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Absorb another registry (counters add, gauges overwrite,
@@ -129,10 +138,11 @@ class MetricsRegistry:
             self.gauge(name, value)
         for name, histogram in other.histograms.items():
             self._check_kind(name, "histogram")
-            mine = self.histograms.get(name)
-            if mine is None:
-                mine = self.histograms[name] = Histogram()
-            mine.merge(histogram)
+            with self._lock:
+                mine = self.histograms.get(name)
+                if mine is None:
+                    mine = self.histograms[name] = Histogram()
+                mine.merge(histogram)
 
     def __bool__(self) -> bool:
         return bool(self.counters or self.gauges or self.histograms)

@@ -117,6 +117,10 @@ class Tracer:
         self.clock = clock if clock is not None else _clock_module.REAL_CLOCK
         self.spans: list[Span] = []
         self._root_counts: dict[str, int] = {}
+        # One tracer is shared by the event loop (service spans) and
+        # campaign worker threads (chunk/launch spans): the ordinal
+        # counters and the completed-span list need a lock.
+        self._lock = threading.Lock()
 
     def start(self, name: str, category: str,
               parent: SpanHandle | None = None, **attrs) -> SpanHandle:
@@ -131,10 +135,11 @@ class Tracer:
                 f"a {category!r} span cannot nest under a "
                 f"{parent.category!r} span (hierarchy: "
                 f"{' > '.join(CATEGORIES)})")
-        counts = (self._root_counts if parent is None
-                  else parent.child_counts)
-        ordinal = counts.get(name, 0) + 1
-        counts[name] = ordinal
+        with self._lock:
+            counts = (self._root_counts if parent is None
+                      else parent.child_counts)
+            ordinal = counts.get(name, 0) + 1
+            counts[name] = ordinal
         unique = name if ordinal == 1 else f"{name}#{ordinal}"
         span_id = (unique if parent is None
                    else f"{parent.span_id}/{unique}")
@@ -152,7 +157,8 @@ class Tracer:
         merged = handle.attrs if not attrs else {**handle.attrs, **attrs}
         span = Span(handle.name, handle.span_id, handle.parent_id,
                     handle.category, handle.t_start, duration, merged)
-        self.spans.append(span)
+        with self._lock:
+            self.spans.append(span)
         if self.sink is not None:
             self.sink.emit(span)
         return span
