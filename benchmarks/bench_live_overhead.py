@@ -1,0 +1,112 @@
+"""Micro-benchmark: the live hub must not tax the simulation hot path.
+
+The :class:`~repro.telemetry.MetricsHub` observes every span close (the
+tracer calls its ``on_span`` from the simulating thread), so the E1
+workload with a hub attached is the worst case for the live-telemetry
+tax. This bench pairs a traced simulator against the same simulator
+with a hub (plus one saturated bounded subscriber, so the drop path is
+exercised too) and gates the median paired ratio at 2% — same
+discipline as ``bench_telemetry_overhead.py``. Executed as a plain
+script by the CI observability job::
+
+    PYTHONPATH=src python benchmarks/bench_live_overhead.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.gpu import BatchSimulator
+from repro.model import perturbed_batch
+from repro.models import lotka_volterra
+from repro.telemetry import MetricsHub, Tracer
+
+from common import write_bench_json
+
+BATCH_SIZE = 256
+REPEATS = 9
+#: simulations per timed sample; longer samples sink scheduler noise
+#: below the sub-1% true hub cost this benchmark polices.
+SIMS_PER_SAMPLE = 3
+MAX_OVERHEAD = 0.02
+T_EVAL = np.linspace(0.0, 5.0, 21)
+
+
+def one_run(simulator: BatchSimulator, batch) -> float:
+    started = time.perf_counter()
+    for _ in range(SIMS_PER_SAMPLE):
+        result = simulator.simulate((0.0, 5.0), T_EVAL, batch)
+    elapsed = time.perf_counter() - started
+    assert result.all_success, "benchmark batch must be all-clean"
+    return elapsed / SIMS_PER_SAMPLE
+
+
+def main() -> int:
+    model = lotka_volterra()
+    rng = np.random.default_rng(42)
+    batch = perturbed_batch(model.nominal_parameterization(), BATCH_SIZE,
+                            rng, spread=0.05)
+
+    baseline_tracer = Tracer(keep_spans=False)
+    plain = BatchSimulator(model, method="dopri5",
+                           tracer=baseline_tracer)
+    hub = MetricsHub()
+    hub_tracer = Tracer(keep_spans=False)
+    hub.attach(hub_tracer)
+    # A tiny bounded subscription that is never drained: every span
+    # close also walks the fan-out + drop path.
+    subscription = hub.subscribe(maxsize=4)
+    hubbed = BatchSimulator(model, method="dopri5", tracer=hub_tracer)
+    one_run(plain, batch), one_run(hubbed, batch)  # warm-up
+
+    # Pair the measurements back-to-back and take the median of the
+    # per-pair ratios: machine drift (thermal, cache, scheduler) hits
+    # both sides of a pair alike and cancels.
+    ratios, baselines, hubbeds = [], [], []
+    for _ in range(REPEATS):
+        baseline = one_run(plain, batch)
+        with_hub = one_run(hubbed, batch)
+        baselines.append(baseline)
+        hubbeds.append(with_hub)
+        ratios.append(with_hub / baseline)
+
+    overhead = float(np.median(ratios)) - 1.0
+    snapshot = hub.snapshot()
+    spans_seen = snapshot["spans_seen"]
+    print(f"baseline (traced) : {min(baselines) * 1e3:8.2f} ms (best)")
+    print(f"with live hub     : {min(hubbeds) * 1e3:8.2f} ms (best)")
+    print(f"overhead          : {overhead * 100:+7.2f}%  "
+          f"(budget {MAX_OVERHEAD * 100:.0f}%)")
+    print(f"spans seen by hub : {spans_seen}")
+    print(f"subscriber drops  : {subscription.dropped}")
+    write_bench_json("live_overhead", {
+        "batch_size": BATCH_SIZE,
+        "repeats": REPEATS,
+        "sims_per_sample": SIMS_PER_SAMPLE,
+        "max_overhead": MAX_OVERHEAD,
+        "baseline_seconds": baselines,
+        "hubbed_seconds": hubbeds,
+        "ratios": ratios,
+        "overhead": overhead,
+        "spans_seen": spans_seen,
+        "subscriber_dropped": subscription.dropped,
+    })
+    if spans_seen == 0:
+        print("FAIL: the hub observed no spans")
+        return 1
+    if subscription.dropped == 0:
+        print("FAIL: the saturated subscriber never dropped — the "
+              "bounded fan-out path went unexercised")
+        return 1
+    if overhead > MAX_OVERHEAD:
+        print("FAIL: the live hub is not cheap on the hot path")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

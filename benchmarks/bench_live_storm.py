@@ -1,0 +1,143 @@
+"""End-to-end observability storm: serve, storm, scrape, verify.
+
+Boots the real TCP server on an ephemeral port, throws a two-tenant
+job storm at it — a well-behaved ``steady`` tenant and a ``doomed``
+tenant whose jobs carry hopeless deadlines — then scrapes ``/metrics``
+and verifies the whole pipeline end to end:
+
+* the exposition passes the independent format checker in
+  ``common.check_prometheus_text``,
+* both tenants publish SLO burn-rate series,
+* the doomed tenant breaches (``repro_service_slo_breaches_total`` > 0)
+  and an ``SLO_BREACH`` span fired on the service tracer,
+* the steady tenant does *not* breach.
+
+Executed as a plain script by the CI observability job::
+
+    PYTHONPATH=src python benchmarks/bench_live_storm.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.io import write_model
+from repro.models import lotka_volterra
+from repro.service import (Client, ServiceConfig, TenantSLO,
+                           scrape_metrics)
+from repro.service.server import serve_async
+from repro.telemetry import Tracer, parse_prometheus_text
+
+from common import check_prometheus_text, write_bench_json
+
+STEADY_JOBS = 6
+DOOMED_JOBS = 4
+
+
+def main() -> int:
+    folder = write_model(lotka_volterra(),
+                         Path(tempfile.mkdtemp()) / "lv")
+    config = ServiceConfig(
+        max_running_jobs=1,  # doomed jobs must queue long enough to die
+        slos={
+            "steady": TenantSLO(target=0.5),
+            "doomed": TenantSLO(target=0.5, breach_burn_rate=1.0),
+        })
+    tracer = Tracer(keep_spans=True)
+    bound = {}
+    ready = threading.Event()
+
+    def on_ready(addr):
+        bound["addr"] = addr
+        ready.set()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            serve_async("127.0.0.1", 0, config=config, telemetry=tracer,
+                        ready=on_ready)),
+        daemon=True)
+    thread.start()
+    assert ready.wait(15), "server never came up"
+    host, port = bound["addr"]
+
+    with Client(host, port, timeout=120.0) as client:
+        steady = [client.submit(str(folder), t_span=(0.0, 2.0),
+                                tenant="steady", chunk_size=16)
+                  for _ in range(STEADY_JOBS)]
+        doomed = [client.submit(str(folder), t_span=(0.0, 2.0),
+                                tenant="doomed", chunk_size=16,
+                                deadline_seconds=1.0e-3)
+                  for _ in range(DOOMED_JOBS)]
+        outcomes = {}
+        for job_id in steady + doomed:
+            job = client.wait(job_id, timeout=120)
+            outcomes[job["state"]] = outcomes.get(job["state"], 0) + 1
+        text = scrape_metrics(host, port)
+        client.shutdown()
+    thread.join(15)
+
+    problems = check_prometheus_text(text)
+    samples = parse_prometheus_text(text)
+
+    def first(name, **labels):
+        for sample_labels, value in samples.get(name, ()):
+            if all(sample_labels.get(k) == v for k, v in labels.items()):
+                return value
+        return None
+
+    doomed_breaches = first("repro_service_slo_breaches_total",
+                            tenant="doomed") or 0.0
+    steady_breaches = first("repro_service_slo_breaches_total",
+                            tenant="steady") or 0.0
+    steady_burn = first("repro_service_slo_burn_rate", tenant="steady")
+    doomed_burn = first("repro_service_slo_burn_rate", tenant="doomed")
+    breach_spans = sum(1 for span in tracer.spans
+                       if span.name == "SLO_BREACH")
+
+    print(f"exposition: {len(text.splitlines())} lines, "
+          f"{len(samples)} families, {len(problems)} format problem(s)")
+    for problem in problems[:10]:
+        print(f"  format: {problem}")
+    print(f"job outcomes: {dict(sorted(outcomes.items()))}")
+    print(f"burn rates: steady={steady_burn} doomed={doomed_burn}")
+    print(f"breaches: steady={steady_breaches:.0f} "
+          f"doomed={doomed_breaches:.0f} "
+          f"(SLO_BREACH spans: {breach_spans})")
+    write_bench_json("live_storm", {
+        "steady_jobs": STEADY_JOBS,
+        "doomed_jobs": DOOMED_JOBS,
+        "format_problems": problems,
+        "n_families": len(samples),
+        "outcomes": dict(sorted(outcomes.items())),
+        "steady_burn_rate": steady_burn,
+        "doomed_burn_rate": doomed_burn,
+        "steady_breaches": steady_breaches,
+        "doomed_breaches": doomed_breaches,
+        "breach_spans": breach_spans,
+    })
+
+    failures = []
+    if problems:
+        failures.append("exposition violates the text format")
+    if steady_burn is None or doomed_burn is None:
+        failures.append("missing per-tenant SLO burn-rate series")
+    if doomed_breaches < 1 or breach_spans < 1:
+        failures.append("doomed tenant never breached its SLO")
+    if steady_breaches:
+        failures.append("steady tenant breached (should stay healthy)")
+    if outcomes.get("shed", 0) < 1:
+        failures.append("no doomed job was shed at its deadline")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

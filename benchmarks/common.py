@@ -15,6 +15,8 @@ diff runs without scraping the text tables.
 from __future__ import annotations
 
 import json
+import math
+import re
 import time
 from pathlib import Path
 
@@ -61,3 +63,106 @@ def write_bench_json(name: str, payload: dict) -> Path:
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
     return path
+
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_LINE = re.compile(
+    rf"^({_METRIC_NAME})"                       # metric name
+    r"(?:\{([^}]*)\})?"                         # optional label set
+    r" "                                        # single space
+    r"([0-9eE+.\-]+|\+Inf|-Inf|NaN)$")          # value
+_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float("nan") if text == "NaN" else float(text)
+
+
+def check_prometheus_text(text: str) -> list:
+    """Validate Prometheus text exposition format 0.0.4; return problems.
+
+    Deliberately self-contained (no ``repro`` import) so the CI
+    observability job checks the scrape output against an independent
+    reading of the format, not against the renderer's own parser.
+    Checks: line grammar, ``# TYPE`` declared before samples and typed
+    validly, counter names ending in ``_total``, histogram series
+    carrying ``+Inf`` buckets with monotonically non-decreasing
+    cumulative counts plus ``_sum``/``_count``.
+    """
+    problems = []
+    types: dict = {}
+    # histogram name -> {labels-without-le -> [(le, count)]}
+    buckets: dict = {}
+    seen_suffixes: dict = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: malformed comment "
+                                f"{line!r}")
+            elif parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    problems.append(f"line {lineno}: invalid type "
+                                    f"{parts[3]!r}")
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name, labels_text, value_text = match.groups()
+        labels = {}
+        for pair in (labels_text.split(",") if labels_text else ()):
+            if not _LABEL.match(pair):
+                problems.append(f"line {lineno}: malformed label "
+                                f"{pair!r}")
+                continue
+            key, _, raw = pair.partition("=")
+            labels[key] = raw[1:-1]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = name.removesuffix(suffix)
+            if stripped != name and types.get(stripped) in ("histogram",
+                                                            "summary"):
+                base = stripped
+                seen_suffixes.setdefault(base, set()).add(suffix)
+        declared = types.get(base)
+        if declared is None:
+            problems.append(f"line {lineno}: sample {name!r} has no "
+                            f"preceding # TYPE")
+            continue
+        if declared == "counter" and not name.endswith("_total"):
+            problems.append(f"line {lineno}: counter {name!r} does not "
+                            f"end in _total")
+        value = _parse_value(value_text)
+        if declared == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                problems.append(f"line {lineno}: histogram bucket "
+                                f"without le label")
+                continue
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            buckets.setdefault(base, {}).setdefault(key, []).append(
+                (_parse_value(labels["le"]), value))
+    for name, series in buckets.items():
+        for key, entries in series.items():
+            les = [le for le, _ in entries]
+            counts = [count for _, count in entries]
+            if not les or les[-1] != math.inf:
+                problems.append(f"histogram {name}{dict(key)}: no +Inf "
+                                f"bucket")
+            if any(b < a for a, b in zip(counts, counts[1:])):
+                problems.append(f"histogram {name}{dict(key)}: bucket "
+                                f"counts decrease")
+        missing = {"_sum", "_count"} - seen_suffixes.get(name, set())
+        if missing:
+            problems.append(f"histogram {name}: missing "
+                            f"{sorted(missing)} series")
+    return problems

@@ -38,7 +38,9 @@ from .resilience import (CampaignConfig, CampaignResult, FailureRecord,
                          FaultPlan, QuarantineLog, RetryPolicy, RetryStage,
                          default_retry_policy, run_campaign)
 from .stochastic import StochasticSimulator
-from .telemetry import (MetricsRegistry, Tracer, read_trace_jsonl,
+from .telemetry import (CalibrationReport, CalibrationTable, MetricsHub,
+                        MetricsRegistry, SLOTracker, TenantSLO, Tracer,
+                        read_trace_jsonl, render_prometheus,
                         validate_trace, write_chrome_trace)
 from .model import (Hill, MassAction, MichaelisMenten, ODESystem,
                     Parameterization, ParameterizationBatch,
@@ -75,7 +77,9 @@ __all__ = [
     "CampaignConfig", "CampaignResult", "FailureRecord", "FaultPlan",
     "QuarantineLog", "RetryPolicy", "RetryStage", "default_retry_policy",
     "run_campaign",
-    "MetricsRegistry", "Tracer", "read_trace_jsonl", "validate_trace",
+    "CalibrationReport", "CalibrationTable", "MetricsHub",
+    "MetricsRegistry", "SLOTracker", "TenantSLO", "Tracer",
+    "read_trace_jsonl", "render_prometheus", "validate_trace",
     "write_chrome_trace",
     "Hill", "MassAction", "MichaelisMenten", "ODESystem",
     "Parameterization", "ParameterizationBatch", "ReactionBasedModel",

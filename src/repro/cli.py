@@ -297,8 +297,15 @@ def _command_trace_export(args) -> int:
 
 
 def _command_serve(args) -> int:
-    from .service import ServiceConfig, TenantQuota, serve
+    from .service import ServiceConfig, TenantQuota, TenantSLO, serve
 
+    default_slo = None
+    if args.slo_target is not None or args.slo_latency is not None:
+        default_slo = TenantSLO(
+            latency_objective_seconds=args.slo_latency,
+            target=args.slo_target if args.slo_target is not None
+            else 0.99,
+            window_seconds=args.slo_window)
     config = ServiceConfig(
         max_running_jobs=args.max_running,
         max_inflight_chunks=args.max_inflight,
@@ -306,11 +313,152 @@ def _command_serve(args) -> int:
         default_quota=TenantQuota(max_queued=args.tenant_queue,
                                   max_inflight_chunks=args.tenant_inflight),
         max_job_attempts=args.job_attempts,
-        attempt_timeout=args.attempt_timeout)
-    print(f"serving campaigns on {args.host}:{args.port} "
-          f"({args.max_running} running / {args.max_inflight} chunks "
-          f"in flight; queue {args.queue_capacity})")
-    serve(args.host, args.port, config=config, telemetry=args.telemetry)
+        attempt_timeout=args.attempt_timeout,
+        default_slo=default_slo,
+        calibration_path=args.calibration)
+    def announce(bound):
+        # Printed from the *bound* address, not the requested one:
+        # --port 0 picks an ephemeral port the operator must learn.
+        host, port = bound
+        print(f"serving campaigns on {host}:{port} "
+              f"({args.max_running} running / {args.max_inflight} chunks "
+              f"in flight; queue {args.queue_capacity}; "
+              f"metrics at http://{host}:{port}/metrics)", flush=True)
+
+    serve(args.host, args.port, config=config, telemetry=args.telemetry,
+          ready=announce)
+    return 0
+
+
+def _scrape_frame(samples, previous, elapsed) -> str:
+    """One ``repro top`` frame out of parsed exposition samples."""
+
+    def first(name, default=None, **labels):
+        for sample_labels, value in samples.get(name, ()):
+            if all(sample_labels.get(k) == v for k, v in labels.items()):
+                return value
+        return default
+
+    def by_label(name, label, **labels):
+        out: dict[str, float] = {}
+        for sample_labels, value in samples.get(name, ()):
+            if label in sample_labels and all(
+                    sample_labels.get(k) == v for k, v in labels.items()):
+                out[sample_labels[label]] = value
+        return out
+
+    def fmt_s(value):
+        return "-" if value is None else f"{value * 1e3:.2f}ms"
+
+    lines = [
+        f"queue={first('repro_service_queue_depth', 0):.0f} "
+        f"running={first('repro_service_jobs_running', 0):.0f} "
+        f"spans={first('repro_live_spans_seen_total', 0):.0f} "
+        f"sub-drops="
+        f"{first('repro_live_subscriber_dropped_total', 0):.0f}"]
+    rates = by_label("repro_live_span_rate", "category")
+    if rates:
+        lines.append("span rates: " + "  ".join(
+            f"{category}={rate:.2f}/s"
+            for category, rate in sorted(rates.items()) if rate > 0))
+    if previous is not None and elapsed and elapsed > 0:
+        deltas = []
+        for name in ("repro_kernel_rhs_launches_total",
+                     "repro_service_jobs_admitted_total",
+                     "repro_service_jobs_shed_total",
+                     "repro_service_worker_restarts_total"):
+            now_value = first(name)
+            if now_value is None:
+                continue
+            for prev_labels, prev_value in previous.get(name, ()):
+                if not prev_labels:
+                    short = name.removeprefix("repro_") \
+                        .removesuffix("_total")
+                    deltas.append(
+                        f"{short}={(now_value - prev_value) / elapsed:.1f}/s")
+                    break
+        if deltas:
+            lines.append("rates since last scrape: " + "  ".join(deltas))
+    tenants = sorted(
+        set(by_label("repro_live_job_outcomes_total", "tenant"))
+        | set(by_label("repro_service_tenant_admitted_total", "tenant"))
+        | set(by_label("repro_service_slo_burn_rate", "tenant")))
+    if tenants:
+        lines.append("")
+        lines.append(f"{'tenant':<12} {'admitted':>8} {'done':>6} "
+                     f"{'shed':>6} {'quar':>6} {'lat p50':>10} "
+                     f"{'lat p95':>10} {'wait p50':>10} {'burn':>8}")
+        for tenant in tenants:
+            burn = first("repro_service_slo_burn_rate", tenant=tenant)
+            lines.append(
+                f"{tenant:<12} "
+                f"{first('repro_service_tenant_admitted_total', 0, tenant=tenant):>8.0f} "
+                f"{first('repro_live_job_outcomes_total', 0, tenant=tenant, state='completed'):>6.0f} "
+                f"{first('repro_live_job_outcomes_total', 0, tenant=tenant, state='shed'):>6.0f} "
+                f"{first('repro_live_job_outcomes_total', 0, tenant=tenant, state='quarantined'):>6.0f} "
+                f"{fmt_s(first('repro_live_job_latency_seconds', tenant=tenant, quantile='0.50')):>10} "
+                f"{fmt_s(first('repro_live_job_latency_seconds', tenant=tenant, quantile='0.95')):>10} "
+                f"{fmt_s(first('repro_live_job_wait_seconds', tenant=tenant, quantile='0.50')):>10} "
+                + ("-".rjust(8) if burn is None else f"{burn:>8.2f}"))
+        breaches = by_label("repro_service_slo_breaches_total", "tenant")
+        for tenant, count in sorted(breaches.items()):
+            if count:
+                lines.append(f"  !! SLO breach: {tenant} "
+                             f"({count:.0f} breach(es))")
+    phases = by_label("repro_live_phase_duration_seconds", "phase",
+                      quantile="0.50")
+    if phases:
+        lines.append("")
+        lines.append("phases (p50): " + "  ".join(
+            f"{phase}={fmt_s(value)}"
+            for phase, value in sorted(phases.items())))
+    return "\n".join(lines)
+
+
+def _command_top(args) -> int:
+    from .service import scrape_metrics
+    from .telemetry import clock, parse_prometheus_text
+
+    previous = None
+    previous_t = None
+    iteration = 0
+    while True:
+        text = scrape_metrics(args.host, args.port)
+        samples = parse_prometheus_text(text)
+        now = clock.monotonic()
+        elapsed = None if previous_t is None else now - previous_t
+        frame = _scrape_frame(samples, previous, elapsed)
+        if not args.once:
+            # Clear + home: a terminal dashboard, not a scrolling log.
+            print("\x1b[2J\x1b[H", end="")
+        print(f"repro top — {args.host}:{args.port} "
+              f"(scrape #{iteration + 1}, every {args.interval:.1f}s)")
+        print()
+        print(frame)
+        iteration += 1
+        if args.once:
+            return 0
+        previous, previous_t = samples, now
+        clock.sleep(args.interval)
+
+
+def _command_calibrate(args) -> int:
+    from .telemetry import calibrate_workload
+
+    model = _load_model(Path(args.model))
+    widths = tuple(int(w) for w in args.widths.split(","))
+    t_eval = np.linspace(0.0, args.t_end, args.points)
+    table = calibrate_workload(model, t_span=(0.0, args.t_end),
+                               t_eval=t_eval, widths=widths,
+                               repeats=args.repeats, method=args.method,
+                               seed=args.seed)
+    report = table.fit()
+    print(report.render())
+    if args.out:
+        report.save(args.out)
+        print(f"\nwrote calibration report to {args.out} "
+              f"(pass to 'repro serve --calibration' or "
+              f"BatchSimulator(cost_model=...))")
     return 0
 
 
@@ -496,7 +644,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wall-clock bound per job attempt (seconds)")
     serve.add_argument("--telemetry", default=None,
                        help="JSONL trace path for the service span tree")
+    serve.add_argument("--calibration", default=None,
+                       help="calibration report JSON ('repro calibrate' "
+                            "output) for calibrated admission and routing")
+    serve.add_argument("--slo-target", type=float, default=None,
+                       help="default per-tenant success objective "
+                            "(e.g. 0.99)")
+    serve.add_argument("--slo-latency", type=float, default=None,
+                       help="per-job latency objective in seconds; "
+                            "slower completions count as SLO misses")
+    serve.add_argument("--slo-window", type=float, default=3600.0,
+                       help="SLO burn-rate sliding window (seconds)")
     serve.set_defaults(handler=_command_serve)
+
+    top = commands.add_parser(
+        "top", help="live terminal view of a running service's /metrics")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8753)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between scrapes")
+    top.add_argument("--once", action="store_true",
+                     help="print a single frame and exit (no screen "
+                          "clearing; for scripts and CI)")
+    top.set_defaults(handler=_command_top)
+
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="fit a perfmodel calibration report from probe launches")
+    calibrate.add_argument("model", help="model folder or SBML path")
+    calibrate.add_argument("--out", default=None,
+                           help="write the fitted CalibrationReport "
+                                "JSON here")
+    calibrate.add_argument("--widths", default="8,32",
+                           help="comma-separated probe batch widths")
+    calibrate.add_argument("--repeats", type=int, default=2,
+                           help="probe launches per width")
+    calibrate.add_argument("--method", default="auto",
+                           choices=("auto", "dopri5", "radau5", "bdf"))
+    calibrate.add_argument("--t-end", type=float, default=2.0)
+    calibrate.add_argument("--points", type=int, default=41)
+    calibrate.add_argument("--seed", type=int, default=0,
+                           help="perturbation seed for probe batches")
+    calibrate.set_defaults(handler=_command_calibrate)
 
     submit = commands.add_parser(
         "submit", help="submit a campaign to a running service")

@@ -27,6 +27,7 @@ from ..resilience.quarantine import (FailureRecord, QuarantineLog,
                                      RetryAttempt)
 from ..solvers.base import DEFAULT_OPTIONS, SolverOptions
 from ..telemetry import clock
+from ..telemetry.calibration import LaunchCost
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.tracer import SpanHandle, as_tracer
 from .batch_dopri5 import BatchDopri5
@@ -63,6 +64,11 @@ class EngineReport:
     counters, guard and retry accounting, and per-launch working-set
     histograms, always populated (the registry is timestamp-free, so
     it is safe to embed in campaign checkpoints).
+
+    ``launch_costs`` pairs every launch's perfmodel prediction with
+    its observed wall-clock and working set — the raw material of
+    :mod:`repro.telemetry.calibration`. Wall-clock lives here (next to
+    ``elapsed_seconds``), never in ``metrics``.
     """
 
     elapsed_seconds: float
@@ -76,6 +82,7 @@ class EngineReport:
     guard_log: GuardLog = field(default_factory=GuardLog)
     memory_events: list[MemoryEvent] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    launch_costs: list[LaunchCost] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """Lossless JSON-safe form (see :meth:`from_dict`)."""
@@ -101,6 +108,8 @@ class EngineReport:
             "memory_events": [asdict(event)
                               for event in self.memory_events],
             "metrics": self.metrics.to_dict(),
+            "launch_costs": [cost.to_dict()
+                             for cost in self.launch_costs],
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -130,6 +139,8 @@ class EngineReport:
             memory_events=[MemoryEvent(**entry)
                            for entry in data.get("memory_events", [])],
             metrics=MetricsRegistry.from_dict(data.get("metrics", {})),
+            launch_costs=[LaunchCost.from_dict(entry)
+                          for entry in data.get("launch_costs", [])],
         )
 
 
@@ -191,6 +202,13 @@ class BatchSimulator:
         Optional parent span handle under which this simulate call's
         launch spans nest (the campaign runner passes its chunk span);
         ``None`` makes the launches trace roots.
+    cost_model:
+        Optional fitted :class:`~repro.telemetry.calibration.
+        CalibrationReport`. When present, ``"auto"`` routing may pick
+        BDF over Radau IIA for the implicit rung where the calibrated
+        per-row cost says it is cheaper. Predictions are *recorded*
+        on ``launch_costs`` either way — the model only changes
+        decisions, never measurements.
     """
 
     def __init__(self, model: ReactionBasedModel,
@@ -203,7 +221,8 @@ class BatchSimulator:
                  guard_config: GuardConfig | None = None,
                  memory_governor: MemoryGovernor | None = None,
                  tracer=None,
-                 trace_parent: SpanHandle | None = None) -> None:
+                 trace_parent: SpanHandle | None = None,
+                 cost_model=None) -> None:
         if method not in METHODS:
             raise SolverError(f"unknown method {method!r}; "
                               f"expected one of {METHODS}")
@@ -222,6 +241,7 @@ class BatchSimulator:
         self.memory_governor = memory_governor
         self.tracer = as_tracer(tracer)
         self.trace_parent = trace_parent
+        self.cost_model = cost_model
         self.last_report: EngineReport | None = None
 
     # ------------------------------------------------------------------
@@ -263,10 +283,15 @@ class BatchSimulator:
                                         tracer)
             launch_span = tracer.start(
                 f"launch-{report.n_launches}", "launch",
-                parent=self.trace_parent, rows=stop - start)
+                parent=self.trace_parent, rows=stop - start,
+                species=self.system.n_species,
+                reactions=self.system.n_reactions)
             rung_span = tracer.start("rung-0", "rung", parent=launch_span,
                                      method=self.method)
             problem.trace_span = rung_span
+            routing_before = len(report.routing)
+            counters_before = KernelCounters(**asdict(counters))
+            launch_t0 = clock.monotonic()
             chunk = self._run_launch_governed(problem, t_span, t_eval,
                                               report)
             tracer.end(rung_span)
@@ -281,7 +306,14 @@ class BatchSimulator:
                 self._retry_failed_rows(problem, chunk, t_span, t_eval,
                                         report, invariant_monitor,
                                         launch_span)
-            tracer.end(launch_span)
+            observed = clock.monotonic() - launch_t0
+            cost = self._launch_cost(report, routing_before,
+                                     counters_before, observed,
+                                     stop - start, t_eval.size)
+            tracer.end(launch_span, method=self.method,
+                       predicted_ms=cost.predicted_seconds * 1.0e3,
+                       predicted_doubles=cost.predicted_doubles,
+                       actual_doubles=cost.actual_doubles)
             self._observe_launch(report, stop - start, t_eval.size)
             chunks.append(chunk)
             report.n_launches += 1
@@ -325,6 +357,47 @@ class BatchSimulator:
             memory_footprint_doubles(rows, self.system.n_species,
                                      self.system.n_reactions,
                                      n_save_points, self.method))
+
+    def _launch_cost(self, report: EngineReport, routing_before: int,
+                     counters_before: KernelCounters, observed: float,
+                     rows: int, n_save_points: int) -> LaunchCost:
+        """Record one launch's predicted-vs-observed cost.
+
+        Prediction uses only the launch's *own* kernel counters (the
+        delta against the pre-launch snapshot, so retries and memory
+        splits are attributed to the launch that incurred them). The
+        actual working set discounts ``"auto"`` down to the rows that
+        really took the implicit path — the prediction conservatively
+        budgets Radau storage for every row; the routing decisions say
+        how many used it.
+        """
+        counters = report.counters
+        delta = KernelCounters(**{
+            name: value - getattr(counters_before, name)
+            for name, value in asdict(counters).items()})
+        n_species = self.system.n_species
+        n_reactions = self.system.n_reactions
+        predicted = estimate_device_time(delta, rows, n_species,
+                                         n_reactions, self.device)
+        predicted_doubles = memory_footprint_doubles(
+            rows, n_species, n_reactions, n_save_points, self.method)
+        if self.method == "auto":
+            n_stiff = sum(decision.n_stiff for decision
+                          in report.routing[routing_before:])
+            actual_doubles = memory_footprint_doubles(
+                rows, n_species, n_reactions, n_save_points,
+                "dopri5") + 4 * n_stiff * n_species * n_species
+        else:
+            actual_doubles = predicted_doubles
+        cost = LaunchCost(
+            method=self.method, rows=int(rows), n_species=int(n_species),
+            n_reactions=int(n_reactions),
+            predicted_seconds=float(predicted.total_seconds),
+            observed_seconds=float(observed),
+            predicted_doubles=int(predicted_doubles),
+            actual_doubles=int(actual_doubles))
+        report.launch_costs.append(cost)
+        return cost
 
     @staticmethod
     def _populate_metrics(report: EngineReport,
@@ -471,8 +544,9 @@ class BatchSimulator:
                     t_span: tuple[float, float], t_eval: Array,
                     report: EngineReport) -> BatchSolveResult:
         if self.method == "auto":
-            result, decision = StiffnessRouter(self.options).solve(
-                problem, t_span, t_eval)
+            result, decision = StiffnessRouter(
+                self.options, cost_model=self.cost_model).solve(
+                    problem, t_span, t_eval)
             report.routing.append(decision)
             return result
         if self.method == "dopri5":

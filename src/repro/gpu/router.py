@@ -11,7 +11,7 @@ paper family's fallback re-run of failed explicit simulations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..backend import Array, xp
 from ..lint.model_rules import STIFFNESS_SAFE_DECADES, stiffness_risk_score
@@ -42,12 +42,17 @@ class RoutingDecision:
         :func:`repro.lint.model_rules.stiffness_risk_score`) classified
         the whole batch as safely non-stiff, so the power-iteration
         probe never ran.
+    stiff_method:
+        Implicit solver the stiff rows (and failed-row re-executions)
+        were sent to — ``"radau5"`` by default, ``"bdf"`` when a
+        calibrated cost model said BDF is cheaper for this bucket.
     """
 
     stiff_mask: Array
     spectral_radii: Array
     threshold: float
     probe_skipped: bool = False
+    stiff_method: str = "radau5"
 
     @property
     def n_stiff(self) -> int:
@@ -57,14 +62,16 @@ class RoutingDecision:
         return {"stiff_mask": [bool(v) for v in self.stiff_mask],
                 "spectral_radii": [float(v) for v in self.spectral_radii],
                 "threshold": float(self.threshold),
-                "probe_skipped": bool(self.probe_skipped)}
+                "probe_skipped": bool(self.probe_skipped),
+                "stiff_method": str(self.stiff_method)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "RoutingDecision":
         return cls(xp.asarray(data["stiff_mask"], dtype=bool),
                    xp.asarray(data["spectral_radii"], dtype=xp.float64),
                    float(data["threshold"]),
-                   bool(data.get("probe_skipped", False)))
+                   bool(data.get("probe_skipped", False)),
+                   str(data.get("stiff_method", "radau5")))
 
 
 def classify_batch(problem: BatchedODEProblem, t0: float,
@@ -113,10 +120,26 @@ class StiffnessRouter:
 
     def __init__(self, options: SolverOptions = DEFAULT_OPTIONS,
                  retry_failed_with_radau: bool = True,
-                 use_static_prefilter: bool = True) -> None:
+                 use_static_prefilter: bool = True,
+                 cost_model=None) -> None:
         self.options = options
         self.retry_failed_with_radau = retry_failed_with_radau
         self.use_static_prefilter = use_static_prefilter
+        # Optional fitted CalibrationReport (or anything exposing
+        # ``preferred_stiff_method(rows, n_species)``): lets measured
+        # per-row cost pick the implicit rung instead of the Radau
+        # default. No model / no evidence -> behavior is unchanged.
+        self.cost_model = cost_model
+
+    def _implicit_solver(self, batch_size: int, n_species: int):
+        """Implicit solver class + name for this batch shape."""
+        if self.cost_model is not None:
+            preferred = self.cost_model.preferred_stiff_method(
+                batch_size, n_species)
+            if preferred == "bdf":
+                from .batch_bdf import BatchBDF
+                return BatchBDF, "bdf"
+        return BatchRadau5, "radau5"
 
     def solve(self, problem: BatchedODEProblem, t_span: tuple[float, float],
               t_eval: Array | None = None,
@@ -143,6 +166,9 @@ class StiffnessRouter:
 
         nonstiff_rows = xp.flatnonzero(~decision.stiff_mask)
         stiff_rows = xp.flatnonzero(decision.stiff_mask)
+        implicit_cls, stiff_method = self._implicit_solver(
+            batch, problem.n_species)
+        decision = replace(decision, stiff_method=stiff_method)
 
         if nonstiff_rows.size:
             explicit = BatchDopri5(
@@ -154,12 +180,12 @@ class StiffnessRouter:
             if self.retry_failed_with_radau:
                 failed_rows = nonstiff_rows[explicit.status_codes != OK]
                 if failed_rows.size:
-                    retried = BatchRadau5(self.options).solve(
+                    retried = implicit_cls(self.options).solve(
                         problem.subset(failed_rows), t_span, t_eval,
                         states[failed_rows])
                     self._splice(merged, retried, failed_rows)
         if stiff_rows.size:
-            implicit = BatchRadau5(self.options).solve(
+            implicit = implicit_cls(self.options).solve(
                 problem.subset(stiff_rows), t_span, t_eval,
                 states[stiff_rows])
             self._splice(merged, implicit, stiff_rows)

@@ -20,12 +20,13 @@ single campaign cannot express.
 :mod:`benchmarks.bench_service` is the load-generator harness.
 """
 
+from ..telemetry.slo import TenantSLO
 from .config import ServiceConfig, TenantQuota
 from .core import CampaignService, submit_campaign
 from .jobs import (JOB_STATES, TERMINAL_STATES, JobRecord, JobRequest,
                    JobState)
 from .scheduler import ChunkScheduler, DegradationLadder
-from .server import Client, serve
+from .server import Client, scrape_metrics, serve
 
 __all__ = [
     "CampaignService",
@@ -39,6 +40,8 @@ __all__ = [
     "ServiceConfig",
     "TERMINAL_STATES",
     "TenantQuota",
+    "TenantSLO",
+    "scrape_metrics",
     "serve",
     "submit_campaign",
 ]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ServiceError
+from ..telemetry.slo import TenantSLO
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,16 @@ class ServiceConfig:
         (``OVERLOADED``), at ``serial_pressure`` it drains to one
         serial job at a time (``SERIAL``). Recovering jobs bleed
         pressure back off.
+    default_slo / slos:
+        Per-tenant :class:`~repro.telemetry.slo.TenantSLO` objectives;
+        tenants absent from ``slos`` fall back to ``default_slo``.
+        Both ``None`` (the default) disables SLO tracking entirely.
+    calibration_path:
+        Optional path of a fitted
+        :class:`~repro.telemetry.calibration.CalibrationReport` JSON
+        (as written by ``repro calibrate``). When set, admission's
+        working-set predictions are corrected by the calibrated
+        factors before quota comparison.
     """
 
     max_running_jobs: int = 4
@@ -101,6 +112,9 @@ class ServiceConfig:
     poll_interval: float = 0.01
     overload_pressure: int = 3
     serial_pressure: int = 6
+    default_slo: TenantSLO | None = None
+    slos: dict = field(default_factory=dict)
+    calibration_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_running_jobs < 1:
@@ -136,6 +150,23 @@ class ServiceConfig:
                 raise ServiceError(
                     f"quota for tenant {tenant!r} must be a TenantQuota, "
                     f"got {type(quota)!r}")
+        if self.default_slo is not None \
+                and not isinstance(self.default_slo, TenantSLO):
+            raise ServiceError(
+                f"default_slo must be a TenantSLO or None, got "
+                f"{type(self.default_slo)!r}")
+        for tenant, slo in self.slos.items():
+            if not isinstance(slo, TenantSLO):
+                raise ServiceError(
+                    f"slo for tenant {tenant!r} must be a TenantSLO, "
+                    f"got {type(slo)!r}")
 
     def quota_for(self, tenant: str) -> TenantQuota:
         return self.quotas.get(tenant, self.default_quota)
+
+    def slo_for(self, tenant: str) -> TenantSLO | None:
+        return self.slos.get(tenant, self.default_slo)
+
+    @property
+    def tracks_slos(self) -> bool:
+        return self.default_slo is not None or bool(self.slos)

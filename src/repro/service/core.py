@@ -34,7 +34,10 @@ from ..errors import (QueueFull, QuotaExceeded, ReproError, ServiceError,
 from ..gpu.perfmodel import memory_footprint_doubles
 from ..resilience.campaign import CampaignConfig, run_campaign
 from ..telemetry import clock
+from ..telemetry.calibration import CalibrationReport
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.prometheus import labeled
+from ..telemetry.slo import SLOTracker
 from ..telemetry.tracer import as_tracer
 from .config import ServiceConfig
 from .jobs import JobRecord, JobRequest, JobState
@@ -57,14 +60,38 @@ class CampaignService:
         (:class:`~repro.resilience.FaultPlan` ``sched_*`` fields),
         addressed by admission index. Per-job engine/worker faults
         travel on :attr:`JobRequest.fault_plan` instead.
+    hub:
+        Optional :class:`~repro.telemetry.live.MetricsHub`: attached
+        to the service tracer on ``start()`` (so it sees every span
+        close live) and fed a registry snapshot each dispatcher tick;
+        the ``/metrics`` endpoint and ``repro top`` read from it.
+    calibration:
+        Optional fitted :class:`~repro.telemetry.calibration.
+        CalibrationReport` correcting admission's working-set
+        predictions; defaults to loading
+        ``config.calibration_path`` when that is set.
     """
 
     def __init__(self, config: ServiceConfig | None = None,
-                 telemetry=None, fault_plan=None) -> None:
+                 telemetry=None, fault_plan=None, hub=None,
+                 calibration=None) -> None:
         self.config = ServiceConfig() if config is None else config
         self.tracer = as_tracer(telemetry)
         self.fault_plan = fault_plan
+        self.hub = hub
+        if calibration is None and self.config.calibration_path:
+            calibration = CalibrationReport.load(
+                self.config.calibration_path)
+        self.calibration = calibration
         self.metrics = MetricsRegistry()
+        # Engine-side counters merged from every finished job's
+        # campaign result: kernel launches, Newton iterations, guard
+        # and retry accounting, service-wide.
+        self.engine_metrics = MetricsRegistry()
+        self.slo = SLOTracker(self.config.slos, self.config.default_slo,
+                              metrics=self.metrics,
+                              tracer=self.tracer) \
+            if self.config.tracks_slos else None
         self.scheduler = ChunkScheduler(self.config.max_inflight_chunks)
         self.ladder = DegradationLadder(self.config)
         self._jobs: dict[int, JobRecord] = {}
@@ -84,6 +111,8 @@ class CampaignService:
         if self._started:
             raise ServiceError("service already started")
         self._started = True
+        if self.hub is not None:
+            self.hub.attach(self.tracer)
         self._service_span = self.tracer.start("service", "service")
         self._dispatcher = asyncio.create_task(self._dispatch())
         self._dispatcher.add_done_callback(self._dispatcher_done)
@@ -109,6 +138,9 @@ class CampaignService:
         self.tracer.end(self._service_span,
                         jobs=int(self._admitted),
                         ladder=self.ladder.state)
+        if self.hub is not None:
+            self.hub.ingest_registry(self.metrics)
+            self.hub.detach()
         # The sink flush opens and writes the trace file: off the loop.
         await asyncio.to_thread(self.tracer.flush)
 
@@ -131,6 +163,8 @@ class CampaignService:
                 "service is not accepting submissions (not started, or "
                 "stopping)")
         self.metrics.count("service.jobs.submitted")
+        self.metrics.count(labeled("service.tenant.submitted",
+                                   tenant=request.tenant))
         job = JobRecord(self._next_job_id(), request)
         self._jobs[job.job_id] = job
         job.submitted_at = clock.monotonic()
@@ -145,6 +179,8 @@ class CampaignService:
             job.error = str(error)
             job.done.set()
             self.metrics.count("service.jobs.rejected")
+            self.metrics.count(labeled("service.tenant.rejected",
+                                       tenant=request.tenant))
             raise
         job.admission_index = self._admitted
         self._admitted += 1
@@ -152,6 +188,8 @@ class CampaignService:
                                 quota.max_inflight_chunks)
         self._queue.append(job)
         self.metrics.count("service.jobs.admitted")
+        self.metrics.count(labeled("service.tenant.admitted",
+                                   tenant=request.tenant))
         self.metrics.observe("service.queue.depth_samples",
                              len(self._queue))
         return job
@@ -169,6 +207,9 @@ class CampaignService:
         width = max(1, min(int(request.chunk_size), self._n_rows(request)))
         per_chunk = memory_footprint_doubles(width, model.n_species,
                                              model.n_reactions, n_save)
+        if self.calibration is not None:
+            per_chunk = self.calibration.calibrated_doubles(
+                per_chunk, "auto", width, model.n_species)
         estimate = per_chunk * quota.max_inflight_chunks
         if estimate > quota.working_set_doubles:
             raise WorkingSetExceeded(
@@ -248,13 +289,16 @@ class CampaignService:
         states: dict[str, int] = {}
         for job in self._jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
-        return {"ladder": self.ladder.state,
-                "pressure": int(self.ladder.pressure),
-                "queued": len(self._queue),
-                "running": len(self._running),
-                "states": dict(sorted(states.items())),
-                "tenants": self.scheduler.stats(),
-                "metrics": self.metrics.to_dict()}
+        snapshot = {"ladder": self.ladder.state,
+                    "pressure": int(self.ladder.pressure),
+                    "queued": len(self._queue),
+                    "running": len(self._running),
+                    "states": dict(sorted(states.items())),
+                    "tenants": self.scheduler.stats(),
+                    "metrics": self.metrics.to_dict()}
+        if self.slo is not None:
+            snapshot["slo"] = self.slo.snapshot()
+        return snapshot
 
     # -- dispatcher ------------------------------------------------------
 
@@ -275,6 +319,9 @@ class CampaignService:
                     lambda task, job=job: self._job_task_done(job, task))
                 self._running[job.job_id] = task
             self.metrics.gauge("service.queue.depth", len(self._queue))
+            self.metrics.gauge("service.jobs.running", len(self._running))
+            if self.hub is not None:
+                self.hub.ingest_registry(self.metrics)
             await asyncio.sleep(self.config.poll_interval)
 
     def _pick_next(self) -> JobRecord:
@@ -334,7 +381,8 @@ class CampaignService:
             self.tracer.end(span, state=job.state, reason=job.reason,
                             attempts=int(job.attempts),
                             degraded=bool(job.degraded),
-                            requeued=requeued)
+                            requeued=requeued,
+                            wait_seconds=float(job.wait_seconds or 0.0))
             # Per-job trace flush does file IO: off the loop.
             await asyncio.to_thread(self.tracer.flush)
             if requeued:
@@ -505,7 +553,18 @@ class CampaignService:
             job.result = result
         if self.ladder.degrades_results:
             job.degraded = True
+        tenant = job.request.tenant
         self.metrics.count(f"service.jobs.{state}")
+        self.metrics.count(labeled(f"service.tenant.{state}",
+                                   tenant=tenant))
+        result_metrics = getattr(job.result, "metrics", None)
+        if result_metrics is not None:
+            self.engine_metrics.merge(result_metrics)
+        if self.slo is not None:
+            latency = None
+            if job.submitted_at is not None:
+                latency = job.finished_at - job.submitted_at
+            self.slo.observe(tenant, state, reason, latency)
         job.done.set()
 
     def _finish_queued(self, job: JobRecord, state: str,

@@ -14,6 +14,12 @@ Operations: ``submit``, ``status``, ``wait``, ``cancel``, ``stats``,
 *type name* crosses the wire so clients can distinguish the typed
 rejections without sharing exception classes.
 
+The same port also answers plain HTTP ``GET /metrics`` with the
+Prometheus text exposition (connections are sniffed on their first
+line), so one listener serves both the job protocol and the scrape
+endpoint — point a Prometheus scraper or ``repro top`` at the server
+address and nothing else needs to be running.
+
 Models are referenced **by path** and loaded (and cached) server-side:
 result arrays never cross this protocol — clients get states and
 summaries, results land in the job's checkpoint journal when one was
@@ -31,6 +37,9 @@ import socket
 from pathlib import Path
 
 from ..errors import ReproError, ServiceError
+from ..telemetry.live import MetricsHub
+from ..telemetry.prometheus import render_prometheus
+from ..telemetry.tracer import Tracer
 from .config import ServiceConfig
 from .core import CampaignService
 from .jobs import JobRequest
@@ -59,6 +68,17 @@ class _ServerState:
         if model is None:
             model = self.models[path_text] = _load_model(Path(path_text))
         return model
+
+    def render_metrics(self) -> str:
+        """The full Prometheus exposition: service registry, merged
+        engine registries, and the live hub's window aggregates."""
+        service = self.service
+        hub_snapshot = None
+        if service.hub is not None:
+            service.hub.ingest_registry(service.metrics)
+            hub_snapshot = service.hub.snapshot()
+        return render_prometheus(
+            [service.metrics, service.engine_metrics], hub_snapshot)
 
 
 def _request_from_payload(state: _ServerState, payload: dict) -> JobRequest:
@@ -111,12 +131,51 @@ async def _handle_request(state: _ServerState, payload: dict) -> dict:
     raise ServiceError(f"unknown operation {op!r}")
 
 
+async def _handle_http(state: _ServerState, first_line: bytes,
+                       reader, writer) -> None:
+    """Minimal HTTP/1.0 responder for the scrape endpoint.
+
+    Only ``GET/HEAD /metrics`` exists; everything else is 404. The
+    request headers are drained (to the blank line) and the response
+    closes the connection — scrapers reconnect per scrape.
+    """
+    parts = first_line.decode("latin-1").split()
+    path = parts[1].split("?", 1)[0] if len(parts) >= 2 else "/"
+    while True:
+        header = await reader.readline()
+        if not header or header in (b"\r\n", b"\n"):
+            break
+    if path == "/metrics":
+        # Rendering walks every histogram bucket: off the event loop.
+        body = await asyncio.to_thread(state.render_metrics)
+        status = "200 OK"
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = f"not found: {path}\n"
+        status = "404 Not Found"
+        content_type = "text/plain; charset=utf-8"
+    payload = body.encode("utf-8")
+    head = (f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n").encode("latin-1")
+    writer.write(head if parts and parts[0] == "HEAD"
+                 else head + payload)
+    await writer.drain()
+
+
 async def _handle_connection(state: _ServerState, reader, writer) -> None:
     try:
+        first = True
         while True:
             line = await reader.readline()
             if not line:
                 return
+            if first and (line.startswith(b"GET ")
+                          or line.startswith(b"HEAD ")):
+                await _handle_http(state, line, reader, writer)
+                return
+            first = False
             try:
                 payload = json.loads(line)
                 response = await _handle_request(state, payload)
@@ -141,14 +200,29 @@ async def _handle_connection(state: _ServerState, reader, writer) -> None:
 
 async def serve_async(host: str = "127.0.0.1", port: int = 8753,
                       config: ServiceConfig | None = None,
-                      telemetry=None, ready=None) -> None:
+                      telemetry=None, ready=None, hub=None,
+                      calibration=None, fault_plan=None) -> None:
     """Run the service behind a TCP server until ``shutdown`` arrives.
 
     ``ready`` (optional callable) receives the bound ``(host, port)``
     once the socket is listening — tests use it to learn an ephemeral
-    port.
+    port. A :class:`~repro.telemetry.live.MetricsHub` always backs
+    ``/metrics``; pass ``hub`` to share or configure it,
+    ``calibration`` (a fitted
+    :class:`~repro.telemetry.calibration.CalibrationReport`) to turn
+    on calibrated admission, and ``fault_plan`` for scheduler-level
+    fault injection (demos and chaos drills).
     """
-    service = CampaignService(config=config, telemetry=telemetry)
+    hub = MetricsHub() if hub is None else hub
+    if telemetry is None:
+        # The hub observes span closes, so the server always runs a
+        # real tracer — sinkless and non-accumulating (keep_spans off)
+        # when the operator asked for no trace file: live /metrics
+        # works out of the box and memory stays bounded.
+        telemetry = Tracer(sink=None, keep_spans=False)
+    service = CampaignService(config=config, telemetry=telemetry,
+                              hub=hub, calibration=calibration,
+                              fault_plan=fault_plan)
     await service.start()
     state = _ServerState(service)
     server = await asyncio.start_server(
@@ -162,10 +236,38 @@ async def serve_async(host: str = "127.0.0.1", port: int = 8753,
 
 
 def serve(host: str = "127.0.0.1", port: int = 8753,
-          config: ServiceConfig | None = None, telemetry=None) -> None:
+          config: ServiceConfig | None = None, telemetry=None,
+          calibration=None, ready=None) -> None:
     """Blocking entry point of ``repro serve``."""
     asyncio.run(serve_async(host, port, config=config,
-                            telemetry=telemetry))
+                            telemetry=telemetry,
+                            calibration=calibration, ready=ready))
+
+
+def scrape_metrics(host: str = "127.0.0.1", port: int = 8753,
+                   timeout: float = 10.0) -> str:
+    """Fetch the server's ``/metrics`` exposition over plain HTTP.
+
+    One request per connection (the server closes after responding),
+    stdlib sockets only — this is what ``repro top`` polls.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(b"GET /metrics HTTP/1.0\r\n"
+                     b"Host: " + host.encode("latin-1") + b"\r\n\r\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    response = b"".join(chunks)
+    head, separator, body = response.partition(b"\r\n\r\n")
+    if not separator:
+        raise ServiceError("malformed HTTP response from /metrics")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    if " 200 " not in f"{status_line} ":
+        raise ServiceError(f"/metrics scrape failed: {status_line}")
+    return body.decode("utf-8")
 
 
 class Client:

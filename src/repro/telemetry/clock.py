@@ -67,3 +67,9 @@ def monotonic() -> float:
 def walltime() -> float:
     """Epoch seconds for human-facing annotations."""
     return REAL_CLOCK.walltime()
+
+
+def sleep(seconds: float) -> None:
+    """Blocking sleep (``repro top``'s scrape pacing lives here so the
+    rest of the package stays free of raw ``time.*`` calls)."""
+    _time.sleep(seconds)

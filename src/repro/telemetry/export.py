@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 
 from ..errors import TelemetryError
+from .metrics import Histogram
 from .spans import CATEGORIES, Span, nesting_allowed
 
 
@@ -148,22 +149,73 @@ def summarize_outcomes(spans) -> dict:
     return outcome
 
 
+def _duration_quantiles(durations) -> dict:
+    """p50/p95/p99 of a duration list (seconds) via the power-of-two
+    histogram at microsecond resolution — the same estimator the live
+    hub uses, so post-hoc and live quantiles agree."""
+    histogram = Histogram()
+    for duration in durations:
+        histogram.observe(max(0.0, float(duration)) * 1.0e6)
+    if histogram.n == 0:
+        return {"p50": None, "p95": None, "p99": None}
+    return {f"p{int(q * 100)}": histogram.quantile(q) * 1.0e-6
+            for q in (0.50, 0.95, 0.99)}
+
+
+def summarize_tenants(spans) -> dict:
+    """Per-tenant rollup out of service ``job`` spans.
+
+    For each tenant: terminal-state counts, and wait-time / latency
+    quantiles (the job span's ``wait_seconds`` attribute and its
+    duration). Empty when the trace has no job spans — campaign-only
+    traces produce no tenant block.
+    """
+    tenants: dict[str, dict] = {}
+    for span in spans:
+        if span.category != "job":
+            continue
+        tenant = str(span.attrs.get("tenant", "default"))
+        entry = tenants.setdefault(tenant, {"jobs": {}, "durations": [],
+                                            "waits": []})
+        state = str(span.attrs.get("state", "unknown"))
+        entry["jobs"][state] = entry["jobs"].get(state, 0) + 1
+        entry["durations"].append(span.duration)
+        wait = span.attrs.get("wait_seconds")
+        if wait is not None:
+            entry["waits"].append(float(wait))
+    summary = {}
+    for tenant in sorted(tenants):
+        entry = tenants[tenant]
+        summary[tenant] = {
+            "jobs": dict(sorted(entry["jobs"].items())),
+            "latency": _duration_quantiles(entry["durations"]),
+            "wait": _duration_quantiles(entry["waits"]),
+        }
+    return summary
+
+
 def render_summary(spans) -> str:
-    """Text summary: per-category totals, outcome flags, slowest
-    spans."""
+    """Text summary: per-category totals with duration quantiles,
+    outcome flags, per-tenant rollups, slowest spans."""
     spans = list(spans)
     if not spans:
         return "(empty trace)"
     lines = [f"{len(spans)} spans"]
     lines.append(f"{'category':<12} {'count':>7} {'total s':>12} "
-                 f"{'mean s':>12}")
+                 f"{'mean s':>12} {'p50 s':>10} {'p95 s':>10} "
+                 f"{'p99 s':>10}")
     for category in CATEGORIES:
         members = [span for span in spans if span.category == category]
         if not members:
             continue
         total = sum(span.duration for span in members)
+        quantiles = _duration_quantiles(
+            [span.duration for span in members])
         lines.append(f"{category:<12} {len(members):>7} {total:>12.6f} "
-                     f"{total / len(members):>12.6f}")
+                     f"{total / len(members):>12.6f} "
+                     f"{quantiles['p50']:>10.6f} "
+                     f"{quantiles['p95']:>10.6f} "
+                     f"{quantiles['p99']:>10.6f}")
     outcome = summarize_outcomes(spans)
     if outcome["campaigns"] or outcome["job_states"]:
         lines.append("")
@@ -177,6 +229,22 @@ def render_summary(spans) -> str:
                 f"{outcome['quarantined_rows']} quarantined row(s))")
         for state, count in outcome["job_states"].items():
             lines.append(f"  jobs {state}: {count}")
+    tenants = summarize_tenants(spans)
+    if tenants:
+        lines.append("")
+        lines.append("tenants:")
+        for tenant, entry in tenants.items():
+            jobs = ", ".join(f"{count} {state}" for state, count
+                             in entry["jobs"].items())
+            lines.append(f"  {tenant}: {jobs}")
+            for kind in ("wait", "latency"):
+                quantiles = entry[kind]
+                if quantiles["p50"] is None:
+                    continue
+                lines.append(
+                    f"    {kind}: p50={quantiles['p50']:.6f}s "
+                    f"p95={quantiles['p95']:.6f}s "
+                    f"p99={quantiles['p99']:.6f}s")
     lines.append("")
     lines.append("slowest spans:")
     slowest = sorted(spans, key=lambda span: span.duration,

@@ -51,6 +51,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by midpoint-of-bucket
+        interpolation.
+
+        The target rank is walked through the sorted power-of-two
+        buckets; within the bucket that holds it, the value is placed
+        by linear interpolation over the bucket's ``[lo, hi)`` range
+        with the classic half-sample offset (a single observation in a
+        bucket lands on the bucket midpoint). The result is clamped to
+        the exact observed ``[min, max]``, so degenerate histograms
+        (one value, one bucket) reproduce their inputs exactly.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile q must be in [0, 1], got {q}")
+        if self.n == 0:
+            raise TelemetryError("quantile of an empty histogram")
+        rank = q * (self.n - 1)
+        seen = 0
+        for exponent in sorted(self.buckets):
+            count = self.buckets[exponent]
+            if rank < seen + count:
+                lo = 0.0 if exponent == 0 else float(2 ** (exponent - 1))
+                hi = float(2 ** exponent)
+                fraction = (rank - seen + 0.5) / count
+                value = lo + fraction * (hi - lo)
+                return min(max(value, self.minimum), self.maximum)
+            seen += count
+        return self.maximum
+
     def merge(self, other: "Histogram") -> None:
         if other.n == 0:
             return
@@ -179,5 +208,8 @@ class MetricsRegistry:
             histogram = self.histograms[name]
             lines.append(
                 f"{name:<36} n={histogram.n} mean={histogram.mean:.6g} "
+                f"p50={histogram.quantile(0.50):.6g} "
+                f"p95={histogram.quantile(0.95):.6g} "
+                f"p99={histogram.quantile(0.99):.6g} "
                 f"min={histogram.minimum:.6g} max={histogram.maximum:.6g}")
         return "\n".join(lines) if lines else "(no metrics)"

@@ -1,0 +1,290 @@
+"""Prometheus text-format (0.0.4) exposition and parsing.
+
+Bridges the repo's metric objects to the exposition format every
+scraper understands: ``# HELP``/``# TYPE`` headers, ``_total``-suffixed
+counters, cumulative ``le`` histogram buckets and ``quantile``-labeled
+summaries. The renderer is pure data-in/text-out — it imports nothing
+above the telemetry layer, so the service server, the CLI and tests
+all compose the same family builders.
+
+Labels travel *inside* registry metric names with the
+``name[key=value,...]`` convention (:func:`labeled` builds them,
+:func:`split_labels` parses them back). A registry stays a flat
+``str -> value`` mapping — deterministic, journal-safe, merge-friendly
+— while the renderer recovers proper Prometheus label sets:
+
+>>> labeled("service.jobs.admitted", tenant="acme")
+'service.jobs.admitted[tenant=acme]'
+
+renders as ``repro_service_jobs_admitted_total{tenant="acme"}``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import TelemetryError
+from .metrics import Histogram, MetricsRegistry
+
+#: Quantile labels rendered for summaries (matches the hub windows).
+_SUMMARY_QUANTILES = ("p50", "p95", "p99")
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def labeled(name: str, **labels) -> str:
+    """Embed a sorted label set into a flat metric name."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}[{inner}]"
+
+
+def split_labels(name: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`labeled`; plain names come back label-free."""
+    if not name.endswith("]") or "[" not in name:
+        return name, {}
+    base, _bracket, inner = name.partition("[")
+    labels: dict[str, str] = {}
+    for pair in inner[:-1].split(","):
+        key, eq, value = pair.partition("=")
+        if eq:
+            labels[key.strip()] = value.strip()
+    return base, labels
+
+
+def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
+    """Mangle a dotted registry name into a legal Prometheus name."""
+    flat = _NAME_OK.sub("_", name.replace(".", "_"))
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _escape_label_value(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_OK.sub("_", str(key))}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass
+class Family:
+    """One metric family: a TYPE/HELP header plus its samples.
+
+    ``samples`` entries are ``(suffix, labels, value)`` — the suffix
+    ("_total", "_bucket", "_sum", ...) is appended to the family name.
+    """
+
+    name: str
+    kind: str
+    help: str
+    samples: list = field(default_factory=list)
+
+    def sample(self, suffix: str, labels: dict, value: float) -> None:
+        self.samples.append((suffix, dict(labels), float(value)))
+
+    def render(self) -> str:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for suffix, labels, value in self.samples:
+            lines.append(f"{self.name}{suffix}{_format_labels(labels)} "
+                         f"{_format_value(value)}")
+        return "\n".join(lines)
+
+
+class FamilySet:
+    """Ordered, name-deduplicating collection of families."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, Family] = {}
+
+    def family(self, name: str, kind: str, help_text: str) -> Family:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise TelemetryError(
+                    f"metric family {name!r} declared as both "
+                    f"{existing.kind!r} and {kind!r}")
+            return existing
+        created = Family(name, kind, help_text)
+        self._families[name] = created
+        return created
+
+    def render(self) -> str:
+        blocks = [family.render() for family in self._families.values()
+                  if family.samples]
+        return "\n".join(blocks) + "\n" if blocks else "\n"
+
+
+def _histogram_samples(family: Family, labels: dict,
+                       histogram: Histogram) -> None:
+    """Cumulative ``le`` buckets from the power-of-two histogram.
+
+    Bucket exponent ``k`` holds values below ``2**k``, so the bucket's
+    upper edge is its ``le`` boundary; ``+Inf`` carries the total.
+    """
+    cumulative = 0
+    for exponent in sorted(histogram.buckets):
+        cumulative += histogram.buckets[exponent]
+        family.sample("_bucket", {**labels, "le": str(2 ** exponent)},
+                      cumulative)
+    family.sample("_bucket", {**labels, "le": "+Inf"}, histogram.n)
+    family.sample("_sum", labels, histogram.total)
+    family.sample("_count", labels, histogram.n)
+
+
+def registry_families(registry: MetricsRegistry, families: FamilySet,
+                      namespace: str = "repro") -> FamilySet:
+    """Expose a registry's counters/gauges/histograms as families."""
+    for name in sorted(registry.counters):
+        base, labels = split_labels(name)
+        family = families.family(
+            sanitize_metric_name(base, namespace) + "_total", "counter",
+            f"Monotonic counter {base!r}.")
+        family.sample("", labels, registry.counters[name])
+    for name in sorted(registry.gauges):
+        base, labels = split_labels(name)
+        family = families.family(
+            sanitize_metric_name(base, namespace), "gauge",
+            f"Last-value gauge {base!r}.")
+        family.sample("", labels, registry.gauges[name])
+    for name in sorted(registry.histograms):
+        base, labels = split_labels(name)
+        family = families.family(
+            sanitize_metric_name(base, namespace), "histogram",
+            f"Power-of-two histogram {base!r}.")
+        _histogram_samples(family, labels, registry.histograms[name])
+    return families
+
+
+def _summary_samples(family: Family, labels: dict, stats: dict) -> None:
+    for key in _SUMMARY_QUANTILES:
+        value = stats.get(key)
+        if value is None:
+            continue
+        family.sample("", {**labels, "quantile": f"0.{key[1:]}"}, value)
+    count = int(stats.get("n", 0))
+    mean = stats.get("mean_seconds")
+    family.sample("_sum", labels,
+                  0.0 if mean is None else mean * count)
+    family.sample("_count", labels, count)
+
+
+def hub_families(snapshot: dict, families: FamilySet,
+                 namespace: str = "repro") -> FamilySet:
+    """Expose a :meth:`MetricsHub.snapshot` as Prometheus families.
+
+    Window quantiles become ``summary`` families; window event rates
+    become gauges (they are already per-second values — a counter
+    would double-rate them on the scraper side).
+    """
+    prefix = f"{namespace}_live" if namespace else "live"
+    spans = families.family(f"{prefix}_spans_seen_total", "counter",
+                            "Spans the hub has consumed since start.")
+    spans.sample("", {}, snapshot.get("spans_seen", 0))
+    rate = families.family(
+        f"{prefix}_span_rate", "gauge",
+        "Span closes per second over the sliding window.")
+    duration = families.family(
+        f"{prefix}_span_duration_seconds", "summary",
+        "Span duration quantiles over the sliding window.")
+    for category, stats in snapshot.get("categories", {}).items():
+        rate.sample("", {"category": category}, stats.get("rate", 0.0))
+        _summary_samples(duration, {"category": category}, stats)
+    phase = families.family(
+        f"{prefix}_phase_duration_seconds", "summary",
+        "Engine phase duration quantiles over the sliding window.")
+    for name, stats in snapshot.get("phases", {}).items():
+        _summary_samples(phase, {"phase": name}, stats)
+    outcomes = families.family(
+        f"{prefix}_job_outcomes_total", "counter",
+        "Terminal job states per tenant (hub lifetime).")
+    latency = families.family(
+        f"{prefix}_job_latency_seconds", "summary",
+        "Job latency quantiles per tenant over the sliding window.")
+    wait = families.family(
+        f"{prefix}_job_wait_seconds", "summary",
+        "Job queue-wait quantiles per tenant over the sliding window.")
+    for tenant, rollup in snapshot.get("tenants", {}).items():
+        for state, count in rollup.get("outcomes", {}).items():
+            outcomes.sample("", {"tenant": tenant, "state": state}, count)
+        _summary_samples(latency, {"tenant": tenant},
+                         rollup.get("latency", {}))
+        _summary_samples(wait, {"tenant": tenant}, rollup.get("wait", {}))
+    dropped = families.family(
+        f"{prefix}_subscriber_dropped_total", "counter",
+        "Events dropped on saturated subscription queues.")
+    total_dropped = sum(entry.get("dropped", 0)
+                        for entry in snapshot.get("subscribers", ()))
+    dropped.sample("", {}, total_dropped)
+    return families
+
+
+def render_prometheus(registries=(), hub_snapshot: dict | None = None,
+                      namespace: str = "repro") -> str:
+    """Full exposition document from registries + an optional hub."""
+    families = FamilySet()
+    for registry in registries:
+        registry_families(registry, families, namespace)
+    if hub_snapshot is not None:
+        hub_families(hub_snapshot, families, namespace)
+    return families.render()
+
+
+def parse_prometheus_text(text: str) -> dict[str, list]:
+    """Parse an exposition document into ``name -> [(labels, value)]``.
+
+    The sample name includes its suffix (``_total``, ``_bucket``, ...),
+    matching what a real scraper stores. Raises
+    :class:`~repro.errors.TelemetryError` on a malformed line, so it
+    doubles as a format check in tests.
+    """
+    samples: dict[str, list] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise TelemetryError(
+                f"line {lineno}: not a valid Prometheus sample: "
+                f"{line!r}")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for key, value in _LABEL_PAIR.findall(match.group("labels")):
+                labels[key] = value.replace('\\"', '"') \
+                    .replace("\\n", "\n").replace("\\\\", "\\")
+        raw = match.group("value")
+        try:
+            value = float(raw.replace("+Inf", "inf")
+                          .replace("-Inf", "-inf"))
+        except ValueError:
+            raise TelemetryError(
+                f"line {lineno}: bad sample value {raw!r}") from None
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    return samples

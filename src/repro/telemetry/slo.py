@@ -1,0 +1,232 @@
+"""Per-tenant SLO tracking: objectives, error budgets, burn rates.
+
+A :class:`TenantSLO` declares what "good" means for one tenant's jobs
+— finish, and finish within the latency objective — and how much
+failure the error budget tolerates (``target`` is the good-event
+fraction, so a 0.99 target leaves a 1% budget). The
+:class:`SLOTracker` folds every terminal job into a sliding window and
+computes the **burn rate**: the observed miss fraction divided by the
+budgeted miss fraction. Burn 1.0 means the budget is being consumed
+exactly as provisioned; sustained burn above the breach threshold
+emits a structured ``SLO_BREACH`` span into the trace stream (a
+``service``-category root, so it survives into post-hoc summaries)
+and a counter/gauge pair into the service registry, which the
+Prometheus exposition turns into per-tenant burn-rate series.
+
+Event classification, per terminal job:
+
+=============================  ======
+outcome                        counts
+=============================  ======
+completed within objective     good
+completed, deadline-incomplete miss
+completed over the objective   miss
+shed (deadline or displaced)   miss
+quarantined                    miss
+cancelled (client asked)       ignored
+rejected (never admitted)      ignored
+=============================  ======
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ServiceError
+from . import clock as _clock_module
+from .prometheus import labeled
+
+#: States that consume error budget when they terminate a job.
+_MISS_STATES = ("shed", "quarantined")
+#: States excluded from SLO accounting entirely.
+_IGNORED_STATES = ("cancelled", "rejected")
+
+
+@dataclass(frozen=True)
+class TenantSLO:
+    """Declared service-level objective of one tenant.
+
+    Attributes
+    ----------
+    latency_objective_seconds:
+        A completed job slower than this (submit to finish) is an SLO
+        miss; ``None`` means only the outcome matters.
+    target:
+        Good-event fraction the tenant is promised (``0.99`` leaves a
+        1% error budget).
+    window_seconds:
+        Sliding window the burn rate is computed over.
+    breach_burn_rate:
+        Burn rate at or above which an ``SLO_BREACH`` event fires
+        (re-armed once the burn drops back below it).
+    min_events:
+        Window events required before the burn rate is trusted — a
+        single early miss should not page anyone.
+    """
+
+    latency_objective_seconds: float | None = None
+    target: float = 0.99
+    window_seconds: float = 3600.0
+    breach_burn_rate: float = 1.0
+    min_events: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency_objective_seconds is not None \
+                and not (self.latency_objective_seconds > 0.0):
+            raise ServiceError(
+                f"latency_objective_seconds must be > 0, got "
+                f"{self.latency_objective_seconds}")
+        if not (0.0 < self.target < 1.0):
+            raise ServiceError(
+                f"target must be in (0, 1), got {self.target}")
+        if not (self.window_seconds > 0.0):
+            raise ServiceError(
+                f"window_seconds must be > 0, got {self.window_seconds}")
+        if not (self.breach_burn_rate > 0.0):
+            raise ServiceError(
+                f"breach_burn_rate must be > 0, got "
+                f"{self.breach_burn_rate}")
+        if self.min_events < 1:
+            raise ServiceError(
+                f"min_events must be >= 1, got {self.min_events}")
+
+    def is_miss(self, state: str, reason: str,
+                latency_seconds: float | None) -> bool | None:
+        """Classify one terminal job; ``None`` means "not an event"."""
+        if state in _IGNORED_STATES:
+            return None
+        if state in _MISS_STATES:
+            return True
+        if state != "completed":
+            return True
+        if reason == "deadline-incomplete":
+            return True
+        if self.latency_objective_seconds is not None \
+                and latency_seconds is not None \
+                and latency_seconds > self.latency_objective_seconds:
+            return True
+        return False
+
+
+class SLOTracker:
+    """Sliding-window error-budget accounting across tenants.
+
+    Thread-safe; one tracker is written by the service's terminal
+    bookkeeping (event loop) and read by the metrics exposition
+    (scrape connections). Breach events go to ``tracer`` as
+    ``SLO_BREACH`` spans and to ``metrics`` as labeled
+    ``service.slo.*`` series.
+    """
+
+    def __init__(self, slos: dict | None = None,
+                 default_slo: TenantSLO | None = None,
+                 metrics=None, tracer=None, clock=None) -> None:
+        self.slos = dict(slos or {})
+        self.default_slo = default_slo
+        self.metrics = metrics
+        self.tracer = tracer
+        self._clock = clock if clock is not None else _clock_module.REAL_CLOCK
+        self._lock = threading.Lock()
+        self._windows: dict[str, deque] = {}
+        self._breached: set[str] = set()
+        self._breach_counts: dict[str, int] = {}
+
+    def slo_for(self, tenant: str) -> TenantSLO | None:
+        return self.slos.get(tenant, self.default_slo)
+
+    def observe(self, tenant: str, state: str, reason: str = "",
+                latency_seconds: float | None = None) -> bool:
+        """Fold one terminal job in; returns True when a breach fired."""
+        slo = self.slo_for(tenant)
+        if slo is None:
+            return False
+        miss = slo.is_miss(state, reason, latency_seconds)
+        if miss is None:
+            return False
+        now = self._clock.monotonic()
+        with self._lock:
+            window = self._windows.get(tenant)
+            if window is None:
+                window = deque()
+                self._windows[tenant] = window
+            window.append((now, bool(miss)))
+            self._prune(window, slo, now)
+            burn, events = self._burn(window, slo)
+            fired = False
+            if events >= slo.min_events and burn >= slo.breach_burn_rate:
+                if tenant not in self._breached:
+                    self._breached.add(tenant)
+                    count = self._breach_counts.get(tenant, 0) + 1
+                    self._breach_counts[tenant] = count
+                    fired = True
+            elif burn < slo.breach_burn_rate:
+                self._breached.discard(tenant)
+        if self.metrics is not None:
+            self.metrics.gauge(labeled("service.slo.burn_rate",
+                                       tenant=tenant), burn)
+            self.metrics.gauge(
+                labeled("service.slo.budget_remaining", tenant=tenant),
+                max(0.0, 1.0 - burn))
+            if fired:
+                self.metrics.count(labeled("service.slo.breaches",
+                                           tenant=tenant))
+        if fired and self.tracer is not None:
+            handle = self.tracer.start(
+                "SLO_BREACH", "service", tenant=tenant,
+                burn_rate=float(burn), target=float(slo.target),
+                window_events=int(events),
+                breach_burn_rate=float(slo.breach_burn_rate))
+            self.tracer.end(handle)
+        return fired
+
+    @staticmethod
+    def _prune(window: deque, slo: TenantSLO, now: float) -> None:
+        while window and now - window[0][0] > slo.window_seconds:
+            window.popleft()
+
+    @staticmethod
+    def _burn(window: deque, slo: TenantSLO) -> tuple[float, int]:
+        events = len(window)
+        if events == 0:
+            return 0.0, 0
+        misses = sum(1 for _t, miss in window if miss)
+        allowed = 1.0 - slo.target
+        return (misses / events) / allowed, events
+
+    def burn_rate(self, tenant: str) -> float:
+        """Current burn rate of one tenant (0.0 when untracked)."""
+        slo = self.slo_for(tenant)
+        if slo is None:
+            return 0.0
+        now = self._clock.monotonic()
+        with self._lock:
+            window = self._windows.get(tenant)
+            if window is None:
+                return 0.0
+            self._prune(window, slo, now)
+            burn, _events = self._burn(window, slo)
+            return burn
+
+    def snapshot(self) -> dict:
+        """JSON-safe per-tenant view: burn, events, breach state."""
+        now = self._clock.monotonic()
+        with self._lock:
+            tenants = {}
+            for tenant in sorted(self._windows):
+                slo = self.slo_for(tenant)
+                if slo is None:
+                    continue
+                window = self._windows[tenant]
+                self._prune(window, slo, now)
+                burn, events = self._burn(window, slo)
+                tenants[tenant] = {
+                    "burn_rate": burn,
+                    "budget_remaining": max(0.0, 1.0 - burn),
+                    "window_events": events,
+                    "breached": tenant in self._breached,
+                    "breaches": self._breach_counts.get(tenant, 0),
+                    "target": slo.target,
+                }
+            return tenants

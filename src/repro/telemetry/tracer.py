@@ -107,20 +107,50 @@ class Tracer:
         Clock object with a ``monotonic()`` method; defaults to the
         sanctioned real clock. Tests pass
         :class:`~repro.telemetry.clock.FakeClock`.
+    keep_spans:
+        Whether completed spans accumulate on :attr:`spans`. The
+        default (``True``) is what batch campaigns and tests expect; a
+        long-lived server with a live :class:`MetricsHub
+        <repro.telemetry.live.MetricsHub>` attached turns it off so
+        the tracer's memory stays bounded while observers still see
+        every close.
     """
 
     enabled = True
 
     def __init__(self, sink: JsonlSink | None = None,
-                 clock=None) -> None:
+                 clock=None, keep_spans: bool = True) -> None:
         self.sink = sink
         self.clock = clock if clock is not None else _clock_module.REAL_CLOCK
+        self.keep_spans = keep_spans
         self.spans: list[Span] = []
         self._root_counts: dict[str, int] = {}
+        # Copy-on-write tuple: ``end()`` iterates it without taking
+        # the tracer lock, add/remove swap in a fresh tuple under it.
+        self._observers: tuple = ()
         # One tracer is shared by the event loop (service spans) and
         # campaign worker threads (chunk/launch spans): the ordinal
         # counters and the completed-span list need a lock.
         self._lock = threading.Lock()
+
+    def add_observer(self, observer) -> None:
+        """Register a callable invoked with every completed
+        :class:`~repro.telemetry.spans.Span` (span-close events).
+
+        Observers run synchronously on whichever thread ends the span,
+        outside the tracer lock — they must be fast and thread-safe
+        (the :class:`~repro.telemetry.live.MetricsHub` is both).
+        """
+        with self._lock:
+            self._observers = (*self._observers, observer)
+
+    def remove_observer(self, observer) -> None:
+        # Equality, not identity: ``hub.on_span`` is a fresh bound
+        # method on every access, and bound methods compare equal by
+        # (__self__, __func__) — identity would never match.
+        with self._lock:
+            self._observers = tuple(entry for entry in self._observers
+                                    if entry != observer)
 
     def start(self, name: str, category: str,
               parent: SpanHandle | None = None, **attrs) -> SpanHandle:
@@ -157,10 +187,13 @@ class Tracer:
         merged = handle.attrs if not attrs else {**handle.attrs, **attrs}
         span = Span(handle.name, handle.span_id, handle.parent_id,
                     handle.category, handle.t_start, duration, merged)
-        with self._lock:
-            self.spans.append(span)
+        if self.keep_spans:
+            with self._lock:
+                self.spans.append(span)
         if self.sink is not None:
             self.sink.emit(span)
+        for observer in self._observers:
+            observer(span)
         return span
 
     def span(self, name: str, category: str,
@@ -200,6 +233,12 @@ class NullTracer:
 
     def span(self, name, category, parent=None, **attrs):
         return _NULL_CONTEXT
+
+    def add_observer(self, observer) -> None:
+        return None
+
+    def remove_observer(self, observer) -> None:
+        return None
 
     def flush(self) -> None:
         return None
